@@ -1,0 +1,98 @@
+//! Criterion benches for the attack pipeline — the complexity claims of
+//! paper Sec. VII-A1: end-to-end emulation is O(M) in the number of
+//! observed samples (the 64-point FFT per block is constant-size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctc_core::attack::quantizer::quantize_points;
+use ctc_core::attack::spectrum::{block_spectra, select_subcarriers};
+use ctc_core::attack::Emulator;
+use ctc_dsp::resample::interpolate;
+use ctc_zigbee::Transmitter;
+
+fn observed(payload_len: usize) -> Vec<ctc_dsp::Complex> {
+    let payload = vec![b'7'; payload_len];
+    Transmitter::new()
+        .transmit_payload(&payload)
+        .expect("payload fits")
+}
+
+/// End-to-end emulation time vs input size: the ratio time/M should be flat.
+fn bench_attack_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_scaling");
+    group.sample_size(20);
+    for payload_len in [5usize, 20, 60, 120] {
+        let wave = observed(payload_len);
+        group.throughput(Throughput::Elements(wave.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(wave.len()),
+            &wave,
+            |b, wave| {
+                let emulator = Emulator::new();
+                b.iter(|| emulator.emulate(std::hint::black_box(wave)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Stage costs: interpolation, block FFTs, selection, quantization.
+fn bench_attack_stages(c: &mut Criterion) {
+    let wave = observed(20);
+    let wide = interpolate(&wave, 5).expect("factor 5");
+    let spectra = block_spectra(&wide);
+    let bins = select_subcarriers(&spectra, 3.0, 7);
+    let chosen: Vec<ctc_dsp::Complex> = spectra
+        .iter()
+        .flat_map(|s| bins.iter().map(|&b| s.components[b]))
+        .collect();
+
+    let mut group = c.benchmark_group("attack_stages");
+    group.sample_size(20);
+    group.bench_function("interpolate_x5", |b| {
+        b.iter(|| interpolate(std::hint::black_box(&wave), 5).expect("factor 5"))
+    });
+    group.bench_function("block_ffts", |b| {
+        b.iter(|| block_spectra(std::hint::black_box(&wide)))
+    });
+    group.bench_function("subcarrier_selection", |b| {
+        b.iter(|| select_subcarriers(std::hint::black_box(&spectra), 3.0, 7))
+    });
+    group.bench_function("qam_quantization_global_search", |b| {
+        b.iter(|| quantize_points(std::hint::black_box(&chosen), None))
+    });
+    group.finish();
+}
+
+/// The extension attackers: least-squares fitting and the constrained
+/// full-frame construction.
+fn bench_attack_variants(c: &mut Criterion) {
+    use ctc_core::attack::{FullFrameAttack, LeastSquaresEmulator};
+    let wave = observed(5);
+    let mut group = c.benchmark_group("attack_variants");
+    group.sample_size(10);
+    group.bench_function("baseline_emulate", |b| {
+        let e = Emulator::new();
+        b.iter(|| e.emulate(std::hint::black_box(&wave)));
+    });
+    group.bench_function("least_squares_emulate", |b| {
+        let e = LeastSquaresEmulator::new();
+        b.iter(|| e.emulate(std::hint::black_box(&wave)));
+    });
+    group.bench_function("full_frame_emulate", |b| {
+        let e = FullFrameAttack::new();
+        b.iter(|| e.emulate(std::hint::black_box(&wave)));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_attack_scaling, bench_attack_stages, bench_attack_variants);
+criterion_main!(benches);

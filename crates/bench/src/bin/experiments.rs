@@ -1,0 +1,151 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--results <dir>] [--quick] <id>...
+//! ids: table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8 fig9
+//!      fig10 fig11 fig12 fig14 roc ablation-subcarriers ablation-alpha
+//!      bitchain cfo gap arms-race spectral coexistence fullframe
+//!      channels detectors replay all
+//! ```
+//!
+//! `--quick` shrinks trial counts ~20x for smoke runs; defaults match the
+//! paper's counts where feasible.
+
+use ctc_bench::experiments::{advanced, extensions, figures, protocol, tables};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Config {
+    results: PathBuf,
+    quick: bool,
+}
+
+fn scale(cfg: &Config, full: usize) -> usize {
+    if cfg.quick {
+        (full / 20).max(3)
+    } else {
+        full
+    }
+}
+
+fn run_one(cfg: &Config, id: &str) -> Result<String, String> {
+    let d = cfg.results.as_path();
+    let out = match id {
+        "table1" => tables::table1(d),
+        "table2" => tables::table2(d, scale(cfg, 1000)),
+        "table3" => tables::table3(d),
+        "table4" => tables::table4(d, scale(cfg, 50)),
+        "table5" => tables::table5(d, scale(cfg, 200)),
+        "phy" => tables::phy_validation(d, scale(cfg, 60)),
+        "fig5" => figures::fig5(d),
+        "fig6" => figures::fig6(d),
+        "fig7" => figures::fig7(d, scale(cfg, 100)),
+        "fig8" => figures::fig8(d, scale(cfg, 100)),
+        "fig9" => figures::fig9(d),
+        "fig10" | "fig11" | "fig10_11" => figures::fig10_11(d, scale(cfg, 100)),
+        "fig12" => figures::fig12(d, scale(cfg, 50), scale(cfg, 50)),
+        "fig14" => figures::fig14(d, scale(cfg, 100)),
+        "roc" => extensions::roc(d, 12.0, scale(cfg, 200)),
+        "ablation-subcarriers" => extensions::ablation_subcarriers(d, scale(cfg, 200)),
+        "ablation-alpha" => extensions::ablation_alpha(d, scale(cfg, 200)),
+        "bitchain" => extensions::bitchain(d, scale(cfg, 100)),
+        "cfo" => extensions::cfo_robustness(d, scale(cfg, 100)),
+        "gap" => extensions::gap_summary(d, scale(cfg, 100)),
+        "arms-race" => advanced::arms_race(d, scale(cfg, 50)),
+        "spectral" => advanced::spectral(d),
+        "coexistence" => advanced::coexistence(d, scale(cfg, 100)),
+        "fullframe" => advanced::fullframe(d, scale(cfg, 100)),
+        "channels" => protocol::channels(d, scale(cfg, 30)),
+        "detectors" => protocol::detectors(d, scale(cfg, 60)),
+        "replay" => protocol::replay(d),
+        "lowsnr" => protocol::lowsnr(d, scale(cfg, 40)),
+        "hardware" => protocol::hardware(d, scale(cfg, 100)),
+        "alignment" => protocol::alignment(d),
+        "scenario" => protocol::scenario(d),
+        "timefreq" => advanced::timefreq(d),
+        other => return Err(format!("unknown experiment id: {other}")),
+    };
+    Ok(out)
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "phy",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10_11",
+    "fig12",
+    "fig14",
+    "roc",
+    "ablation-subcarriers",
+    "ablation-alpha",
+    "bitchain",
+    "cfo",
+    "gap",
+    "arms-race",
+    "spectral",
+    "coexistence",
+    "fullframe",
+    "channels",
+    "detectors",
+    "replay",
+    "lowsnr",
+    "hardware",
+    "alignment",
+    "scenario",
+    "timefreq",
+];
+
+fn main() -> ExitCode {
+    let mut cfg = Config {
+        results: PathBuf::from("results"),
+        quick: false,
+    };
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--results" => match args.next() {
+                Some(p) => cfg.results = PathBuf::from(p),
+                None => {
+                    eprintln!("--results needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => cfg.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--results <dir>] [--quick] <id>...\nids: {} all",
+                    ALL.join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no experiment ids given; try `experiments all` or --help");
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        eprintln!("[experiments] running {id} ...");
+        match run_one(&cfg, id) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,8 @@
+//! Every table and figure of the paper's evaluation, regenerated, plus
+//! extension experiments. See DESIGN.md §5 for the index.
+
+pub mod advanced;
+pub mod extensions;
+pub mod figures;
+pub mod protocol;
+pub mod tables;

@@ -1,0 +1,20 @@
+//! # ctc-bench
+//!
+//! Benchmarks and the experiment harness for the *Hide and Seek*
+//! (ICDCS 2019) reproduction. The `experiments` binary regenerates every
+//! table and figure of the paper's evaluation section:
+//!
+//! ```text
+//! cargo run -p ctc-bench --bin experiments --release -- all
+//! cargo run -p ctc-bench --bin experiments --release -- table2 --trials 1000
+//! ```
+//!
+//! Criterion benches (`cargo bench -p ctc-bench`) cover the complexity
+//! claims of Sec. VII-A and the ablations listed in DESIGN.md §6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;

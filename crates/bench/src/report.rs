@@ -1,0 +1,108 @@
+//! Output helpers for the experiment harness: markdown tables to stdout and
+//! CSV series under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders a markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Writes a CSV file under the results directory, creating it if needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_csv(
+    results_dir: &Path,
+    name: &str,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(results_dir)?;
+    let path = results_dir.join(name);
+    let mut body = String::new();
+    let _ = writeln!(body, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(body, "{}", row.join(","));
+    }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Formats a float with 4 decimal places.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = markdown_table(
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = markdown_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("ctc_bench_test_csv");
+        let p = write_csv(
+            &dir,
+            "t.csv",
+            &["x".into(), "y".into()],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert_eq!(body, "x,y\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(1.23456), "1.2346");
+        assert_eq!(f2(1.235), "1.24");
+        assert_eq!(pct(0.424), "42.4%");
+    }
+}

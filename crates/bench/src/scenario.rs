@@ -1,0 +1,160 @@
+//! Shared experiment scenarios: the two communication links of the paper's
+//! evaluation (Sec. VII-B) and helpers to mass-produce receptions.
+//!
+//! Link A: ZigBee transmitter → ZigBee receiver.
+//! Link B: WiFi attacker (emulating a recorded ZigBee frame) → ZigBee receiver.
+
+use ctc_channel::Link;
+use ctc_core::attack::{Emulation, Emulator};
+use ctc_dsp::Complex;
+use ctc_zigbee::{Receiver, Reception, Transmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reusable pair of transmit waveforms: the authentic frame and its
+/// emulation as captured by the ZigBee front-end.
+#[derive(Debug, Clone)]
+pub struct WaveformPair {
+    /// Authentic ZigBee baseband waveform (4 MHz).
+    pub original: Vec<Complex>,
+    /// The attacker's emulated waveform after the ZigBee front-end (4 MHz).
+    pub emulated: Vec<Complex>,
+    /// Full emulation metadata.
+    pub emulation: Emulation,
+}
+
+/// Builds the waveform pair for one payload with the default attacker.
+pub fn waveform_pair(payload: &[u8]) -> WaveformPair {
+    waveform_pair_with(payload, &Emulator::new())
+}
+
+/// Builds the waveform pair for one payload with a custom attacker.
+pub fn waveform_pair_with(payload: &[u8], emulator: &Emulator) -> WaveformPair {
+    let original = Transmitter::new()
+        .transmit_payload(payload)
+        .expect("experiment payloads are short");
+    let emulation = emulator.emulate(&original);
+    let emulated = emulator.received_at_zigbee(&emulation);
+    WaveformPair {
+        original,
+        emulated,
+        emulation,
+    }
+}
+
+/// Which transmitter a trial simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The authentic ZigBee transmitter.
+    Zigbee,
+    /// The WiFi attacker.
+    Attacker,
+}
+
+/// Runs `trials` receptions of one waveform through a link, with a
+/// deterministic seed stream.
+pub fn receive_trials(
+    wave: &[Complex],
+    link: &Link,
+    receiver: &Receiver,
+    trials: usize,
+    seed: u64,
+) -> Vec<Reception> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..trials)
+        .map(|_| receiver.receive(&link.transmit(wave, &mut rng)))
+        .collect()
+}
+
+/// Packet success rate over a batch of receptions against the expected
+/// payload.
+pub fn packet_success_rate(receptions: &[Reception], expected: &[u8]) -> f64 {
+    if receptions.is_empty() {
+        return 0.0;
+    }
+    let ok = receptions
+        .iter()
+        .filter(|r| r.packet_ok() && r.payload() == Some(expected))
+        .count();
+    ok as f64 / receptions.len() as f64
+}
+
+/// Symbol error rate over a batch, relative to the expected frame symbols.
+pub fn symbol_error_rate(receptions: &[Reception], expected_payload: &[u8]) -> f64 {
+    let expected = ctc_zigbee::frame::build_frame_symbols(expected_payload)
+        .expect("experiment payloads are short");
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for r in receptions {
+        errors += r.symbol_errors(&expected);
+        total += expected.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        errors as f64 / total as f64
+    }
+}
+
+/// Mean of a sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_channel::Link;
+
+    #[test]
+    fn pair_decodes_both_ways() {
+        let pair = waveform_pair(b"00000");
+        let rx = Receiver::usrp();
+        assert_eq!(rx.receive(&pair.original).payload(), Some(&b"00000"[..]));
+        assert_eq!(rx.receive(&pair.emulated).payload(), Some(&b"00000"[..]));
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let pair = waveform_pair(b"00001");
+        let link = Link::awgn(10.0);
+        let rx = Receiver::usrp();
+        let a = receive_trials(&pair.original, &link, &rx, 3, 7);
+        let b = receive_trials(&pair.original, &link, &rx, 3, 7);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.symbols, y.symbols);
+        }
+    }
+
+    #[test]
+    fn success_rate_bounds() {
+        let pair = waveform_pair(b"00002");
+        let link = Link::awgn(30.0);
+        let rx = Receiver::usrp();
+        let rs = receive_trials(&pair.original, &link, &rx, 5, 11);
+        let rate = packet_success_rate(&rs, b"00002");
+        assert!(rate > 0.99);
+        assert_eq!(packet_success_rate(&[], b"x"), 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Small-scale fading models.
+//!
+//! The paper's indoor experiments (1–8 m, line-of-sight with human movement)
+//! are modelled as block fading: one complex channel gain per packet, drawn
+//! from a Rician distribution (strong LoS component plus scattered energy).
+//! A Rayleigh draw (`k_factor = 0`) covers the non-LoS worst case, and a
+//! short exponential-profile multipath FIR is available for
+//! frequency-selective studies.
+
+use crate::noise::standard_gaussian;
+use ctc_dsp::Complex;
+use rand::Rng;
+
+/// Draws one Rayleigh-fading complex gain with unit average power
+/// (`E[|h|^2] = 1`).
+pub fn rayleigh_gain<R: Rng>(rng: &mut R) -> Complex {
+    let s = (0.5f64).sqrt();
+    Complex::new(s * standard_gaussian(rng), s * standard_gaussian(rng))
+}
+
+/// Draws one Rician-fading complex gain with unit average power and the
+/// given K-factor (ratio of LoS power to scattered power, linear).
+///
+/// `k_factor = 0` reduces to Rayleigh; large `k_factor` approaches a pure
+/// LoS channel (`h -> 1`).
+///
+/// # Panics
+///
+/// Panics if `k_factor < 0`.
+pub fn rician_gain<R: Rng>(rng: &mut R, k_factor: f64) -> Complex {
+    assert!(k_factor >= 0.0, "K-factor must be nonnegative");
+    let los = (k_factor / (k_factor + 1.0)).sqrt();
+    let scatter = (1.0 / (k_factor + 1.0)).sqrt();
+    Complex::from_re(los) + rayleigh_gain(rng) * scatter
+}
+
+/// A frequency-selective multipath channel: an FIR with exponentially
+/// decaying tap powers, normalized to unit total power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multipath {
+    taps: Vec<Complex>,
+}
+
+impl Multipath {
+    /// Draws a random `num_taps`-tap channel whose tap powers decay as
+    /// `e^{-n/decay}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_taps == 0` or `decay <= 0`.
+    pub fn random<R: Rng>(num_taps: usize, decay: f64, rng: &mut R) -> Self {
+        assert!(num_taps > 0, "need at least one tap");
+        assert!(decay > 0.0, "decay must be positive");
+        let mut taps: Vec<Complex> = (0..num_taps)
+            .map(|n| {
+                let p = (-(n as f64) / decay).exp();
+                rayleigh_gain(rng) * p.sqrt()
+            })
+            .collect();
+        let total: f64 = taps.iter().map(|t| t.norm_sqr()).sum();
+        if total > 0.0 {
+            let g = 1.0 / total.sqrt();
+            for t in &mut taps {
+                *t *= g;
+            }
+        }
+        Multipath { taps }
+    }
+
+    /// Builds a channel from explicit taps (not normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn from_taps(taps: Vec<Complex>) -> Self {
+        assert!(!taps.is_empty(), "need at least one tap");
+        Multipath { taps }
+    }
+
+    /// Channel impulse response.
+    pub fn taps(&self) -> &[Complex] {
+        &self.taps
+    }
+
+    /// Convolves the waveform with the channel (same-length output,
+    /// truncated tail).
+    pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut y = vec![Complex::ZERO; x.len()];
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &h) in self.taps.iter().enumerate() {
+                if i + j < y.len() {
+                    y[i + j] += xi * h;
+                }
+            }
+        }
+        y
+    }
+}
+
+/// Time-varying flat fading with a Jakes-style Doppler spectrum: a sum of
+/// low-frequency sinusoidal scatterers whose maximum Doppler shift models
+/// motion in the environment — the paper's "human activities such as
+/// walking" (a ~1 m/s scatterer at 2.4 GHz gives ~8 Hz of Doppler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JakesFading {
+    oscillators: Vec<(f64, f64, f64)>, // (doppler rad/sample, phase, weight)
+    los: f64,
+    scatter: f64,
+}
+
+impl JakesFading {
+    /// Builds a fader with `max_doppler_hz` at `sample_rate_hz`, Rician
+    /// K-factor `k_factor`, and `paths` scatterers (8–16 is plenty).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `paths == 0`, `sample_rate_hz <= 0`, `max_doppler_hz < 0`
+    /// or `k_factor < 0`.
+    pub fn new<R: Rng>(
+        max_doppler_hz: f64,
+        sample_rate_hz: f64,
+        k_factor: f64,
+        paths: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(paths > 0, "need at least one scatterer");
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        assert!(max_doppler_hz >= 0.0, "Doppler must be nonnegative");
+        assert!(k_factor >= 0.0, "K-factor must be nonnegative");
+        let wd = 2.0 * std::f64::consts::PI * max_doppler_hz / sample_rate_hz;
+        let weight = (1.0 / paths as f64).sqrt();
+        let oscillators = (0..paths)
+            .map(|_| {
+                // Jakes: Doppler of each path is wd*cos(arrival angle).
+                let angle: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+                let phase: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+                (wd * angle.cos(), phase, weight)
+            })
+            .collect();
+        JakesFading {
+            oscillators,
+            los: (k_factor / (k_factor + 1.0)).sqrt(),
+            scatter: (1.0 / (k_factor + 1.0)).sqrt(),
+        }
+    }
+
+    /// The channel gain at sample index `n`.
+    pub fn gain_at(&self, n: usize) -> Complex {
+        let mut acc = Complex::ZERO;
+        for &(w, phi, weight) in &self.oscillators {
+            acc += Complex::cis(w * n as f64 + phi) * weight;
+        }
+        Complex::from_re(self.los) + acc * self.scatter
+    }
+
+    /// Applies the time-varying gain to a waveform.
+    pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        x.iter()
+            .enumerate()
+            .map(|(n, &v)| v * self.gain_at(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rayleigh_unit_average_power() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 100_000;
+        let p = (0..n).map(|_| rayleigh_gain(&mut rng).norm_sqr()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.02, "avg power {p}");
+    }
+
+    #[test]
+    fn rician_unit_average_power_any_k() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for k in [0.0, 1.0, 5.0, 20.0] {
+            let n = 50_000;
+            let p = (0..n).map(|_| rician_gain(&mut rng, k).norm_sqr()).sum::<f64>() / n as f64;
+            assert!((p - 1.0).abs() < 0.03, "K={k}: avg power {p}");
+        }
+    }
+
+    #[test]
+    fn rician_large_k_is_nearly_los() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let h = rician_gain(&mut rng, 1e6);
+            assert!((h - Complex::ONE).norm() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "K-factor")]
+    fn negative_k_panics() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let _ = rician_gain(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn multipath_normalized() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let ch = Multipath::random(4, 1.5, &mut rng);
+        let total: f64 = ch.taps().iter().map(|t| t.norm_sqr()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_tap_multipath_is_flat_gain() {
+        let ch = Multipath::from_taps(vec![Complex::new(0.0, 1.0)]);
+        let x = vec![Complex::ONE, Complex::new(2.0, 0.0)];
+        let y = ch.apply(&x);
+        assert!((y[0] - Complex::I).norm() < 1e-15);
+        assert!((y[1] - Complex::new(0.0, 2.0)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn multipath_smears_impulse() {
+        let ch = Multipath::from_taps(vec![
+            Complex::from_re(0.8),
+            Complex::from_re(0.5),
+            Complex::from_re(0.3),
+        ]);
+        let mut x = vec![Complex::ZERO; 6];
+        x[0] = Complex::ONE;
+        let y = ch.apply(&x);
+        assert!((y[0].re - 0.8).abs() < 1e-12);
+        assert!((y[1].re - 0.5).abs() < 1e-12);
+        assert!((y[2].re - 0.3).abs() < 1e-12);
+        assert!(y[3].norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_panics() {
+        let _ = Multipath::from_taps(vec![]);
+    }
+
+    #[test]
+    fn jakes_unit_average_power() {
+        // Use a fast Doppler so the averaging window spans many fading
+        // cycles (at 8 Hz the window would cover only ~4 — unconverged).
+        let mut rng = StdRng::seed_from_u64(31);
+        let fader = JakesFading::new(5_000.0, 4.0e6, 0.0, 16, &mut rng);
+        let n = 2_000_000;
+        let step = 997; // decorrelate the samples
+        let p: f64 = (0..n / step)
+            .map(|i| fader.gain_at(i * step).norm_sqr())
+            .sum::<f64>()
+            / (n / step) as f64;
+        assert!((p - 1.0).abs() < 0.25, "avg power {p}");
+    }
+
+    #[test]
+    fn jakes_zero_doppler_is_static() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let fader = JakesFading::new(0.0, 4.0e6, 5.0, 8, &mut rng);
+        let g0 = fader.gain_at(0);
+        let g1 = fader.gain_at(100_000);
+        assert!((g0 - g1).norm() < 1e-9, "zero Doppler must not vary");
+    }
+
+    #[test]
+    fn jakes_varies_slowly_at_walking_speed() {
+        // 8 Hz Doppler at 4 MHz: essentially constant within one frame
+        // (1666 samples = 0.4 ms) but decorrelated after ~60 ms.
+        let mut rng = StdRng::seed_from_u64(33);
+        let fader = JakesFading::new(8.0, 4.0e6, 0.0, 16, &mut rng);
+        let within_frame = (fader.gain_at(0) - fader.gain_at(1666)).norm();
+        assert!(within_frame < 0.1, "intra-frame variation {within_frame}");
+        let mut far = 0.0f64;
+        for k in 1..6 {
+            far = far.max((fader.gain_at(0) - fader.gain_at(k * 400_000)).norm());
+        }
+        assert!(far > 0.3, "channel should decorrelate over tens of ms: {far}");
+    }
+
+    #[test]
+    fn jakes_applies_per_sample() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let fader = JakesFading::new(100.0, 4.0e6, 10.0, 8, &mut rng);
+        let x = vec![Complex::ONE; 64];
+        let y = fader.apply(&x);
+        assert_eq!(y.len(), 64);
+        for (n, v) in y.iter().enumerate() {
+            assert!((*v - fader.gain_at(n)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scatterer")]
+    fn jakes_rejects_zero_paths() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let _ = JakesFading::new(8.0, 4.0e6, 0.0, 0, &mut rng);
+    }
+}

@@ -1,0 +1,273 @@
+//! Transmitter hardware impairments.
+//!
+//! Cheap IoT radios are not ideal: their I/Q paths are mismatched, their
+//! oscillators jitter, and their power amplifiers compress. Each effect
+//! distorts the constellation the defense analyzes — so the robustness
+//! question is whether a *benign but imperfect* transmitter gets
+//! false-flagged as an attacker. The `hardware` experiment quantifies it.
+
+use crate::noise::standard_gaussian;
+use ctc_dsp::Complex;
+use rand::Rng;
+
+/// I/Q imbalance: gain mismatch `epsilon` and quadrature phase error `phi`.
+///
+/// `y = cos(phi/2) x + j sin(phi/2) x*` scaled per-axis by `1 ± epsilon/2`
+/// — the standard baseband image model. `epsilon` and `phi` of a decent
+/// radio are below 0.05 / 0.05 rad; a terrible one reaches 0.2 / 0.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IqImbalance {
+    /// Fractional gain mismatch between I and Q paths.
+    pub gain_mismatch: f64,
+    /// Quadrature phase error in radians.
+    pub phase_error_rad: f64,
+}
+
+impl IqImbalance {
+    /// Applies the imbalance to a waveform.
+    pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        let g_i = 1.0 + self.gain_mismatch / 2.0;
+        let g_q = 1.0 - self.gain_mismatch / 2.0;
+        let (sin_p, cos_p) = (self.phase_error_rad / 2.0).sin_cos();
+        x.iter()
+            .map(|&v| {
+                // Mismatched quadrature axes.
+                let i = g_i * (v.re * cos_p - v.im * sin_p);
+                let q = g_q * (v.im * cos_p - v.re * sin_p);
+                Complex::new(i, q)
+            })
+            .collect()
+    }
+
+    /// Image rejection ratio (dB) implied by the imbalance — a familiar
+    /// figure of merit (good radios: > 30 dB).
+    pub fn image_rejection_db(&self) -> f64 {
+        let e = self.gain_mismatch;
+        let p = self.phase_error_rad;
+        let num = e * e / 4.0 + p * p / 4.0;
+        if num <= 0.0 {
+            return f64::INFINITY;
+        }
+        -10.0 * num.log10()
+    }
+}
+
+/// Oscillator phase noise: a Wiener (random-walk) phase process with the
+/// given per-sample standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseNoise {
+    /// Phase increment standard deviation per sample (radians).
+    pub sigma_per_sample: f64,
+}
+
+impl PhaseNoise {
+    /// Applies the random-walk phase to a waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_per_sample < 0`.
+    pub fn apply<R: Rng>(&self, x: &[Complex], rng: &mut R) -> Vec<Complex> {
+        assert!(self.sigma_per_sample >= 0.0, "sigma must be nonnegative");
+        let mut phase = 0.0f64;
+        x.iter()
+            .map(|&v| {
+                phase += self.sigma_per_sample * standard_gaussian(rng);
+                v * Complex::cis(phase)
+            })
+            .collect()
+    }
+}
+
+/// Rapp-model power-amplifier compression (AM/AM only):
+/// `g(r) = r / (1 + (r/sat)^{2p})^{1/(2p)}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaCompression {
+    /// Saturation amplitude (input level where compression bites).
+    pub saturation: f64,
+    /// Smoothness exponent (2–3 for solid-state PAs).
+    pub smoothness: f64,
+}
+
+impl PaCompression {
+    /// Applies the AM/AM curve to a waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `saturation > 0` and `smoothness > 0`.
+    pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
+        assert!(self.saturation > 0.0, "saturation must be positive");
+        assert!(self.smoothness > 0.0, "smoothness must be positive");
+        let p2 = 2.0 * self.smoothness;
+        x.iter()
+            .map(|&v| {
+                let r = v.norm();
+                if r == 0.0 {
+                    return v;
+                }
+                let g = r / (1.0 + (r / self.saturation).powf(p2)).powf(1.0 / p2);
+                v * (g / r)
+            })
+            .collect()
+    }
+}
+
+/// A bundle of transmitter impairments applied in the physical order:
+/// IQ imbalance → PA compression → phase noise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TxImpairments {
+    /// Optional I/Q imbalance.
+    pub iq: Option<IqImbalance>,
+    /// Optional PA compression.
+    pub pa: Option<PaCompression>,
+    /// Optional oscillator phase noise.
+    pub phase_noise: Option<PhaseNoise>,
+}
+
+impl TxImpairments {
+    /// A decent commodity radio: 35 dB image rejection, gentle compression,
+    /// mild phase noise.
+    pub fn typical_iot() -> Self {
+        TxImpairments {
+            iq: Some(IqImbalance {
+                gain_mismatch: 0.02,
+                phase_error_rad: 0.02,
+            }),
+            pa: Some(PaCompression {
+                saturation: 2.0,
+                smoothness: 3.0,
+            }),
+            phase_noise: Some(PhaseNoise {
+                sigma_per_sample: 0.002,
+            }),
+        }
+    }
+
+    /// A terrible radio, well beyond spec.
+    pub fn worst_case() -> Self {
+        TxImpairments {
+            iq: Some(IqImbalance {
+                gain_mismatch: 0.15,
+                phase_error_rad: 0.15,
+            }),
+            pa: Some(PaCompression {
+                saturation: 1.1,
+                smoothness: 2.0,
+            }),
+            phase_noise: Some(PhaseNoise {
+                sigma_per_sample: 0.01,
+            }),
+        }
+    }
+
+    /// Applies the configured impairments.
+    pub fn apply<R: Rng>(&self, x: &[Complex], rng: &mut R) -> Vec<Complex> {
+        let mut y = x.to_vec();
+        if let Some(iq) = self.iq {
+            y = iq.apply(&y);
+        }
+        if let Some(pa) = self.pa {
+            y = pa.apply(&y);
+        }
+        if let Some(pn) = self.phase_noise {
+            y = pn.apply(&y, rng);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_imbalance_is_identity() {
+        let iq = IqImbalance {
+            gain_mismatch: 0.0,
+            phase_error_rad: 0.0,
+        };
+        let x = vec![Complex::new(1.0, -2.0), Complex::new(0.3, 0.4)];
+        let y = iq.apply(&x);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+        assert_eq!(iq.image_rejection_db(), f64::INFINITY);
+    }
+
+    #[test]
+    fn imbalance_creates_image() {
+        use ctc_dsp::fft::fft;
+        // A positive-frequency tone grows a negative-frequency image.
+        let n = 64;
+        let tone: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * std::f64::consts::PI * 5.0 * t as f64 / n as f64))
+            .collect();
+        let iq = IqImbalance {
+            gain_mismatch: 0.1,
+            phase_error_rad: 0.1,
+        };
+        let spec = fft(&iq.apply(&tone)).unwrap();
+        let main = spec[5].norm();
+        let image = spec[n - 5].norm();
+        assert!(image > 1e-3, "image should appear");
+        assert!(main > image * 5.0, "main tone should dominate");
+        // IRR figure of merit is sane.
+        let irr = iq.image_rejection_db();
+        assert!((20.0..32.0).contains(&irr), "IRR {irr}");
+    }
+
+    #[test]
+    fn phase_noise_preserves_magnitude() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pn = PhaseNoise {
+            sigma_per_sample: 0.01,
+        };
+        let x = vec![Complex::new(0.6, 0.8); 100];
+        let y = pn.apply(&x, &mut rng);
+        for v in &y {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+        // Phase must actually drift.
+        assert!((y[99].arg() - x[99].arg()).abs() > 1e-3);
+    }
+
+    #[test]
+    fn pa_compresses_large_signals_only() {
+        let pa = PaCompression {
+            saturation: 1.0,
+            smoothness: 3.0,
+        };
+        let y = pa.apply(&[Complex::from_re(0.1), Complex::from_re(3.0)]);
+        assert!((y[0].re - 0.1).abs() < 1e-3, "small signal untouched");
+        assert!(y[1].re < 1.1, "large signal clamped toward saturation");
+        assert!(y[1].re > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation")]
+    fn pa_rejects_bad_saturation() {
+        let pa = PaCompression {
+            saturation: 0.0,
+            smoothness: 2.0,
+        };
+        let _ = pa.apply(&[Complex::ONE]);
+    }
+
+    #[test]
+    fn bundle_applies_all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = vec![Complex::new(0.7, 0.7); 64];
+        let y = TxImpairments::typical_iot().apply(&x, &mut rng);
+        assert_eq!(y.len(), 64);
+        let moved = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a - *b).norm())
+            .sum::<f64>();
+        assert!(moved > 0.01, "impairments should perturb the waveform");
+        // Default bundle is a no-op.
+        let z = TxImpairments::default().apply(&x, &mut rng);
+        assert_eq!(z, x);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cross-technology interference sources.
+//!
+//! The ISM-band coexistence that motivates CTC (paper Sec. I) also colors
+//! the "real environment": the 2.4 GHz band carries other WiFi and ZigBee
+//! traffic. These generators synthesize interferers at configurable spectral
+//! offsets and duty cycles so experiments can study the attack and defense
+//! under realistic co-channel activity.
+
+use crate::noise::complex_gaussian;
+use ctc_dsp::filter::frequency_shift;
+use ctc_dsp::Complex;
+use rand::Rng;
+
+/// A bursty band-limited interferer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Centre-frequency offset relative to the victim receiver, as a
+    /// fraction of the victim sample rate.
+    pub frequency_offset: f64,
+    /// Occupied bandwidth as a fraction of the victim sample rate.
+    pub bandwidth: f64,
+    /// Average power relative to a unit-power victim signal (linear).
+    pub power: f64,
+    /// Fraction of time the interferer is on (burst duty cycle).
+    pub duty_cycle: f64,
+    /// Mean burst length in samples.
+    pub burst_len: usize,
+}
+
+impl Interferer {
+    /// A WiFi-like wideband interferer: bandwidth wider than the victim's
+    /// band, moderate duty cycle.
+    pub fn wifi_like(frequency_offset: f64, power: f64) -> Self {
+        Interferer {
+            frequency_offset,
+            bandwidth: 0.8,
+            power,
+            duty_cycle: 0.3,
+            burst_len: 400,
+        }
+    }
+
+    /// A ZigBee-like narrowband interferer on an adjacent channel.
+    pub fn zigbee_like(frequency_offset: f64, power: f64) -> Self {
+        Interferer {
+            frequency_offset,
+            bandwidth: 0.25,
+            power,
+            duty_cycle: 0.1,
+            burst_len: 1600,
+        }
+    }
+
+    /// Synthesizes `len` samples of the interference waveform.
+    ///
+    /// Band-limited Gaussian bursts: white complex noise low-passed by a
+    /// moving average sized to the bandwidth, shifted to the frequency
+    /// offset, gated by a two-state burst process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < bandwidth <= 1`, `0 <= duty_cycle <= 1` and
+    /// `burst_len > 0`.
+    pub fn generate<R: Rng>(&self, len: usize, rng: &mut R) -> Vec<Complex> {
+        assert!(
+            self.bandwidth > 0.0 && self.bandwidth <= 1.0,
+            "bandwidth must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.duty_cycle),
+            "duty cycle must be in [0, 1]"
+        );
+        assert!(self.burst_len > 0, "burst length must be positive");
+        if len == 0 || self.duty_cycle == 0.0 || self.power <= 0.0 {
+            return vec![Complex::ZERO; len];
+        }
+        // Band-limit white noise with a moving average of width ~1/bandwidth.
+        let ma = ((1.0 / self.bandwidth).round() as usize).max(1);
+        let white: Vec<Complex> = (0..len + ma)
+            .map(|_| complex_gaussian(rng, 1.0))
+            .collect();
+        let mut filtered = Vec::with_capacity(len);
+        let mut acc = Complex::ZERO;
+        for (i, &w) in white.iter().enumerate() {
+            acc += w;
+            if i >= ma {
+                acc -= white[i - ma];
+            }
+            if i >= ma - 1 && filtered.len() < len {
+                filtered.push(acc / (ma as f64).sqrt());
+            }
+        }
+        // Burst gating: alternate on/off with exponential-ish durations.
+        let mut gated = vec![Complex::ZERO; len];
+        let mut pos = 0usize;
+        let mut on = rng.gen::<f64>() < self.duty_cycle;
+        while pos < len {
+            let mean = if on {
+                (self.burst_len as f64 * self.duty_cycle).max(1.0)
+            } else {
+                (self.burst_len as f64 * (1.0 - self.duty_cycle)).max(1.0)
+            };
+            let dur = (1.0 + rng.gen::<f64>() * 2.0 * mean) as usize;
+            if on {
+                let end = (pos + dur).min(len);
+                gated[pos..end].copy_from_slice(&filtered[pos..end]);
+            }
+            pos += dur;
+            on = !on;
+        }
+        // Scale so the *on* samples carry `power`, then shift in frequency.
+        let on_power: f64 = gated.iter().map(|v| v.norm_sqr()).sum::<f64>()
+            / gated.iter().filter(|v| v.norm_sqr() > 0.0).count().max(1) as f64;
+        let gain = if on_power > 0.0 {
+            (self.power / on_power).sqrt()
+        } else {
+            0.0
+        };
+        let scaled: Vec<Complex> = gated.iter().map(|&v| v * gain).collect();
+        if self.frequency_offset != 0.0 {
+            frequency_shift(&scaled, self.frequency_offset)
+        } else {
+            scaled
+        }
+    }
+
+    /// Adds this interferer's waveform to a victim signal.
+    pub fn apply<R: Rng>(&self, x: &[Complex], rng: &mut R) -> Vec<Complex> {
+        let interference = self.generate(x.len(), rng);
+        x.iter()
+            .zip(&interference)
+            .map(|(a, b)| *a + *b)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_dsp::psd::{welch_psd, Window};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_duty_cycle_is_silent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let i = Interferer {
+            duty_cycle: 0.0,
+            ..Interferer::wifi_like(0.0, 1.0)
+        };
+        assert!(i.generate(100, &mut rng).iter().all(|v| *v == Complex::ZERO));
+    }
+
+    #[test]
+    fn power_scaling_approximate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let i = Interferer {
+            duty_cycle: 1.0,
+            ..Interferer::zigbee_like(0.0, 0.5)
+        };
+        let w = i.generate(50_000, &mut rng);
+        let p = w.iter().map(|v| v.norm_sqr()).sum::<f64>() / w.len() as f64;
+        assert!((p - 0.5).abs() < 0.1, "power {p}");
+    }
+
+    #[test]
+    fn frequency_offset_moves_spectrum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let i = Interferer {
+            duty_cycle: 1.0,
+            frequency_offset: 0.25,
+            bandwidth: 0.1,
+            power: 1.0,
+            burst_len: 100,
+        };
+        let w = i.generate(8192, &mut rng);
+        let psd = welch_psd(&w, 64, Window::Hann).unwrap();
+        // Power should concentrate around +0.25, not DC.
+        let near_dc: f64 = psd
+            .ordered()
+            .iter()
+            .filter(|(f, _)| f.abs() < 0.1)
+            .map(|(_, p)| p)
+            .sum();
+        let near_offset: f64 = psd
+            .ordered()
+            .iter()
+            .filter(|(f, _)| (f - 0.25).abs() < 0.1)
+            .map(|(_, p)| p)
+            .sum();
+        assert!(near_offset > near_dc * 5.0);
+    }
+
+    #[test]
+    fn duty_cycle_gates_bursts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let i = Interferer {
+            duty_cycle: 0.2,
+            burst_len: 200,
+            ..Interferer::wifi_like(0.0, 1.0)
+        };
+        let w = i.generate(100_000, &mut rng);
+        let active = w.iter().filter(|v| v.norm_sqr() > 0.0).count() as f64 / w.len() as f64;
+        assert!((0.05..0.5).contains(&active), "active fraction {active}");
+    }
+
+    #[test]
+    fn apply_adds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = vec![Complex::ONE; 64];
+        let i = Interferer {
+            duty_cycle: 0.0,
+            ..Interferer::wifi_like(0.0, 1.0)
+        };
+        assert_eq!(i.apply(&x, &mut rng), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn bad_bandwidth_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let i = Interferer {
+            bandwidth: 0.0,
+            ..Interferer::wifi_like(0.0, 1.0)
+        };
+        let _ = i.generate(10, &mut rng);
+    }
+}

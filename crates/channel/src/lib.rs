@@ -1,0 +1,29 @@
+//! # ctc-channel
+//!
+//! Channel models for the *Hide and Seek* (ICDCS 2019) reproduction. Every
+//! over-the-air element of the paper's testbed (USRP front-ends, 1–8 m
+//! indoor propagation, human movement) is replaced by explicit, seeded
+//! baseband models:
+//!
+//! - [`noise`] — AWGN with the paper's `SNR = 1/sigma^2` convention
+//! - [`hardware`] — TX impairments: I/Q imbalance, PA compression, phase noise
+//! - [`impairments`] — carrier frequency offset and phase offset
+//! - [`fading`] — Rayleigh/Rician block fading and multipath FIR channels
+//! - [`interference`] — bursty co-channel WiFi/ZigBee interferers
+//! - [`pathloss`] — log-distance path loss and commodity-radio RSSI
+//! - [`link`] — composed per-packet channel ([`Link::awgn`] for the ideal
+//!   scenario, [`Link::real_indoor`] for the real one)
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fading;
+pub mod hardware;
+pub mod impairments;
+pub mod interference;
+pub mod link;
+pub mod noise;
+pub mod pathloss;
+
+pub use link::Link;
+pub use pathloss::PathLoss;

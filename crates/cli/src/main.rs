@@ -1,0 +1,376 @@
+//! `ctc` — command-line front end for the Hide-and-Seek reproduction.
+//!
+//! Works on cf32 IQ files (GNURadio's interleaved little-endian f32
+//! format), so recordings from real SDR hardware drop straight in:
+//!
+//! ```text
+//! ctc generate --payload 00000 --out zigbee.cf32
+//! ctc emulate  --input zigbee.cf32 --out attack.cf32
+//! ctc capture  --input attack.cf32 --out at_receiver.cf32
+//! ctc decode   --input at_receiver.cf32
+//! ctc detect   --input at_receiver.cf32
+//! ctc listen   --input long_recording.cf32
+//! ctc spectrum --input attack.cf32 --segment 64
+//! ```
+
+use ctc_core::attack::{EnergyDetector, Emulator, SpectralMode, SynthesisMode};
+use ctc_core::defense::{ChannelAssumption, Detector};
+use ctc_dsp::io::{read_cf32_file, write_cf32_file};
+use ctc_dsp::psd::{welch_psd, Window};
+use ctc_dsp::Complex;
+use ctc_zigbee::{Receiver, Transmitter};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ctc — CTC waveform emulation attack & defense toolkit (cf32 IQ files)
+
+USAGE: ctc <command> [--key value]...
+
+COMMANDS
+  generate  --payload <text> --out <file> [--zeros N]
+            Synthesize a ZigBee frame waveform (4 MHz baseband).
+  emulate   --input <file> --out <file> [--mode baseband|carrier]
+            [--bitchain] [--subcarriers N] [--alpha X]
+            Run the waveform-emulation attack on a recorded frame (4 MHz in,
+            20 MHz out).
+  capture   --input <file> --out <file> [--mode baseband|carrier]
+            The ZigBee receiver front-end's 4 MHz view of a 20 MHz waveform.
+  decode    --input <file> [--soft] [--search N] [--fractional]
+            Decode a 4 MHz waveform with the 802.15.4 receiver.
+  detect    --input <file> [--real] [--threshold Q] [--search N]
+            Run the cumulant detector on a 4 MHz waveform.
+  listen    --input <file>
+            Energy-detect frame bursts in a long recording.
+  spectrum  --input <file> [--segment N]
+            Welch PSD of a waveform, printed as text.
+";
+
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {a:?}"))?;
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn path(&self, key: &str) -> Result<PathBuf, String> {
+        Ok(PathBuf::from(self.require(key)?))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn load(path: &PathBuf) -> Result<Vec<Complex>, String> {
+    read_cf32_file(path).map_err(|e| format!("reading {}: {e}", path.display()))
+}
+
+fn save(path: &PathBuf, samples: &[Complex]) -> Result<(), String> {
+    write_cf32_file(path, samples).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn emulator_from(args: &Args) -> Result<Emulator, String> {
+    let mut emulator = Emulator::new();
+    match args.get("mode").unwrap_or("baseband") {
+        "baseband" => {}
+        "carrier" => {
+            emulator = emulator.with_spectral_mode(SpectralMode::CarrierAllocated);
+        }
+        other => return Err(format!("--mode must be baseband or carrier, got {other:?}")),
+    }
+    if args.flag("bitchain") {
+        emulator = emulator
+            .with_spectral_mode(SpectralMode::CarrierAllocated)
+            .with_synthesis_mode(SynthesisMode::BitChain);
+    }
+    if let Some(n) = args.parse_num::<usize>("subcarriers")? {
+        emulator = emulator.with_kept_subcarriers(n);
+    }
+    if let Some(a) = args.parse_num::<f64>("alpha")? {
+        emulator = emulator.with_fixed_alpha(Some(a));
+    }
+    Ok(emulator)
+}
+
+fn receiver_from(args: &Args) -> Result<Receiver, String> {
+    let mut rx = if args.flag("soft") {
+        Receiver::commodity()
+    } else {
+        Receiver::usrp()
+    };
+    if let Some(n) = args.parse_num::<usize>("search")? {
+        rx = rx.with_sync_search(n);
+    }
+    if args.flag("fractional") {
+        rx = rx.with_fractional_timing(true);
+    }
+    Ok(rx)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let payload = args.require("payload")?.as_bytes().to_vec();
+    let zeros = args.parse_num::<usize>("zeros")?.unwrap_or(0);
+    let tx = Transmitter::new().with_leading_zero_samples(zeros);
+    let wave = tx
+        .transmit_payload(&payload)
+        .map_err(|e| format!("building frame: {e}"))?;
+    save(&args.path("out")?, &wave)?;
+    println!(
+        "wrote {} samples (4 MHz, {:.1} µs) for payload {:?}",
+        wave.len(),
+        wave.len() as f64 / 4.0,
+        String::from_utf8_lossy(&payload)
+    );
+    Ok(())
+}
+
+fn cmd_emulate(args: &Args) -> Result<(), String> {
+    let observed = load(&args.path("input")?)?;
+    let emulator = emulator_from(args)?;
+    let em = emulator.emulate(&observed);
+    save(&args.path("out")?, &em.waveform_20mhz)?;
+    println!(
+        "emulated {} WiFi symbols (20 MHz, {} samples)",
+        em.wifi_symbol_count(),
+        em.waveform_20mhz.len()
+    );
+    println!("kept FFT bins: {:?}", em.kept_bins);
+    println!("alpha = {:.4}, quantization error = {:.1}", em.alpha, em.quantization_error);
+    if let Some(d) = em.codeword_distance {
+        println!("bit-chain codeword distance = {d}");
+    }
+    Ok(())
+}
+
+fn cmd_capture(args: &Args) -> Result<(), String> {
+    let wide = load(&args.path("input")?)?;
+    let (in_center, out_center) = match args.get("mode").unwrap_or("baseband") {
+        "baseband" => (2.435e9, 2.435e9),
+        "carrier" => (2.44e9, 2.435e9),
+        other => return Err(format!("--mode must be baseband or carrier, got {other:?}")),
+    };
+    let captured = ctc_zigbee::frontend::capture(&wide, in_center, 20.0e6, out_center, 4.0e6)
+        .map_err(|e| format!("capture failed: {e}"))?;
+    save(&args.path("out")?, &captured)?;
+    println!("captured {} samples at 4 MHz", captured.len());
+    Ok(())
+}
+
+fn cmd_decode(args: &Args) -> Result<(), String> {
+    let wave = load(&args.path("input")?)?;
+    let rx = receiver_from(args)?;
+    let r = rx.receive(&wave);
+    println!(
+        "sync: offset {}, peak correlation {:.3}, CFO {:.2e} rad/sample",
+        r.sync.offset, r.sync.peak_correlation, r.sync.cfo_per_sample
+    );
+    println!("symbols decoded: {}", r.symbols.len());
+    if let Some(max) = r.hamming_distances.iter().max() {
+        let mean: f64 = r.hamming_distances.iter().map(|&d| d as f64).sum::<f64>()
+            / r.hamming_distances.len().max(1) as f64;
+        println!("chip errors per symbol: mean {mean:.2}, max {max}");
+    }
+    match r.payload() {
+        Some(p) => println!(
+            "payload ({} bytes): {:?}  [packet_ok = {}]",
+            p.len(),
+            String::from_utf8_lossy(p),
+            r.packet_ok()
+        ),
+        None => println!("frame did not decode: {:?}", r.frame.err()),
+    }
+    Ok(())
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    let wave = load(&args.path("input")?)?;
+    let rx = receiver_from(args)?;
+    let assumption = if args.flag("real") {
+        ChannelAssumption::Real
+    } else {
+        ChannelAssumption::Ideal
+    };
+    let mut detector = Detector::new(assumption);
+    if let Some(q) = args.parse_num::<f64>("threshold")? {
+        detector = detector.with_threshold(q);
+    }
+    let r = rx.receive(&wave);
+    let v = detector
+        .detect(&r)
+        .map_err(|e| format!("detection failed: {e}"))?;
+    println!(
+        "Ĉ40 = {:.4}{:+.4}i  |Ĉ40| = {:.4}  Ĉ42 = {:.4}  ({} chip pairs)",
+        v.features.c40.re,
+        v.features.c40.im,
+        v.features.c40_magnitude,
+        v.features.c42,
+        v.features.sample_count
+    );
+    println!(
+        "DE² = {:.4} vs Q = {:.3}  ->  {}",
+        v.de_squared,
+        detector.threshold(),
+        if v.is_attack {
+            "WiFi ATTACKER (H1)"
+        } else {
+            "authentic ZigBee (H0)"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_listen(args: &Args) -> Result<(), String> {
+    let wave = load(&args.path("input")?)?;
+    let bursts = EnergyDetector::default().detect(&wave);
+    println!("{} burst(s) in {} samples:", bursts.len(), wave.len());
+    if bursts.is_empty() && ctc_dsp::metrics::mean_power(&wave) > 0.0 {
+        println!(
+            "  (energy detection baselines on quiet gaps; a file that is all\n\
+             signal has no noise floor to rise above — record with margins)"
+        );
+    }
+    for (i, b) in bursts.iter().enumerate() {
+        println!(
+            "  #{i}: samples {}..{} ({} samples, {:.1} µs)",
+            b.start,
+            b.end,
+            b.len(),
+            b.len() as f64 / 4.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_spectrum(args: &Args) -> Result<(), String> {
+    let wave = load(&args.path("input")?)?;
+    let segment = args.parse_num::<usize>("segment")?.unwrap_or(64);
+    let psd = welch_psd(&wave, segment, Window::Hann)
+        .map_err(|e| format!("psd failed: {e}"))?;
+    let db = psd.db_rel_peak();
+    let ordered = psd.ordered();
+    println!("Welch PSD ({} segments of {segment}):", psd.segments);
+    for (i, (f, _)) in ordered.iter().enumerate() {
+        let bin = (i + segment / 2) % segment;
+        let level = db[bin];
+        let bar = "#".repeat(((level + 60.0).max(0.0) / 2.0) as usize);
+        println!("{f:>8.3} | {level:>7.1} dB | {bar}");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "emulate" => cmd_emulate(&args),
+        "capture" => cmd_capture(&args),
+        "decode" => cmd_decode(&args),
+        "detect" => cmd_detect(&args),
+        "listen" => cmd_listen(&args),
+        "spectrum" => cmd_spectrum(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args(&["--input", "x.cf32", "--soft", "--search", "96"]);
+        assert_eq!(a.get("input"), Some("x.cf32"));
+        assert!(a.flag("soft"));
+        assert_eq!(a.parse_num::<usize>("search").unwrap(), Some(96));
+        assert_eq!(a.get("missing"), None);
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let r = Args::parse(&["oops".to_string()]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_number_reports_key() {
+        let a = args(&["--threshold", "abc"]);
+        let e = a.parse_num::<f64>("threshold").unwrap_err();
+        assert!(e.contains("threshold"));
+    }
+
+    #[test]
+    fn emulator_mode_validation() {
+        let a = args(&["--mode", "nonsense"]);
+        assert!(emulator_from(&a).is_err());
+        let a = args(&["--mode", "carrier", "--subcarriers", "5"]);
+        assert!(emulator_from(&a).is_ok());
+    }
+
+    #[test]
+    fn receiver_options() {
+        let a = args(&["--soft", "--fractional", "--search", "64"]);
+        assert!(receiver_from(&a).is_ok());
+    }
+}

@@ -1,0 +1,239 @@
+//! The attacker's channel-listening phase (paper Sec. IV).
+//!
+//! In time slot `t1` the WiFi attacker eavesdrops the ZigBee channel:
+//! it must find where frames start and end inside a continuous sample
+//! stream (the paper assumes "the WiFi attacker knows the beginning of the
+//! received ZigBee time-domain waveform"; this module earns that assumption
+//! with an energy detector). Before transmitting the emulation it performs
+//! clear channel assessment per CSMA/CA — "if the WiFi attacker confirms
+//! that ZigBee devices are not communicating, it emulates the received
+//! ZigBee waveform".
+
+use ctc_dsp::Complex;
+
+/// One frame-shaped burst found in a recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// First sample index of the burst.
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+}
+
+impl Burst {
+    /// Burst length in samples.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the burst is empty (never produced by the detector).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Energy-based burst detector.
+///
+/// A sliding window of `window` samples is compared against
+/// `threshold x noise_floor`; bursts shorter than `min_len` are discarded
+/// and gaps shorter than `hang` samples do not terminate a burst (ZigBee's
+/// O-QPSK envelope never actually drops mid-frame, but channel fades might).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyDetector {
+    /// Sliding-window length in samples.
+    pub window: usize,
+    /// Power ratio over the noise floor that declares activity.
+    pub threshold: f64,
+    /// Minimum burst length in samples.
+    pub min_len: usize,
+    /// Hang time: gap tolerated inside one burst.
+    pub hang: usize,
+}
+
+impl Default for EnergyDetector {
+    fn default() -> Self {
+        EnergyDetector {
+            window: 16,
+            threshold: 4.0,
+            min_len: 128,
+            hang: 32,
+        }
+    }
+}
+
+impl EnergyDetector {
+    /// Estimates the noise floor as the lower-quartile windowed power.
+    fn noise_floor(&self, power: &[f64]) -> f64 {
+        if power.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = power.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        sorted[sorted.len() / 4].max(1e-12)
+    }
+
+    /// Finds bursts in a recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn detect(&self, x: &[Complex]) -> Vec<Burst> {
+        assert!(self.window > 0, "window must be positive");
+        if x.len() < self.window {
+            return Vec::new();
+        }
+        // Windowed power.
+        let mut power = Vec::with_capacity(x.len() - self.window + 1);
+        let mut acc: f64 = x[..self.window].iter().map(|v| v.norm_sqr()).sum();
+        power.push(acc / self.window as f64);
+        for i in self.window..x.len() {
+            acc += x[i].norm_sqr() - x[i - self.window].norm_sqr();
+            power.push(acc / self.window as f64);
+        }
+        let floor = self.noise_floor(&power);
+        let gate = floor * self.threshold;
+
+        let mut bursts = Vec::new();
+        let mut start: Option<usize> = None;
+        let mut last_active = 0usize;
+        for (i, &p) in power.iter().enumerate() {
+            if p > gate {
+                if start.is_none() {
+                    start = Some(i);
+                }
+                last_active = i;
+            } else if let Some(s) = start {
+                if i > last_active + self.hang {
+                    let end = last_active + self.window;
+                    if end - s >= self.min_len {
+                        bursts.push(Burst { start: s, end });
+                    }
+                    start = None;
+                }
+            }
+        }
+        if let Some(s) = start {
+            let end = (last_active + self.window).min(x.len());
+            if end - s >= self.min_len {
+                bursts.push(Burst { start: s, end });
+            }
+        }
+        bursts
+    }
+
+    /// Extracts the first detected burst's samples — the attacker's recorded
+    /// ZigBee waveform, ready for [`crate::attack::Emulator::emulate`] — with
+    /// a guard margin of one detection window on each side so the frame's
+    /// preamble edge is never clipped by detector latency.
+    pub fn extract_first<'a>(&self, x: &'a [Complex]) -> Option<&'a [Complex]> {
+        let b = *self.detect(x).first()?;
+        let margin = 2 * self.window;
+        let start = b.start.saturating_sub(margin);
+        let end = (b.end + margin).min(x.len());
+        Some(&x[start..end])
+    }
+}
+
+/// Clear channel assessment: energy detect over the most recent `window`
+/// samples against an absolute power threshold (CSMA/CA mode 1).
+///
+/// Returns `true` when the channel is idle (safe to transmit the
+/// emulation).
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `x.len() < window`.
+pub fn clear_channel_assessment(x: &[Complex], window: usize, threshold_power: f64) -> bool {
+    assert!(window > 0, "window must be positive");
+    assert!(x.len() >= window, "need at least one CCA window of samples");
+    let p: f64 = x[x.len() - window..].iter().map(|v| v.norm_sqr()).sum::<f64>() / window as f64;
+    p < threshold_power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_channel::noise::complex_gaussian;
+    use ctc_zigbee::Transmitter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream_with_frame(gap: usize, snr_db: f64, seed: u64) -> (Vec<Complex>, usize, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = Transmitter::new().transmit_payload(b"00000").unwrap();
+        let sigma2 = 10f64.powf(-snr_db / 10.0);
+        let mut stream: Vec<Complex> =
+            (0..gap).map(|_| complex_gaussian(&mut rng, sigma2)).collect();
+        let start = stream.len();
+        stream.extend(frame.iter().map(|&v| v + complex_gaussian(&mut rng, sigma2)));
+        let end = stream.len();
+        stream.extend((0..gap).map(|_| complex_gaussian(&mut rng, sigma2)));
+        (stream, start, end)
+    }
+
+    #[test]
+    fn finds_single_frame() {
+        let (stream, start, end) = stream_with_frame(500, 15.0, 1);
+        let bursts = EnergyDetector::default().detect(&stream);
+        assert_eq!(bursts.len(), 1, "bursts: {bursts:?}");
+        let b = bursts[0];
+        assert!((b.start as i64 - start as i64).unsigned_abs() < 32, "start {b:?} vs {start}");
+        assert!((b.end as i64 - end as i64).unsigned_abs() < 64, "end {b:?} vs {end}");
+    }
+
+    #[test]
+    fn extracted_burst_is_emulatable_and_decodable() {
+        let (stream, _, _) = stream_with_frame(800, 20.0, 2);
+        let det = EnergyDetector::default();
+        let recorded = det.extract_first(&stream).expect("frame present");
+        let emulator = crate::attack::Emulator::new();
+        let forged = emulator.received_at_zigbee(&emulator.emulate(recorded));
+        let r = ctc_zigbee::Receiver::usrp()
+            .with_sync_search(96)
+            .receive(&forged);
+        assert_eq!(r.payload(), Some(&b"00000"[..]));
+    }
+
+    #[test]
+    fn finds_multiple_frames() {
+        let (mut stream, _, _) = stream_with_frame(400, 15.0, 3);
+        let (second, _, _) = stream_with_frame(400, 15.0, 4);
+        stream.extend(second);
+        let bursts = EnergyDetector::default().detect(&stream);
+        assert_eq!(bursts.len(), 2, "bursts: {bursts:?}");
+    }
+
+    #[test]
+    fn pure_noise_yields_nothing() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let noise: Vec<Complex> = (0..4000).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
+        assert!(EnergyDetector::default().detect(&noise).is_empty());
+    }
+
+    #[test]
+    fn short_blips_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut stream: Vec<Complex> =
+            (0..2000).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
+        for i in 900..940 {
+            stream[i] = Complex::ONE;
+        }
+        assert!(EnergyDetector::default().detect(&stream).is_empty());
+    }
+
+    #[test]
+    fn cca_idle_on_noise_busy_on_frame() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let noise: Vec<Complex> = (0..256).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
+        assert!(clear_channel_assessment(&noise, 128, 0.1));
+        let frame = Transmitter::new().transmit_payload(b"busy").unwrap();
+        assert!(!clear_channel_assessment(&frame, 128, 0.1));
+    }
+
+    #[test]
+    fn burst_accessors() {
+        let b = Burst { start: 10, end: 20 };
+        assert_eq!(b.len(), 10);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! QAM quantization with an optimized constellation scaler (paper
+//! Sec. V-A3, eq. (4)).
+//!
+//! By Parseval (eq. (2)) the time-domain emulation error equals the total
+//! frequency-domain quantization deviation, so the attacker picks the scale
+//! `alpha >= 0` that minimizes
+//!
+//! ```text
+//! sum_k | X̂(k) - alpha * Q_alpha(X̂(k)) |^2
+//! ```
+//!
+//! where `Q_alpha` snaps to the 64-QAM grid `{±1,±3,±5,±7}^2`. The grid is
+//! discrete, so the objective is piecewise smooth in `alpha`; the paper uses
+//! "a numerical global research method" — here a coarse grid sweep with
+//! golden-section-style refinement around the best cell.
+
+use ctc_dsp::Complex;
+use ctc_wifi::qam::quantize_to_grid;
+
+/// Result of the scaler optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPoints {
+    /// The optimized scale factor.
+    pub alpha: f64,
+    /// Quantized points `alpha * Q(X̂/alpha)`, aligned with the input.
+    pub points: Vec<Complex>,
+    /// Total squared deviation at the optimum.
+    pub error: f64,
+}
+
+fn total_error(points: &[Complex], alpha: f64) -> f64 {
+    points
+        .iter()
+        .map(|&p| (p - quantize_to_grid(p, alpha)).norm_sqr())
+        .sum()
+}
+
+/// Finds the optimal scaler over `(0, alpha_max]` and quantizes the points.
+///
+/// `alpha_max` defaults (when `None`) to the largest |component| of the
+/// inputs — beyond that every point maps to an inner grid cell and the error
+/// only grows.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or all points are zero.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_core::attack::quantizer::quantize_points;
+/// use ctc_dsp::Complex;
+/// // Points already on a scaled grid quantize exactly.
+/// let alpha = 1.7;
+/// let pts: Vec<Complex> = [(1.0, 3.0), (-5.0, 7.0), (3.0, -1.0)]
+///     .iter().map(|&(i, q)| Complex::new(i * alpha, q * alpha)).collect();
+/// let q = quantize_points(&pts, None);
+/// assert!(q.error < 1e-4);
+/// assert!((q.alpha - alpha).abs() < 0.01);
+/// ```
+pub fn quantize_points(points: &[Complex], alpha_max: Option<f64>) -> QuantizedPoints {
+    assert!(!points.is_empty(), "need at least one point to quantize");
+    let biggest = points
+        .iter()
+        .map(|p| p.re.abs().max(p.im.abs()))
+        .fold(0.0f64, f64::max);
+    assert!(biggest > 0.0, "all points are zero; nothing to scale");
+    let hi = alpha_max.unwrap_or(biggest).max(1e-9);
+    let lo = hi / 2048.0;
+
+    // Coarse sweep.
+    const COARSE: usize = 512;
+    let mut best_alpha = lo;
+    let mut best_err = f64::INFINITY;
+    for i in 0..=COARSE {
+        let a = lo + (hi - lo) * i as f64 / COARSE as f64;
+        let e = total_error(points, a);
+        if e < best_err {
+            best_err = e;
+            best_alpha = a;
+        }
+    }
+    // Refine around the best coarse cell.
+    let step = (hi - lo) / COARSE as f64;
+    let r_lo = (best_alpha - step).max(lo);
+    let r_hi = best_alpha + step;
+    const FINE: usize = 256;
+    for i in 0..=FINE {
+        let a = r_lo + (r_hi - r_lo) * i as f64 / FINE as f64;
+        let e = total_error(points, a);
+        if e < best_err {
+            best_err = e;
+            best_alpha = a;
+        }
+    }
+
+    let quantized: Vec<Complex> = points
+        .iter()
+        .map(|&p| quantize_to_grid(p, best_alpha))
+        .collect();
+    QuantizedPoints {
+        alpha: best_alpha,
+        points: quantized,
+        error: best_err,
+    }
+}
+
+/// Quantizes with a fixed scaler (the ablation baseline: how much the
+/// optimization of eq. (4) buys).
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn quantize_points_fixed(points: &[Complex], alpha: f64) -> QuantizedPoints {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let quantized: Vec<Complex> = points
+        .iter()
+        .map(|&p| quantize_to_grid(p, alpha))
+        .collect();
+    let error = total_error(points, alpha);
+    QuantizedPoints {
+        alpha,
+        points: quantized,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_grid_recovers_alpha() {
+        let alpha = 2.5;
+        let pts: Vec<Complex> = [(1.0, -1.0), (7.0, 3.0), (-5.0, 5.0), (3.0, -7.0)]
+            .iter()
+            .map(|&(i, q)| Complex::new(i * alpha, q * alpha))
+            .collect();
+        let q = quantize_points(&pts, None);
+        assert!(q.error < 1e-4, "error {}", q.error);
+        assert!((q.alpha - alpha).abs() < 0.05, "alpha {}", q.alpha);
+        for (got, want) in q.points.iter().zip(&pts) {
+            assert!((*got - *want).norm() < 1e-2, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn optimal_beats_fixed() {
+        let pts: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 1.37).sin() * 20.0, (i as f64 * 0.73).cos() * 20.0))
+            .collect();
+        let opt = quantize_points(&pts, None);
+        for fixed in [0.5, 1.0, 2.0, 5.0, 10.0] {
+            let f = quantize_points_fixed(&pts, fixed);
+            assert!(
+                opt.error <= f.error + 1e-9,
+                "fixed alpha {fixed} beat the optimizer: {} < {}",
+                f.error,
+                opt.error
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_is_hit_exactly() {
+        // One point can always be approximated within a half grid cell; the
+        // optimizer should do much better by scaling.
+        let q = quantize_points(&[Complex::new(4.2, -1.3)], None);
+        assert!(q.error < 0.05, "error {}", q.error);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_points_panics() {
+        let _ = quantize_points(&[], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "all points are zero")]
+    fn zero_points_panics() {
+        let _ = quantize_points(&[Complex::ZERO; 3], None);
+    }
+
+    #[test]
+    fn fixed_quantizer_error_is_sum_of_point_errors() {
+        let pts = vec![Complex::new(1.4, 0.6), Complex::new(-2.0, 3.1)];
+        let q = quantize_points_fixed(&pts, 1.0);
+        let manual: f64 = pts
+            .iter()
+            .zip(&q.points)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum();
+        assert!((q.error - manual).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn quantized_points_live_on_the_grid(
+            values in proptest::collection::vec(-30.0f64..30.0, 4..24),
+        ) {
+            let pts: Vec<Complex> = values.chunks(2)
+                .filter(|c| c.len() == 2)
+                .map(|c| Complex::new(c[0], c[1] + 0.1))
+                .collect();
+            prop_assume!(pts.iter().any(|p| p.norm() > 1e-6));
+            let q = quantize_points(&pts, None);
+            for p in &q.points {
+                let i = p.re / q.alpha;
+                let qv = p.im / q.alpha;
+                // Each coordinate is an odd integer in [-7, 7].
+                prop_assert!((i.rem_euclid(2.0) - 1.0).abs() < 1e-6);
+                prop_assert!((qv.rem_euclid(2.0) - 1.0).abs() < 1e-6);
+                prop_assert!(i.abs() <= 7.0 + 1e-6 && qv.abs() <= 7.0 + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The constellation higher-order-statistics defense (paper Sec. VI).
+
+pub mod alternatives;
+pub mod detector;
+pub mod features;
+pub mod naive;
+pub mod stream;
+
+pub use detector::{ChannelAssumption, DetectError, Detector, Verdict};
+pub use features::{constellation_from_reception, features_from_reception, Features};
+pub use alternatives::{clustered_evm, EvmDetector, EvmVerdict};
+pub use stream::{StreamEvent, StreamMonitor};

@@ -1,0 +1,142 @@
+//! IQ sample file I/O in the de-facto SDR interchange format: interleaved
+//! little-endian `f32` I/Q pairs ("cf32", GNURadio's native file format).
+//!
+//! This is the bridge to real hardware: a ZigBee frame recorded with a
+//! USRP + GNURadio file sink can be fed straight into the attack pipeline,
+//! and an emulated waveform written here plays out of a GNURadio file
+//! source.
+
+use crate::complex::Complex;
+use std::io::{self, Read, Write};
+
+/// Reads cf32 samples from any reader until EOF.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a trailing partial sample (fewer than 8 bytes)
+/// is an `InvalidData` error.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_dsp::io::{read_cf32, write_cf32};
+/// use ctc_dsp::Complex;
+///
+/// let samples = vec![Complex::new(1.0, -0.5), Complex::new(0.25, 2.0)];
+/// let mut buf = Vec::new();
+/// write_cf32(&mut buf, &samples)?;
+/// let back = read_cf32(&buf[..])?;
+/// assert_eq!(back, samples);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn read_cf32<R: Read>(mut reader: R) -> io::Result<Vec<Complex>> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() % 8 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "cf32 stream length {} is not a multiple of 8 bytes",
+                bytes.len()
+            ),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| {
+            let re = f32::from_le_bytes(c[..4].try_into().expect("4 bytes"));
+            let im = f32::from_le_bytes(c[4..].try_into().expect("4 bytes"));
+            Complex::new(re as f64, im as f64)
+        })
+        .collect())
+}
+
+/// Writes samples as cf32 to any writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_cf32<W: Write>(mut writer: W, samples: &[Complex]) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(samples.len() * 8);
+    for s in samples {
+        bytes.extend_from_slice(&(s.re as f32).to_le_bytes());
+        bytes.extend_from_slice(&(s.im as f32).to_le_bytes());
+    }
+    writer.write_all(&bytes)
+}
+
+/// Reads a cf32 file from disk.
+///
+/// # Errors
+///
+/// Propagates [`read_cf32`] and file-open errors.
+pub fn read_cf32_file(path: &std::path::Path) -> io::Result<Vec<Complex>> {
+    read_cf32(std::fs::File::open(path)?)
+}
+
+/// Writes a cf32 file to disk.
+///
+/// # Errors
+///
+/// Propagates [`write_cf32`] and file-create errors.
+pub fn write_cf32_file(path: &std::path::Path, samples: &[Complex]) -> io::Result<()> {
+    write_cf32(std::fs::File::create(path)?, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let samples: Vec<Complex> = (0..100)
+            .map(|i| Complex::new(i as f64 * 0.25, -(i as f64) * 0.5))
+            .collect();
+        let mut buf = Vec::new();
+        write_cf32(&mut buf, &samples).unwrap();
+        assert_eq!(buf.len(), 800);
+        assert_eq!(read_cf32(&buf[..]).unwrap(), samples);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(read_cf32(&[][..]).unwrap().is_empty());
+        let mut buf = Vec::new();
+        write_cf32(&mut buf, &[]).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_sample_rejected() {
+        let err = read_cf32(&[0u8; 7][..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn layout_is_little_endian_iq() {
+        let mut buf = Vec::new();
+        write_cf32(&mut buf, &[Complex::new(1.0, 2.0)]).unwrap();
+        assert_eq!(&buf[..4], &1.0f32.to_le_bytes());
+        assert_eq!(&buf[4..], &2.0f32.to_le_bytes());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ctc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.cf32");
+        let samples = vec![Complex::new(-0.5, 0.75); 16];
+        write_cf32_file(&path, &samples).unwrap();
+        assert_eq!(read_cf32_file(&path).unwrap(), samples);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn f32_precision_loss_is_bounded() {
+        let original = vec![Complex::new(0.123456789012345, -0.987654321098765)];
+        let mut buf = Vec::new();
+        write_cf32(&mut buf, &original).unwrap();
+        let back = read_cf32(&buf[..]).unwrap();
+        assert!((back[0] - original[0]).norm() < 1e-7);
+    }
+}

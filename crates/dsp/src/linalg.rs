@@ -1,0 +1,323 @@
+//! Dense complex linear algebra, just enough for least-squares fitting.
+//!
+//! The stealthier attack variant fits a handful of OFDM subcarrier
+//! coefficients to a whole 80-sample block (including the cyclic-prefix
+//! copies) by solving the normal equations — a tiny Hermitian system per
+//! emulation, so a dense solver with partial pivoting is plenty.
+
+use crate::complex::Complex;
+
+/// A dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Dimensions incompatible for the requested operation.
+    DimensionMismatch,
+    /// The system matrix is singular (to working precision).
+    Singular,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch => write!(f, "matrix dimensions incompatible"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Conjugate transpose.
+    pub fn hermitian(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Matrix product.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] unless `self.cols == rhs.rows`.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] unless `self.cols == v.len()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        Ok((0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect())
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting
+    /// (consumes a copy of `A`).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] for non-square `A` or wrong `b`
+    /// length; [`LinalgError::Singular`] when a pivot vanishes.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        if self.rows != self.cols || b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].norm();
+            for r in col + 1..n {
+                let mag = a[r * n + col].norm();
+                if mag > best {
+                    best = mag;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            let inv = a[col * n + col].inv();
+            for r in col + 1..n {
+                let factor = a[r * n + col] * inv;
+                if factor == Complex::ZERO {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a[col * n + c];
+                    a[r * n + c] -= factor * v;
+                }
+                let xc = x[col];
+                x[r] -= factor * xc;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in col + 1..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Least-squares solution of the overdetermined system `A x ≈ b` via the
+    /// normal equations `(AᴴA) x = Aᴴ b`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Matrix::solve`] errors; `AᴴA` is singular when columns
+    /// of `A` are linearly dependent.
+    pub fn least_squares(&self, b: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let ah = self.hermitian();
+        let aha = ah.mul(self)?;
+        let ahb = ah.mul_vec(b)?;
+        aha.solve(&ahb)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_solve() {
+        let eye = Matrix::from_fn(3, 3, |r, cc| if r == cc { Complex::ONE } else { Complex::ZERO });
+        let b = vec![c(1.0, 2.0), c(-3.0, 0.5), c(0.0, -1.0)];
+        assert_eq!(eye.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [1 i; -i 2] x = [1+i; 0] -> solve and verify by substitution.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = Complex::ONE;
+        a[(0, 1)] = Complex::I;
+        a[(1, 0)] = -Complex::I;
+        a[(1, 1)] = c(2.0, 0.0);
+        let b = vec![c(1.0, 1.0), Complex::ZERO];
+        let x = a.solve(&b).unwrap();
+        let back = a.mul_vec(&x).unwrap();
+        for (u, v) in back.iter().zip(&b) {
+            assert!((*u - *v).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_fn(2, 2, |_, _| Complex::ONE);
+        assert_eq!(a.solve(&[Complex::ONE, Complex::ONE]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.solve(&[Complex::ONE; 2]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(a.mul_vec(&[Complex::ONE; 2]), Err(LinalgError::DimensionMismatch));
+        let b = Matrix::zeros(2, 2);
+        assert_eq!(a.mul(&b), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn hermitian_transpose() {
+        let a = Matrix::from_fn(2, 3, |r, cc| c(r as f64, cc as f64));
+        let h = a.hermitian();
+        assert_eq!(h.rows(), 3);
+        assert_eq!(h.cols(), 2);
+        assert_eq!(h[(2, 1)], c(1.0, -2.0));
+    }
+
+    #[test]
+    fn least_squares_exact_for_consistent_system() {
+        // Tall matrix with known solution.
+        let a = Matrix::from_fn(5, 2, |r, cc| c((r + cc) as f64, (r as f64) * 0.5));
+        let x_true = vec![c(1.0, -1.0), c(0.5, 2.0)];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.least_squares(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((*u - *v).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Perturb a consistent system; LS residual must not exceed the
+        // residual of the unperturbed solution.
+        let a = Matrix::from_fn(6, 2, |r, cc| c((r * 2 + cc) as f64 * 0.3, (r as f64) - 1.0));
+        let x0 = vec![c(0.7, 0.1), c(-0.2, 0.4)];
+        let mut b = a.mul_vec(&x0).unwrap();
+        b[0] += c(0.5, -0.5);
+        b[3] += c(-0.2, 0.1);
+        let x = a.least_squares(&b).unwrap();
+        let res_ls: f64 = a
+            .mul_vec(&x)
+            .unwrap()
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (*u - *v).norm_sqr())
+            .sum();
+        let res_x0: f64 = a
+            .mul_vec(&x0)
+            .unwrap()
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (*u - *v).norm_sqr())
+            .sum();
+        assert!(res_ls <= res_x0 + 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_substitute(seed in 0u64..200) {
+            let mut s = seed.wrapping_add(99);
+            let mut rnd = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let n = 4;
+            // Diagonally dominant => well conditioned.
+            let a = Matrix::from_fn(n, n, |r, cc| {
+                if r == cc { c(4.0 + rnd().abs(), 0.0) } else { c(rnd() * 0.5, rnd() * 0.5) }
+            });
+            let b: Vec<Complex> = (0..n).map(|_| c(rnd(), rnd())).collect();
+            let x = a.solve(&b).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((*u - *v).norm() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! Time-frequency views of the attack artifacts: a full-frame attack shows
+//! the WiFi preamble's wideband bursts followed by data symbols whose
+//! −5 MHz region carries the ZigBee emulation — visible at a glance in a
+//! spectrogram where PSD averages it away.
+
+use crate::complex::Complex;
+use crate::fft::fft;
+use crate::psd::{PsdError, Window};
+
+/// A spectrogram: `frames x bins` power matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    /// Power per frame per bin (bin 0 = DC; high bins = negative freqs).
+    pub frames: Vec<Vec<f64>>,
+    /// FFT size.
+    pub fft_size: usize,
+    /// Hop between frames in samples.
+    pub hop: usize,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frames were produced.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total power of frame `t` within the normalized band
+    /// `center ± half_width` (cycles/sample, wrap-aware).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn band_power(&self, t: usize, center: f64, half_width: f64) -> f64 {
+        let n = self.fft_size as f64;
+        self.frames[t]
+            .iter()
+            .enumerate()
+            .filter(|(bin, _)| {
+                let f = if *bin < self.fft_size / 2 {
+                    *bin as f64 / n
+                } else {
+                    *bin as f64 / n - 1.0
+                };
+                let mut d = (f - center).abs();
+                d = d.min((f - center + 1.0).abs()).min((f - center - 1.0).abs());
+                d <= half_width
+            })
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// The frame-by-frame total power trace (activity envelope).
+    pub fn power_trace(&self) -> Vec<f64> {
+        self.frames.iter().map(|f| f.iter().sum()).collect()
+    }
+}
+
+/// Computes the spectrogram of a waveform.
+///
+/// # Errors
+///
+/// [`PsdError::BadSegmentLen`] unless `fft_size` is a power of two;
+/// [`PsdError::TooShort`] when the waveform holds no complete frame.
+///
+/// # Panics
+///
+/// Panics if `hop == 0`.
+pub fn spectrogram(
+    x: &[Complex],
+    fft_size: usize,
+    hop: usize,
+    window: Window,
+) -> Result<Spectrogram, PsdError> {
+    assert!(hop > 0, "hop must be positive");
+    if fft_size == 0 || !fft_size.is_power_of_two() {
+        return Err(PsdError::BadSegmentLen { len: fft_size });
+    }
+    if x.len() < fft_size {
+        return Err(PsdError::TooShort);
+    }
+    let win: Vec<f64> = (0..fft_size).map(|i| window.value(i, fft_size)).collect();
+    let win_power: f64 = win.iter().map(|w| w * w).sum();
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + fft_size <= x.len() {
+        let seg: Vec<Complex> = x[start..start + fft_size]
+            .iter()
+            .zip(&win)
+            .map(|(v, w)| *v * *w)
+            .collect();
+        let spec = fft(&seg).expect("fft_size validated");
+        frames.push(spec.iter().map(|c| c.norm_sqr() / win_power).collect());
+        start += hop;
+    }
+    Ok(Spectrogram {
+        frames,
+        fft_size,
+        hop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(spectrogram(&[Complex::ONE; 100], 48, 16, Window::Hann).is_err());
+        assert!(spectrogram(&[Complex::ONE; 10], 64, 16, Window::Hann).is_err());
+    }
+
+    #[test]
+    fn frame_count() {
+        let x = vec![Complex::ONE; 256];
+        let s = spectrogram(&x, 64, 32, Window::Hann).unwrap();
+        assert_eq!(s.len(), (256 - 64) / 32 + 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn chirp_moves_through_bins() {
+        // Frequency ramps from 0.05 to 0.4 over the waveform; early frames
+        // peak low, late frames peak high.
+        let n = 4096;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| {
+                let tt = t as f64;
+                let f = 0.05 + 0.35 * tt / n as f64;
+                Complex::cis(2.0 * std::f64::consts::PI * f * tt)
+            })
+            .collect();
+        let s = spectrogram(&x, 64, 64, Window::Hann).unwrap();
+        let peak_bin = |frame: &Vec<f64>| {
+            frame
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
+        };
+        let early = peak_bin(&s.frames[1]);
+        let late = peak_bin(&s.frames[s.len() - 2]);
+        assert!(early < 12, "early peak {early}");
+        assert!(late > 24, "late peak {late}");
+    }
+
+    #[test]
+    fn band_power_selects_band() {
+        let n = 1024;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(-2.0 * std::f64::consts::PI * 0.25 * t as f64))
+            .collect();
+        let s = spectrogram(&x, 64, 64, Window::Rectangular).unwrap();
+        let in_band = s.band_power(3, -0.25, 0.05);
+        let out_band = s.band_power(3, 0.25, 0.05);
+        assert!(in_band > out_band * 100.0, "{in_band} vs {out_band}");
+    }
+
+    #[test]
+    fn power_trace_sees_bursts() {
+        let mut x = vec![Complex::ZERO; 512];
+        for v in x[192..320].iter_mut() {
+            *v = Complex::ONE;
+        }
+        let s = spectrogram(&x, 64, 32, Window::Rectangular).unwrap();
+        let trace = s.power_trace();
+        let peak = trace.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(trace[0] < peak / 100.0, "quiet head");
+        assert!(trace[7] > peak / 2.0, "burst centre hot");
+    }
+}

@@ -1,0 +1,124 @@
+//! IEEE 802.11a/g block interleaver.
+//!
+//! Operates on one OFDM symbol's worth of coded bits (`n_cbps`). Two
+//! permutations: the first spreads adjacent coded bits across subcarriers,
+//! the second rotates bits within a subcarrier's group so adjacent bits
+//! alternate between high- and low-reliability constellation positions.
+
+/// Coded bits per OFDM symbol for 64-QAM (48 data subcarriers × 6 bits).
+pub const N_CBPS_64QAM: usize = 288;
+
+/// Coded bits per subcarrier for 64-QAM.
+pub const N_BPSC_64QAM: usize = 6;
+
+/// Computes the interleaver output position for input position `k`
+/// (802.11-2016 eqs. 17-17/17-18).
+fn permute(k: usize, n_cbps: usize, n_bpsc: usize) -> usize {
+    let s = (n_bpsc / 2).max(1);
+    // First permutation.
+    let i = (n_cbps / 16) * (k % 16) + k / 16;
+    // Second permutation.
+    s * (i / s) + (i + n_cbps - (16 * i / n_cbps)) % s
+}
+
+/// The full interleaver permutation: `out[permutation(k)] = in[k]`.
+///
+/// Exposed so callers can permute structures other than plain bit vectors
+/// (the full-frame attacker deinterleaves `Option<u8>` don't-care masks).
+///
+/// # Panics
+///
+/// Panics unless `n_cbps` is a multiple of 16 and of `n_bpsc`.
+pub fn permutation(n_cbps: usize, n_bpsc: usize) -> Vec<usize> {
+    assert!(n_cbps % 16 == 0, "n_cbps must be a multiple of 16");
+    assert!(n_cbps % n_bpsc == 0, "n_cbps must divide by n_bpsc");
+    (0..n_cbps).map(|k| permute(k, n_cbps, n_bpsc)).collect()
+}
+
+/// Interleaves one OFDM symbol of coded bits.
+///
+/// # Panics
+///
+/// Panics unless `bits.len() == n_cbps` and `n_cbps` is a multiple of 16 and
+/// of `n_bpsc`.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_wifi::interleaver::{interleave, deinterleave, N_CBPS_64QAM, N_BPSC_64QAM};
+/// let bits: Vec<u8> = (0..N_CBPS_64QAM).map(|i| (i % 2) as u8).collect();
+/// let inter = interleave(&bits, N_CBPS_64QAM, N_BPSC_64QAM);
+/// assert_eq!(deinterleave(&inter, N_CBPS_64QAM, N_BPSC_64QAM), bits);
+/// ```
+pub fn interleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
+    assert_eq!(bits.len(), n_cbps, "one symbol of bits at a time");
+    assert!(n_cbps % 16 == 0, "n_cbps must be a multiple of 16");
+    assert!(n_cbps % n_bpsc == 0, "n_cbps must divide by n_bpsc");
+    let mut out = vec![0u8; n_cbps];
+    for (k, &b) in bits.iter().enumerate() {
+        out[permute(k, n_cbps, n_bpsc)] = b;
+    }
+    out
+}
+
+/// Inverts [`interleave`].
+///
+/// # Panics
+///
+/// Same conditions as [`interleave`].
+pub fn deinterleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
+    assert_eq!(bits.len(), n_cbps, "one symbol of bits at a time");
+    let mut out = vec![0u8; n_cbps];
+    for k in 0..n_cbps {
+        out[k] = bits[permute(k, n_cbps, n_bpsc)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn permutation_is_bijective() {
+        let mut seen = vec![false; N_CBPS_64QAM];
+        for k in 0..N_CBPS_64QAM {
+            let p = permute(k, N_CBPS_64QAM, N_BPSC_64QAM);
+            assert!(p < N_CBPS_64QAM);
+            assert!(!seen[p], "position {p} hit twice");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn adjacent_bits_end_up_far_apart() {
+        // The defining property: adjacent coded bits map to nonadjacent
+        // subcarriers (at least 3 subcarriers apart for 64-QAM).
+        let p0 = permute(0, N_CBPS_64QAM, N_BPSC_64QAM) / N_BPSC_64QAM;
+        let p1 = permute(1, N_CBPS_64QAM, N_BPSC_64QAM) / N_BPSC_64QAM;
+        assert!((p0 as i64 - p1 as i64).unsigned_abs() >= 3);
+    }
+
+    #[test]
+    fn bpsk_sized_blocks_also_work() {
+        // 48 bits, 1 bit per subcarrier (BPSK) — used by the SIGNAL field.
+        let bits: Vec<u8> = (0..48).map(|i| ((i * 7) % 2) as u8).collect();
+        let inter = interleave(&bits, 48, 1);
+        assert_eq!(deinterleave(&inter, 48, 1), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "one symbol")]
+    fn wrong_length_panics() {
+        let _ = interleave(&[0, 1], N_CBPS_64QAM, N_BPSC_64QAM);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bits in proptest::collection::vec(0u8..2, N_CBPS_64QAM)) {
+            let inter = interleave(&bits, N_CBPS_64QAM, N_BPSC_64QAM);
+            prop_assert_eq!(deinterleave(&inter, N_CBPS_64QAM, N_BPSC_64QAM), bits);
+        }
+    }
+}

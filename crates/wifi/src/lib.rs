@@ -1,0 +1,33 @@
+//! # ctc-wifi
+//!
+//! IEEE 802.11g OFDM PHY substrate for the *Hide and Seek* (ICDCS 2019)
+//! reproduction — the attacker's radio. Implements the full 64-QAM transmit
+//! chain of the paper's Fig. 2 (scrambler, convolutional code + Viterbi,
+//! interleaver, subcarrier allocation, 64-IFFT, cyclic prefix) and its
+//! reverse, which the attacker runs to find transmittable data bits for a
+//! desired spectrum.
+//!
+//! ```
+//! use ctc_wifi::WifiTransmitter;
+//!
+//! let tx = WifiTransmitter::new(); // 64-QAM rate 3/4, 2440 MHz, 20 MHz
+//! let wave = tx.transmit_bits(&[1, 0, 1, 1]);
+//! assert_eq!(wave.len(), 80); // padded to one 4 µs OFDM symbol
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod convolutional;
+pub mod interleaver;
+pub mod mac;
+pub mod ofdm;
+pub mod plcp;
+pub mod qam;
+pub mod rx;
+pub mod scrambler;
+pub mod tx;
+
+pub use convolutional::Rate;
+pub use rx::{WifiReceiver, WifiReception};
+pub use tx::{RecoveredBits, WifiTransmitter};

@@ -1,0 +1,220 @@
+//! Minimal IEEE 802.11 MAC framing: data-frame header, CRC-32 FCS,
+//! build and parse.
+//!
+//! Two uses in the reproduction: the coexistence experiments generate
+//! *legitimate* WiFi traffic for the attacker to hide among, and the
+//! full-stack attack's PSDU can be inspected for MAC-level plausibility
+//! (its Viterbi-chosen bytes parse as a frame with a bad FCS — the one
+//! WiFi-side fingerprint that survives).
+
+/// MAC addresses are six bytes.
+pub type MacAddr = [u8; 6];
+
+/// Frame types we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Data frame (type 2, subtype 0).
+    Data,
+    /// QoS data frame (type 2, subtype 8) — parsed but built as plain data.
+    QosData,
+}
+
+/// Errors from MAC parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacError {
+    /// Frame shorter than header + FCS.
+    TooShort,
+    /// FCS mismatch.
+    BadFcs {
+        /// CRC computed over the frame body.
+        computed: u32,
+        /// CRC carried in the frame.
+        received: u32,
+    },
+    /// Frame control field does not describe a (QoS) data frame.
+    UnsupportedType(u16),
+}
+
+impl std::fmt::Display for MacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacError::TooShort => write!(f, "frame shorter than MAC header + FCS"),
+            MacError::BadFcs { computed, received } => {
+                write!(f, "FCS mismatch: computed {computed:#010x}, received {received:#010x}")
+            }
+            MacError::UnsupportedType(fc) => write!(f, "unsupported frame control {fc:#06x}"),
+        }
+    }
+}
+
+impl std::error::Error for MacError {}
+
+/// IEEE CRC-32 (reflected 0x04C11DB7, init all-ones, final complement) —
+/// the 802.11 FCS.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xEDB8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    !crc
+}
+
+/// A parsed (or to-be-built) data frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Destination address.
+    pub dst: MacAddr,
+    /// Source address.
+    pub src: MacAddr,
+    /// BSSID.
+    pub bssid: MacAddr,
+    /// Sequence number (0–4095).
+    pub sequence: u16,
+    /// Frame body.
+    pub body: Vec<u8>,
+}
+
+impl DataFrame {
+    /// Serializes to a PSDU: frame control, duration, addresses, sequence
+    /// control, body, FCS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequence > 4095`.
+    pub fn to_psdu(&self) -> Vec<u8> {
+        assert!(self.sequence <= 0x0FFF, "sequence number is 12 bits");
+        let mut out = Vec::with_capacity(24 + self.body.len() + 4);
+        out.extend_from_slice(&0x0008u16.to_le_bytes()); // FC: data, ToDS=0
+        out.extend_from_slice(&0u16.to_le_bytes()); // duration
+        out.extend_from_slice(&self.dst);
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.bssid);
+        out.extend_from_slice(&(self.sequence << 4).to_le_bytes());
+        out.extend_from_slice(&self.body);
+        let fcs = crc32(&out);
+        out.extend_from_slice(&fcs.to_le_bytes());
+        out
+    }
+
+    /// Parses a PSDU back into a frame, verifying the FCS.
+    ///
+    /// # Errors
+    ///
+    /// See [`MacError`].
+    pub fn from_psdu(psdu: &[u8]) -> Result<DataFrame, MacError> {
+        if psdu.len() < 24 + 4 {
+            return Err(MacError::TooShort);
+        }
+        let (body_all, fcs_bytes) = psdu.split_at(psdu.len() - 4);
+        let received = u32::from_le_bytes(fcs_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(body_all);
+        if received != computed {
+            return Err(MacError::BadFcs { computed, received });
+        }
+        let fc = u16::from_le_bytes([psdu[0], psdu[1]]);
+        let ftype = (fc >> 2) & 0b11;
+        let subtype = (fc >> 4) & 0b1111;
+        if ftype != 2 || (subtype != 0 && subtype != 8) {
+            return Err(MacError::UnsupportedType(fc));
+        }
+        let take6 = |at: usize| -> MacAddr { psdu[at..at + 6].try_into().expect("6 bytes") };
+        let seq_ctl = u16::from_le_bytes([psdu[22], psdu[23]]);
+        Ok(DataFrame {
+            dst: take6(4),
+            src: take6(10),
+            bssid: take6(16),
+            sequence: seq_ctl >> 4,
+            body: body_all[24..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const A: MacAddr = [0x02, 0, 0, 0, 0, 1];
+    const B: MacAddr = [0x02, 0, 0, 0, 0, 2];
+    const AP: MacAddr = [0x02, 0, 0, 0, 0, 0xFF];
+
+    #[test]
+    fn crc32_check_value() {
+        // Standard CRC-32 check: "123456789" -> 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = DataFrame {
+            dst: A,
+            src: B,
+            bssid: AP,
+            sequence: 1234,
+            body: b"hello mac".to_vec(),
+        };
+        let psdu = f.to_psdu();
+        assert_eq!(DataFrame::from_psdu(&psdu).unwrap(), f);
+    }
+
+    #[test]
+    fn corrupted_frame_caught() {
+        let f = DataFrame {
+            dst: A,
+            src: B,
+            bssid: AP,
+            sequence: 7,
+            body: vec![1, 2, 3],
+        };
+        let mut psdu = f.to_psdu();
+        psdu[25] ^= 0x10;
+        assert!(matches!(
+            DataFrame::from_psdu(&psdu),
+            Err(MacError::BadFcs { .. })
+        ));
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(DataFrame::from_psdu(&[0u8; 10]), Err(MacError::TooShort));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        // Build a valid-FCS frame with a management frame control.
+        let mut raw = vec![0u8; 24];
+        raw[0] = 0x00; // management/association
+        let fcs = crc32(&raw);
+        raw.extend_from_slice(&fcs.to_le_bytes());
+        assert!(matches!(
+            DataFrame::from_psdu(&raw),
+            Err(MacError::UnsupportedType(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_bodies_roundtrip(body in proptest::collection::vec(any::<u8>(), 0..500), seq in 0u16..4096) {
+            let f = DataFrame { dst: A, src: B, bssid: AP, sequence: seq, body };
+            let psdu = f.to_psdu();
+            prop_assert_eq!(DataFrame::from_psdu(&psdu).unwrap(), f);
+        }
+
+        #[test]
+        fn single_bit_flip_always_detected(body in proptest::collection::vec(any::<u8>(), 1..100), pos in 0usize..500, bit in 0u8..8) {
+            let f = DataFrame { dst: A, src: B, bssid: AP, sequence: 0, body };
+            let mut psdu = f.to_psdu();
+            let p = pos % psdu.len();
+            psdu[p] ^= 1 << bit;
+            prop_assert!(DataFrame::from_psdu(&psdu).is_err());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! 64-QAM constellation mapping (IEEE 802.11a/g).
+//!
+//! Six bits map to one point of the 8×8 grid
+//! `{±1, ±3, ±5, ±7}²` (Gray-coded per axis), normalized by `1/sqrt(42)` so
+//! the constellation has unit average energy. The attack's QAM-quantization
+//! step (paper Sec. V-A3) searches this same grid with a free scale factor
+//! `alpha`.
+
+use ctc_dsp::Complex;
+
+/// Per-axis amplitude levels of 64-QAM.
+pub const LEVELS: [f64; 8] = [-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0];
+
+/// Normalization factor giving unit average symbol energy
+/// (`E[|x|^2] = 42` over the raw grid).
+pub const NORM_64QAM: f64 = 0.15430334996209191; // 1/sqrt(42)
+
+/// Gray mapping from 3 bits to an axis level, per 802.11 Table 18-10:
+/// `000->-7, 001->-5, 011->-3, 010->-1, 110->1, 111->3, 101->5, 100->7`.
+const GRAY_TO_LEVEL: [f64; 8] = [-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0];
+
+fn level_to_gray(level: f64) -> u8 {
+    match level as i32 {
+        -7 => 0b000,
+        -5 => 0b001,
+        -3 => 0b011,
+        -1 => 0b010,
+        1 => 0b110,
+        3 => 0b111,
+        5 => 0b101,
+        7 => 0b100,
+        _ => unreachable!("level {level} is not a 64-QAM level"),
+    }
+}
+
+/// Maps 6 bits (I bits first: `b0 b1 b2` → I, `b3 b4 b5` → Q) to a
+/// normalized 64-QAM point.
+///
+/// # Panics
+///
+/// Panics if `bits.len() != 6` or any entry exceeds 1.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_wifi::qam::{map_64qam, NORM_64QAM};
+/// let p = map_64qam(&[1, 0, 0, 1, 0, 0]);
+/// assert!((p.re - 7.0 * NORM_64QAM).abs() < 1e-12);
+/// assert!((p.im - 7.0 * NORM_64QAM).abs() < 1e-12);
+/// ```
+pub fn map_64qam(bits: &[u8]) -> Complex {
+    assert_eq!(bits.len(), 6, "64-QAM consumes 6 bits per symbol");
+    assert!(bits.iter().all(|&b| b <= 1), "bits must be 0/1");
+    let i_idx = ((bits[0] << 2) | (bits[1] << 1) | bits[2]) as usize;
+    let q_idx = ((bits[3] << 2) | (bits[4] << 1) | bits[5]) as usize;
+    Complex::new(
+        GRAY_TO_LEVEL[i_idx] * NORM_64QAM,
+        GRAY_TO_LEVEL[q_idx] * NORM_64QAM,
+    )
+}
+
+/// Hard-demaps a (noisy) point back to 6 bits by nearest grid level.
+pub fn demap_64qam(point: Complex) -> [u8; 6] {
+    fn nearest_level(v: f64) -> f64 {
+        let mut best = LEVELS[0];
+        let mut best_d = f64::INFINITY;
+        for &l in &LEVELS {
+            let d = (v - l).abs();
+            if d < best_d {
+                best_d = d;
+                best = l;
+            }
+        }
+        best
+    }
+    let i_lvl = nearest_level(point.re / NORM_64QAM);
+    let q_lvl = nearest_level(point.im / NORM_64QAM);
+    let gi = level_to_gray(i_lvl);
+    let gq = level_to_gray(q_lvl);
+    [
+        (gi >> 2) & 1,
+        (gi >> 1) & 1,
+        gi & 1,
+        (gq >> 2) & 1,
+        (gq >> 1) & 1,
+        gq & 1,
+    ]
+}
+
+/// Max-log soft demapping: per-bit log-likelihood ratios for a received
+/// point, positive meaning "bit 0 more likely".
+///
+/// `LLR_i = (min_{p: bit_i(p)=1} |y-p|^2 - min_{p: bit_i(p)=0} |y-p|^2) / noise_var`
+///
+/// # Panics
+///
+/// Panics if `noise_var <= 0`.
+pub fn soft_demap_64qam(point: Complex, noise_var: f64) -> [f64; 6] {
+    assert!(noise_var > 0.0, "noise variance must be positive");
+    let mut min0 = [f64::INFINITY; 6];
+    let mut min1 = [f64::INFINITY; 6];
+    for n in 0..64u8 {
+        let bits = [
+            (n >> 5) & 1,
+            (n >> 4) & 1,
+            (n >> 3) & 1,
+            (n >> 2) & 1,
+            (n >> 1) & 1,
+            n & 1,
+        ];
+        let p = map_64qam(&bits);
+        let d = (point - p).norm_sqr();
+        for (i, &b) in bits.iter().enumerate() {
+            if b == 0 {
+                min0[i] = min0[i].min(d);
+            } else {
+                min1[i] = min1[i].min(d);
+            }
+        }
+    }
+    let mut llrs = [0.0f64; 6];
+    for i in 0..6 {
+        llrs[i] = (min1[i] - min0[i]) / noise_var;
+    }
+    llrs
+}
+
+/// All 64 normalized constellation points.
+pub fn constellation_64qam() -> Vec<Complex> {
+    let mut pts = Vec::with_capacity(64);
+    for &i in &LEVELS {
+        for &q in &LEVELS {
+            pts.push(Complex::new(i * NORM_64QAM, q * NORM_64QAM));
+        }
+    }
+    pts
+}
+
+/// Quantizes an arbitrary complex value to the nearest point of the
+/// *unnormalized* grid `alpha * {±1..±7}²` and returns that grid point
+/// (including the `alpha` scale).
+///
+/// This is the attack's per-point quantizer: "choose the closest QAM
+/// constellation point in term of Euclidean distance" (Sec. V-A3).
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn quantize_to_grid(value: Complex, alpha: f64) -> Complex {
+    assert!(alpha > 0.0, "alpha must be positive");
+    fn nearest(v: f64) -> f64 {
+        // Closest odd integer in [-7, 7]: odd integers are 2k+1.
+        let k = ((v - 1.0) / 2.0).round();
+        (2.0 * k + 1.0).clamp(-7.0, 7.0)
+    }
+    Complex::new(
+        alpha * nearest(value.re / alpha),
+        alpha * nearest(value.im / alpha),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norm_gives_unit_energy() {
+        let pts = constellation_64qam();
+        let p: f64 = pts.iter().map(|v| v.norm_sqr()).sum::<f64>() / pts.len() as f64;
+        assert!((p - 1.0).abs() < 1e-12, "average energy {p}");
+    }
+
+    #[test]
+    fn map_demap_roundtrip_all_64() {
+        for n in 0..64u8 {
+            let bits = [
+                (n >> 5) & 1,
+                (n >> 4) & 1,
+                (n >> 3) & 1,
+                (n >> 2) & 1,
+                (n >> 1) & 1,
+                n & 1,
+            ];
+            let p = map_64qam(&bits);
+            assert_eq!(demap_64qam(p), bits, "failed for {n:06b}");
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_levels_differ_one_bit() {
+        let ordered = [-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0];
+        for w in ordered.windows(2) {
+            let a = level_to_gray(w[0]);
+            let b = level_to_gray(w[1]);
+            assert_eq!((a ^ b).count_ones(), 1, "levels {w:?} not Gray-adjacent");
+        }
+    }
+
+    #[test]
+    fn demap_tolerates_small_noise() {
+        for n in [0u8, 17, 42, 63] {
+            let bits = [
+                (n >> 5) & 1,
+                (n >> 4) & 1,
+                (n >> 3) & 1,
+                (n >> 2) & 1,
+                (n >> 1) & 1,
+                n & 1,
+            ];
+            let p = map_64qam(&bits) + Complex::new(0.4 * NORM_64QAM, -0.4 * NORM_64QAM);
+            assert_eq!(demap_64qam(p), bits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "6 bits")]
+    fn wrong_bit_count_panics() {
+        let _ = map_64qam(&[0, 1, 0]);
+    }
+
+    #[test]
+    fn quantize_lands_on_grid() {
+        let alpha = 0.8;
+        let q = quantize_to_grid(Complex::new(2.3, -5.9), alpha);
+        let gi = q.re / alpha;
+        let gq = q.im / alpha;
+        assert!((gi.rem_euclid(2.0) - 1.0).abs() < 1e-9, "I level {gi}");
+        assert!((gq.rem_euclid(2.0) - 1.0).abs() < 1e-9, "Q level {gq}");
+        assert!(gi.abs() <= 7.0 && gq.abs() <= 7.0);
+    }
+
+    #[test]
+    fn quantize_saturates_large_values() {
+        let q = quantize_to_grid(Complex::new(100.0, -100.0), 1.0);
+        assert_eq!(q, Complex::new(7.0, -7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn quantize_rejects_bad_alpha() {
+        let _ = quantize_to_grid(Complex::ONE, 0.0);
+    }
+
+    #[test]
+    fn soft_demap_signs_match_hard_decision() {
+        for n in [0u8, 13, 42, 63] {
+            let bits = [
+                (n >> 5) & 1, (n >> 4) & 1, (n >> 3) & 1,
+                (n >> 2) & 1, (n >> 1) & 1, n & 1,
+            ];
+            let p = map_64qam(&bits);
+            let llrs = soft_demap_64qam(p, 0.05);
+            for (i, &b) in bits.iter().enumerate() {
+                if b == 0 {
+                    assert!(llrs[i] > 0.0, "point {n:06b} bit {i}");
+                } else {
+                    assert!(llrs[i] < 0.0, "point {n:06b} bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_confidence_scales_with_distance() {
+        // A point at a grid corner gives stronger LLRs than one between
+        // two grid points.
+        let confident = soft_demap_64qam(map_64qam(&[1, 0, 0, 1, 0, 0]), 0.1);
+        let boundary = soft_demap_64qam(
+            Complex::new(0.0, 7.0 * NORM_64QAM), // on the I decision line
+            0.1,
+        );
+        assert!(confident[0].abs() > boundary[0].abs() * 3.0);
+        assert!(boundary[0].abs() < 1e-9, "boundary LLR should be ~0");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise variance")]
+    fn soft_demap_rejects_bad_variance() {
+        let _ = soft_demap_64qam(Complex::ONE, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn soft_demap_finite(re in -2.0f64..2.0, im in -2.0f64..2.0) {
+            let llrs = soft_demap_64qam(Complex::new(re, im), 0.1);
+            for l in llrs {
+                prop_assert!(l.is_finite());
+            }
+        }
+
+        #[test]
+        fn quantize_is_nearest_point(re in -10.0f64..10.0, im in -10.0f64..10.0, alpha in 0.1f64..3.0) {
+            let v = Complex::new(re, im);
+            let q = quantize_to_grid(v, alpha);
+            // Exhaustive check against all 64 scaled grid points.
+            let mut best = f64::INFINITY;
+            for &i in &LEVELS {
+                for &qq in &LEVELS {
+                    let p = Complex::new(alpha * i, alpha * qq);
+                    best = best.min((v - p).norm_sqr());
+                }
+            }
+            prop_assert!(((v - q).norm_sqr() - best).abs() < 1e-9);
+        }
+
+        #[test]
+        fn demap_is_nearest_neighbour(re in -1.5f64..1.5, im in -1.5f64..1.5) {
+            let v = Complex::new(re, im);
+            let bits = demap_64qam(v);
+            let p = map_64qam(&bits);
+            for other in constellation_64qam() {
+                prop_assert!((v - p).norm_sqr() <= (v - other).norm_sqr() + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! IEEE 802.11 frame-synchronous scrambler.
+//!
+//! A 7-bit LFSR with polynomial `x^7 + x^4 + 1` whitens the data bits before
+//! channel coding. Scrambling is its own inverse given the same seed — the
+//! property the attacker exploits when reversing the WiFi preprocessing to
+//! recover the data bits that produce a desired QAM sequence.
+
+/// The 802.11 scrambler LFSR.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_wifi::scrambler::Scrambler;
+/// let bits = vec![1, 0, 1, 1, 0, 0, 1];
+/// let scrambled = Scrambler::new(0x5D).scramble(&bits);
+/// let back = Scrambler::new(0x5D).scramble(&scrambled);
+/// assert_eq!(back, bits);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scrambler {
+    state: u8,
+}
+
+impl Scrambler {
+    /// Creates a scrambler with a 7-bit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero or wider than 7 bits (an all-zero LFSR never
+    /// leaves state zero).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed != 0, "scrambler seed must be nonzero");
+        assert!(seed < 0x80, "scrambler seed is 7 bits");
+        Scrambler { state: seed }
+    }
+
+    /// The standard's example seed (all ones).
+    pub fn default_seed() -> Self {
+        Scrambler::new(0x7F)
+    }
+
+    /// Produces the next keystream bit and advances the LFSR.
+    pub fn next_bit(&mut self) -> u8 {
+        let x7 = (self.state >> 6) & 1;
+        let x4 = (self.state >> 3) & 1;
+        let fb = x7 ^ x4;
+        self.state = ((self.state << 1) | fb) & 0x7F;
+        fb
+    }
+
+    /// Scrambles (or descrambles) a bit sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not 0/1.
+    pub fn scramble(mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter()
+            .map(|&b| {
+                assert!(b <= 1, "bits must be 0/1");
+                b ^ self.next_bit()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn standard_keystream_prefix() {
+        // With the all-ones seed the 802.11 keystream starts
+        // 0000 1110 1111 0010 ... (IEEE 802.11-2016, 17.3.5.5).
+        let mut s = Scrambler::default_seed();
+        let ks: Vec<u8> = (0..16).map(|_| s.next_bit()).collect();
+        assert_eq!(ks, vec![0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn period_is_127() {
+        let mut s = Scrambler::new(0x01);
+        let first: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        let second: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        assert_eq!(first, second);
+        // And it is not shorter.
+        assert_ne!(&first[..63], &first[64..127]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_seed_panics() {
+        let _ = Scrambler::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "7 bits")]
+    fn wide_seed_panics() {
+        let _ = Scrambler::new(0x80);
+    }
+
+    proptest! {
+        #[test]
+        fn involution(seed in 1u8..0x80, bits in proptest::collection::vec(0u8..2, 0..300)) {
+            let once = Scrambler::new(seed).scramble(&bits);
+            let twice = Scrambler::new(seed).scramble(&once);
+            prop_assert_eq!(twice, bits);
+        }
+
+        #[test]
+        fn keystream_balanced(seed in 1u8..0x80) {
+            let mut s = Scrambler::new(seed);
+            let ones: u32 = (0..127).map(|_| s.next_bit() as u32).sum();
+            // An m-sequence of period 127 has exactly 64 ones.
+            prop_assert_eq!(ones, 64);
+        }
+    }
+}

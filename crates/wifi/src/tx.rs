@@ -1,0 +1,331 @@
+//! Complete 802.11g transmit chain and its reverse.
+//!
+//! Forward (paper Fig. 2): data bits → scramble → convolutional encode →
+//! interleave → 64-QAM map → subcarrier allocation → IFFT → cyclic prefix.
+//!
+//! Reverse (the attacker's direction): desired 64-QAM points → hard demap →
+//! deinterleave → Viterbi closest-codeword → descramble → data bits. The
+//! closest-codeword step quantifies the distortion the paper waves away when
+//! it calls the preprocessing "invertible": arbitrary coded-bit patterns are
+//! not codewords, so re-encoding the recovered bits generally changes some
+//! constellation points.
+
+use crate::convolutional::{closest_codeword, encode, Rate};
+use crate::interleaver::{deinterleave, interleave, N_BPSC_64QAM, N_CBPS_64QAM};
+use crate::qam::{demap_64qam, map_64qam};
+use crate::ofdm::{
+    allocate_subcarriers, analyze_symbol, extract_data_subcarriers, synthesize_symbol,
+    DATA_SUBCARRIERS, SYMBOL_LEN,
+};
+use crate::scrambler::Scrambler;
+use ctc_dsp::Complex;
+
+/// A configured 802.11g OFDM transmitter (64-QAM only — the mode the attack
+/// uses).
+///
+/// # Examples
+///
+/// ```
+/// use ctc_wifi::WifiTransmitter;
+/// let tx = WifiTransmitter::new();
+/// let bits = vec![1u8; tx.data_bits_per_symbol()];
+/// let wave = tx.transmit_bits(&bits);
+/// assert_eq!(wave.len(), 80); // one OFDM symbol
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WifiTransmitter {
+    rate: Rate,
+    scrambler_seed: u8,
+    center_frequency_hz: f64,
+    sample_rate_hz: f64,
+}
+
+impl Default for WifiTransmitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WifiTransmitter {
+    /// 64-QAM, rate 3/4 (54 Mb/s), centre 2440 MHz, 20 MHz sampling — the
+    /// paper's attacker configuration.
+    pub fn new() -> Self {
+        WifiTransmitter {
+            rate: Rate::ThreeQuarters,
+            scrambler_seed: 0x7F,
+            center_frequency_hz: 2.44e9,
+            sample_rate_hz: 20.0e6,
+        }
+    }
+
+    /// Selects a different convolutional-code rate.
+    pub fn with_rate(mut self, rate: Rate) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets the scrambler seed (7 bits, nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid seeds (see [`Scrambler::new`]).
+    pub fn with_scrambler_seed(mut self, seed: u8) -> Self {
+        let _ = Scrambler::new(seed);
+        self.scrambler_seed = seed;
+        self
+    }
+
+    /// RF centre frequency (informational).
+    pub fn center_frequency_hz(&self) -> f64 {
+        self.center_frequency_hz
+    }
+
+    /// Baseband sample rate.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Data bits consumed per OFDM symbol at the configured rate
+    /// (`N_DBPS`; 216 at rate 3/4).
+    pub fn data_bits_per_symbol(&self) -> usize {
+        let (num, den) = self.rate.coded_per_data();
+        N_CBPS_64QAM * den / num
+    }
+
+    /// Runs the full forward chain. Input is padded with zero bits to a
+    /// whole number of OFDM symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit exceeds 1.
+    pub fn transmit_bits(&self, data_bits: &[u8]) -> Vec<Complex> {
+        let n_dbps = self.data_bits_per_symbol();
+        let mut bits = data_bits.to_vec();
+        while bits.len() % n_dbps != 0 || bits.is_empty() {
+            bits.push(0);
+        }
+        let scrambled = Scrambler::new(self.scrambler_seed).scramble(&bits);
+        let coded = encode(&scrambled, self.rate);
+        debug_assert_eq!(coded.len() % N_CBPS_64QAM, 0);
+        let mut wave = Vec::new();
+        for chunk in coded.chunks(N_CBPS_64QAM) {
+            let inter = interleave(chunk, N_CBPS_64QAM, N_BPSC_64QAM);
+            let points: Vec<Complex> = inter
+                .chunks(N_BPSC_64QAM)
+                .map(map_64qam)
+                .collect();
+            debug_assert_eq!(points.len(), DATA_SUBCARRIERS);
+            wave.extend(synthesize_symbol(&allocate_subcarriers(&points)));
+        }
+        wave
+    }
+
+    /// Transmits a complete 802.11g frame: PLCP preamble (STF + LTF), the
+    /// SIGNAL symbol announcing 54 Mb/s and the PSDU length, then the data
+    /// field (`SERVICE` zeros + PSDU bytes LSB-first + tail zeros, padded to
+    /// whole OFDM symbols).
+    ///
+    /// Unlike the standard, the tail/pad bits go through the scrambler like
+    /// everything else; [`crate::rx::WifiReceiver`] mirrors this, so frames
+    /// round-trip exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::plcp::SignalError::LengthTooLarge`] for PSDUs over
+    /// 4095 bytes.
+    pub fn transmit_frame(
+        &self,
+        psdu: &[u8],
+    ) -> Result<Vec<Complex>, crate::plcp::SignalError> {
+        let mut wave = crate::plcp::plcp_header(crate::plcp::SignalRate::R54, psdu.len())?;
+        let mut bits = Vec::with_capacity(16 + psdu.len() * 8 + 6);
+        bits.extend_from_slice(&[0u8; 16]); // SERVICE
+        for &byte in psdu {
+            for bit in 0..8 {
+                bits.push((byte >> bit) & 1);
+            }
+        }
+        bits.extend_from_slice(&[0u8; 6]); // tail
+        wave.extend(self.transmit_bits(&bits));
+        Ok(wave)
+    }
+
+    /// Synthesizes OFDM symbols directly from QAM points, bypassing the bit
+    /// chain — the paper's simulation mode ("The preprocessing is ignored and
+    /// the produced QAM constellation points are sent into 64-point IFFT").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `points.len()` is a multiple of 48.
+    pub fn transmit_points(&self, points: &[Complex]) -> Vec<Complex> {
+        assert_eq!(
+            points.len() % DATA_SUBCARRIERS,
+            0,
+            "need whole OFDM symbols (48 points each)"
+        );
+        let mut wave = Vec::with_capacity(points.len() / DATA_SUBCARRIERS * SYMBOL_LEN);
+        for chunk in points.chunks(DATA_SUBCARRIERS) {
+            wave.extend(synthesize_symbol(&allocate_subcarriers(chunk)));
+        }
+        wave
+    }
+
+    /// The attacker's reverse chain: finds MAC data bits whose normal
+    /// transmission best approximates the desired QAM points, and reports
+    /// the points actually produced plus the codeword Hamming gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `desired_points.len()` is a multiple of 48.
+    pub fn recover_bits_for_points(&self, desired_points: &[Complex]) -> RecoveredBits {
+        assert_eq!(
+            desired_points.len() % DATA_SUBCARRIERS,
+            0,
+            "need whole OFDM symbols (48 points each)"
+        );
+        // Demap + deinterleave per symbol to get the target coded stream.
+        let mut target_coded = Vec::with_capacity(desired_points.len() * N_BPSC_64QAM);
+        for chunk in desired_points.chunks(DATA_SUBCARRIERS) {
+            let mut bits = Vec::with_capacity(N_CBPS_64QAM);
+            for p in chunk {
+                bits.extend_from_slice(&demap_64qam(*p));
+            }
+            target_coded.extend(deinterleave(&bits, N_CBPS_64QAM, N_BPSC_64QAM));
+        }
+        let found = closest_codeword(&target_coded, self.rate)
+            .expect("whole symbols always align with the puncturing period");
+        let data_bits = Scrambler::new(self.scrambler_seed).scramble(&found.data);
+        // Re-run the forward chain to see what the air actually carries.
+        let wave = self.transmit_bits(&data_bits);
+        let mut actual_points = Vec::with_capacity(desired_points.len());
+        for sym in wave.chunks(SYMBOL_LEN) {
+            actual_points.extend(extract_data_subcarriers(&analyze_symbol(sym)));
+        }
+        RecoveredBits {
+            data_bits,
+            actual_points,
+            codeword_distance: found.distance,
+        }
+    }
+}
+
+/// Output of the reverse chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredBits {
+    /// MAC-layer data bits to feed a stock 802.11g transmitter.
+    pub data_bits: Vec<u8>,
+    /// QAM points the recovered bits actually produce on air.
+    pub actual_points: Vec<Complex>,
+    /// Hamming distance between the desired coded stream and the nearest
+    /// codeword — zero iff the desired points were exactly reachable.
+    pub codeword_distance: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn one_symbol_per_n_dbps() {
+        let tx = WifiTransmitter::new();
+        assert_eq!(tx.data_bits_per_symbol(), 216);
+        let bits = vec![0u8; 216];
+        assert_eq!(tx.transmit_bits(&bits).len(), SYMBOL_LEN);
+        let bits2 = vec![0u8; 217];
+        assert_eq!(tx.transmit_bits(&bits2).len(), 2 * SYMBOL_LEN);
+    }
+
+    #[test]
+    fn rate_half_n_dbps() {
+        let tx = WifiTransmitter::new().with_rate(Rate::Half);
+        assert_eq!(tx.data_bits_per_symbol(), 144);
+    }
+
+    #[test]
+    fn every_symbol_has_cp() {
+        let tx = WifiTransmitter::new();
+        let mut rng = StdRng::seed_from_u64(61);
+        let bits: Vec<u8> = (0..432).map(|_| rng.gen_range(0..2u8)).collect();
+        let wave = tx.transmit_bits(&bits);
+        for sym in wave.chunks(SYMBOL_LEN) {
+            for i in 0..16 {
+                assert!((sym[i] - sym[64 + i]).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transmit_points_roundtrip_via_fft() {
+        let tx = WifiTransmitter::new();
+        let pts: Vec<Complex> = (0..48).map(|i| Complex::new(i as f64 * 0.1, -0.2)).collect();
+        let wave = tx.transmit_points(&pts);
+        let spec = analyze_symbol(&wave);
+        let got = extract_data_subcarriers(&spec);
+        for (a, b) in pts.iter().zip(&got) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reverse_chain_exact_for_reachable_points() {
+        // Points produced by a forward transmission are exactly reachable:
+        // the reverse chain must recover bits with zero codeword distance
+        // and reproduce the same points.
+        let tx = WifiTransmitter::new();
+        let mut rng = StdRng::seed_from_u64(62);
+        let bits: Vec<u8> = (0..216).map(|_| rng.gen_range(0..2u8)).collect();
+        let wave = tx.transmit_bits(&bits);
+        let points = extract_data_subcarriers(&analyze_symbol(&wave));
+        let rec = tx.recover_bits_for_points(&points);
+        assert_eq!(rec.codeword_distance, 0);
+        assert_eq!(rec.data_bits, bits);
+        for (a, b) in points.iter().zip(&rec.actual_points) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reverse_chain_approximates_arbitrary_points() {
+        // Random constellation points are generally unreachable; the reverse
+        // chain still returns the nearest transmittable approximation.
+        let tx = WifiTransmitter::new();
+        let mut rng = StdRng::seed_from_u64(63);
+        let desired: Vec<Complex> = (0..48)
+            .map(|_| {
+                Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            })
+            .collect();
+        let rec = tx.recover_bits_for_points(&desired);
+        assert_eq!(rec.actual_points.len(), 48);
+        assert!(rec.codeword_distance > 0, "random points should not be a codeword");
+        // The approximation should still be correlated with the target.
+        let corr = ctc_dsp::metrics::correlation(&desired, &rec.actual_points);
+        assert!(corr > 0.3, "approximation too poor: correlation {corr}");
+    }
+
+    #[test]
+    fn scrambler_seed_changes_waveform() {
+        let bits = vec![1u8; 216];
+        let w1 = WifiTransmitter::new().transmit_bits(&bits);
+        let w2 = WifiTransmitter::new()
+            .with_scrambler_seed(0x11)
+            .transmit_bits(&bits);
+        let diff: f64 = w1.iter().zip(&w2).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+        assert!(diff > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 points")]
+    fn transmit_points_validates_length() {
+        let _ = WifiTransmitter::new().transmit_points(&[Complex::ONE; 47]);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let tx = WifiTransmitter::new();
+        assert_eq!(tx.center_frequency_hz(), 2.44e9);
+        assert_eq!(tx.sample_rate_hz(), 20.0e6);
+    }
+}

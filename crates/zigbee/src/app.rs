@@ -1,0 +1,122 @@
+//! Toy application layer.
+//!
+//! The paper's end-to-end runs "denote the text from 00000 to 00099 as the
+//! input of the APP layer" (Sec. VII-C1): one hundred five-digit messages,
+//! each sent as one packet. This module generates and checks that corpus and
+//! gives a tiny command vocabulary for the smart-device examples.
+
+/// The corpus of payloads used by the paper's evaluation: `"00000"` through
+/// `"00099"` (`count = 100`), generalized to any count up to 100 000.
+///
+/// # Panics
+///
+/// Panics if `count > 100_000` (would not fit five digits).
+///
+/// # Examples
+///
+/// ```
+/// let msgs = ctc_zigbee::app::numbered_messages(3);
+/// assert_eq!(msgs, vec![b"00000".to_vec(), b"00001".to_vec(), b"00002".to_vec()]);
+/// ```
+pub fn numbered_messages(count: usize) -> Vec<Vec<u8>> {
+    assert!(count <= 100_000, "five-digit corpus caps at 100000 messages");
+    (0..count).map(|i| format!("{i:05}").into_bytes()).collect()
+}
+
+/// Checks a decoded payload against the expected corpus entry.
+pub fn verify_message(payload: &[u8], index: usize) -> bool {
+    payload == format!("{index:05}").as_bytes()
+}
+
+/// Control commands a ZigBee actuator (smart bulb, lock, thermostat…)
+/// understands in the examples — the kind of message the attacker replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Switch the device on.
+    TurnOn,
+    /// Switch the device off.
+    TurnOff,
+    /// Unlock (e.g. the garage door from the paper's introduction).
+    Unlock,
+    /// Set a numeric level (brightness, temperature setpoint).
+    SetLevel(u8),
+}
+
+impl Command {
+    /// Serializes to a fixed 2-byte payload.
+    pub fn to_payload(self) -> Vec<u8> {
+        match self {
+            Command::TurnOn => vec![0x01, 0x00],
+            Command::TurnOff => vec![0x02, 0x00],
+            Command::Unlock => vec![0x03, 0x00],
+            Command::SetLevel(v) => vec![0x04, v],
+        }
+    }
+
+    /// Parses a payload back into a command.
+    pub fn from_payload(payload: &[u8]) -> Option<Command> {
+        match payload {
+            [0x01, 0x00] => Some(Command::TurnOn),
+            [0x02, 0x00] => Some(Command::TurnOff),
+            [0x03, 0x00] => Some(Command::Unlock),
+            [0x04, v] => Some(Command::SetLevel(*v)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Command::TurnOn => write!(f, "TURN_ON"),
+            Command::TurnOff => write!(f, "TURN_OFF"),
+            Command::Unlock => write!(f, "UNLOCK"),
+            Command::SetLevel(v) => write!(f, "SET_LEVEL({v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_paper() {
+        let msgs = numbered_messages(100);
+        assert_eq!(msgs.len(), 100);
+        assert_eq!(msgs[0], b"00000");
+        assert_eq!(msgs[99], b"00099");
+    }
+
+    #[test]
+    fn verify_matches() {
+        assert!(verify_message(b"00042", 42));
+        assert!(!verify_message(b"00042", 41));
+    }
+
+    #[test]
+    #[should_panic(expected = "caps")]
+    fn oversize_corpus_panics() {
+        let _ = numbered_messages(100_001);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        for cmd in [
+            Command::TurnOn,
+            Command::TurnOff,
+            Command::Unlock,
+            Command::SetLevel(77),
+        ] {
+            assert_eq!(Command::from_payload(&cmd.to_payload()), Some(cmd));
+        }
+        assert_eq!(Command::from_payload(b"xx"), None);
+        assert_eq!(Command::from_payload(b""), None);
+    }
+
+    #[test]
+    fn command_display() {
+        assert_eq!(Command::Unlock.to_string(), "UNLOCK");
+        assert_eq!(Command::SetLevel(5).to_string(), "SET_LEVEL(5)");
+    }
+}

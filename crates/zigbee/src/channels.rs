@@ -1,0 +1,209 @@
+//! The 2.4 GHz channel plan (IEEE 802.15.4 channels 11–26 and the 802.11
+//! channels they coexist with).
+//!
+//! The attack's spectral precondition (paper Sec. IV) is that the victim's
+//! 2 MHz ZigBee channel lies inside the attacker's 20 MHz WiFi band: the
+//! paper's example pairs ZigBee channel 17 (2435 MHz) with a WiFi carrier
+//! at 2440 MHz. This module enumerates the plan so experiments can sweep
+//! which victim channels a given attacker can reach.
+
+/// An IEEE 802.15.4 2.4 GHz channel (11–26).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZigbeeChannel(u8);
+
+/// Error for out-of-range channel numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChannelError {
+    number: u8,
+}
+
+impl std::fmt::Display for InvalidChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "802.15.4 2.4 GHz channels are 11..=26, got {}",
+            self.number
+        )
+    }
+}
+
+impl std::error::Error for InvalidChannelError {}
+
+impl ZigbeeChannel {
+    /// Creates a channel from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChannelError`] outside 11–26.
+    pub fn new(number: u8) -> Result<Self, InvalidChannelError> {
+        if (11..=26).contains(&number) {
+            Ok(ZigbeeChannel(number))
+        } else {
+            Err(InvalidChannelError { number })
+        }
+    }
+
+    /// The paper's channel 17.
+    pub fn paper_channel() -> Self {
+        ZigbeeChannel(17)
+    }
+
+    /// Channel number (11–26).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in Hz: `2405 + 5 (k - 11)` MHz.
+    pub fn center_hz(self) -> f64 {
+        (2405.0 + 5.0 * (self.0 as f64 - 11.0)) * 1e6
+    }
+
+    /// Occupied bandwidth in Hz.
+    pub fn bandwidth_hz(self) -> f64 {
+        2.0e6
+    }
+
+    /// All sixteen channels.
+    pub fn all() -> Vec<ZigbeeChannel> {
+        (11..=26).map(ZigbeeChannel).collect()
+    }
+}
+
+impl std::fmt::Display for ZigbeeChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ZigBee ch.{} ({:.0} MHz)", self.0, self.center_hz() / 1e6)
+    }
+}
+
+/// An IEEE 802.11 2.4 GHz channel (1–13, 5 MHz raster from 2412 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WifiChannel(u8);
+
+impl WifiChannel {
+    /// Creates a channel from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChannelError`] outside 1–13.
+    pub fn new(number: u8) -> Result<Self, InvalidChannelError> {
+        if (1..=13).contains(&number) {
+            Ok(WifiChannel(number))
+        } else {
+            Err(InvalidChannelError { number })
+        }
+    }
+
+    /// The channel centred at 2440 MHz the paper's attacker uses (ch. 6 is
+    /// 2437; the paper parks the carrier at 2440, between 6 and 7 — we
+    /// expose both the raster and a free-tuning constructor).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in Hz: `2407 + 5 k` MHz.
+    pub fn center_hz(self) -> f64 {
+        (2407.0 + 5.0 * self.0 as f64) * 1e6
+    }
+
+    /// Occupied bandwidth in Hz (OFDM: 52 used subcarriers ≈ 16.6 MHz, but
+    /// the channel allocation is 20 MHz).
+    pub fn bandwidth_hz(self) -> f64 {
+        20.0e6
+    }
+
+    /// All thirteen channels.
+    pub fn all() -> Vec<WifiChannel> {
+        (1..=13).map(WifiChannel).collect()
+    }
+}
+
+impl std::fmt::Display for WifiChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WiFi ch.{} ({:.0} MHz)", self.0, self.center_hz() / 1e6)
+    }
+}
+
+/// Whether a ZigBee channel's full 2 MHz band lies inside the *usable*
+/// subcarrier span of a WiFi transmission centred at `wifi_center_hz`.
+///
+/// The usable span is the data-subcarrier region `±26 × 0.3125 MHz ≈
+/// ±8.1 MHz`; a margin of one subcarrier keeps the edge bins available.
+pub fn attackable(zigbee: ZigbeeChannel, wifi_center_hz: f64) -> bool {
+    let span = 25.0 * 0.3125e6; // +- usable, one-bin margin
+    let lo = wifi_center_hz - span;
+    let hi = wifi_center_hz + span;
+    let z_lo = zigbee.center_hz() - zigbee.bandwidth_hz() / 2.0;
+    let z_hi = zigbee.center_hz() + zigbee.bandwidth_hz() / 2.0;
+    z_lo >= lo && z_hi <= hi
+}
+
+/// All ZigBee channels attackable from a WiFi carrier at `wifi_center_hz`.
+pub fn attackable_channels(wifi_center_hz: f64) -> Vec<ZigbeeChannel> {
+    ZigbeeChannel::all()
+        .into_iter()
+        .filter(|&z| attackable(z, wifi_center_hz))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_17_matches_paper() {
+        let ch = ZigbeeChannel::paper_channel();
+        assert_eq!(ch.number(), 17);
+        assert_eq!(ch.center_hz(), 2.435e9);
+        assert_eq!(ch.to_string(), "ZigBee ch.17 (2435 MHz)");
+    }
+
+    #[test]
+    fn channel_bounds() {
+        assert!(ZigbeeChannel::new(10).is_err());
+        assert!(ZigbeeChannel::new(27).is_err());
+        assert!(ZigbeeChannel::new(11).is_ok());
+        assert!(ZigbeeChannel::new(26).is_ok());
+        assert!(WifiChannel::new(0).is_err());
+        assert!(WifiChannel::new(14).is_err());
+    }
+
+    #[test]
+    fn wifi_raster() {
+        assert_eq!(WifiChannel::new(1).unwrap().center_hz(), 2.412e9);
+        assert_eq!(WifiChannel::new(6).unwrap().center_hz(), 2.437e9);
+        assert_eq!(WifiChannel::new(13).unwrap().center_hz(), 2.472e9);
+    }
+
+    #[test]
+    fn paper_pairing_is_attackable() {
+        // ZigBee 17 at 2435 inside a WiFi transmission at 2440: -5 MHz
+        // offset, well within the data span.
+        assert!(attackable(ZigbeeChannel::paper_channel(), 2.44e9));
+    }
+
+    #[test]
+    fn distant_channels_are_not_attackable() {
+        // ZigBee 26 at 2480 from a WiFi carrier at 2412.
+        assert!(!attackable(ZigbeeChannel::new(26).unwrap(), 2.412e9));
+    }
+
+    #[test]
+    fn attackable_set_size_is_three_or_four() {
+        // A 20 MHz WiFi band covers ~15.6 MHz of usable span = 3 ZigBee
+        // channels fully (5 MHz apart).
+        for wifi in WifiChannel::all() {
+            let n = attackable_channels(wifi.center_hz()).len();
+            assert!(
+                (2..=4).contains(&n),
+                "{wifi}: {n} attackable channels"
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_channels_total() {
+        assert_eq!(ZigbeeChannel::all().len(), 16);
+        assert_eq!(ZigbeeChannel::all()[0].center_hz(), 2.405e9);
+        assert_eq!(ZigbeeChannel::all()[15].center_hz(), 2.48e9);
+    }
+}

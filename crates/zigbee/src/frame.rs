@@ -1,0 +1,324 @@
+//! 802.15.4 PHY/MAC framing: preamble, SFD, length header, payload and FCS.
+//!
+//! Frame layout on the air (each byte is sent low nibble first, one symbol
+//! per nibble):
+//!
+//! ```text
+//! | preamble 4 x 0x00 | SFD 0xA7 | PHR len | PSDU (payload + FCS) |
+//! ```
+//!
+//! The FCS is the 16-bit ITU-T CRC the standard mandates
+//! (`x^16 + x^12 + x^5 + 1`, initial value 0, LSB-first).
+
+use crate::chipmap;
+
+/// Number of preamble bytes (all zero).
+pub const PREAMBLE_BYTES: usize = 4;
+
+/// Start-of-frame delimiter value.
+pub const SFD: u8 = 0xA7;
+
+/// Maximum PSDU length in bytes (7-bit PHR field).
+pub const MAX_PSDU_LEN: usize = 127;
+
+/// Length of the FCS in bytes.
+pub const FCS_LEN: usize = 2;
+
+/// Errors raised while building or parsing frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Payload (plus FCS) exceeds [`MAX_PSDU_LEN`].
+    PayloadTooLong {
+        /// Bytes supplied.
+        len: usize,
+    },
+    /// Symbol stream ended before the advertised frame length.
+    Truncated,
+    /// No SFD found in the symbol stream.
+    SfdNotFound,
+    /// FCS check failed.
+    BadFcs {
+        /// CRC computed over the received payload.
+        computed: u16,
+        /// CRC carried in the frame.
+        received: u16,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::PayloadTooLong { len } => {
+                write!(f, "payload of {len} bytes exceeds the 125-byte maximum")
+            }
+            FrameError::Truncated => write!(f, "symbol stream shorter than the frame header claims"),
+            FrameError::SfdNotFound => write!(f, "start-of-frame delimiter not found"),
+            FrameError::BadFcs { computed, received } => write!(
+                f,
+                "frame check sequence mismatch: computed {computed:#06x}, received {received:#06x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// ITU-T CRC-16 used as the 802.15.4 FCS (poly 0x1021 reflected = 0x8408,
+/// init 0x0000, LSB first, no final XOR).
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x0000;
+    for &byte in data {
+        crc ^= byte as u16;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0x8408;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Splits bytes into 4-bit symbols, low nibble first.
+pub fn bytes_to_symbols(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(b & 0x0F);
+        out.push(b >> 4);
+    }
+    out
+}
+
+/// Reassembles bytes from 4-bit symbols (low nibble first). A trailing
+/// unpaired symbol is dropped.
+pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
+    symbols
+        .chunks_exact(2)
+        .map(|p| (p[0] & 0x0F) | ((p[1] & 0x0F) << 4))
+        .collect()
+}
+
+/// Builds the complete on-air symbol sequence for a MAC payload:
+/// preamble + SFD + PHR + payload + FCS, as 4-bit symbols.
+///
+/// # Errors
+///
+/// Returns [`FrameError::PayloadTooLong`] when the payload plus 2-byte FCS
+/// exceeds 127 bytes.
+///
+/// # Examples
+///
+/// ```
+/// let symbols = ctc_zigbee::frame::build_frame_symbols(b"hi")?;
+/// // 4 preamble + 1 SFD + 1 PHR + 2 payload + 2 FCS bytes = 20 symbols.
+/// assert_eq!(symbols.len(), 20);
+/// # Ok::<(), ctc_zigbee::frame::FrameError>(())
+/// ```
+pub fn build_frame_symbols(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let psdu_len = payload.len() + FCS_LEN;
+    if psdu_len > MAX_PSDU_LEN {
+        return Err(FrameError::PayloadTooLong { len: payload.len() });
+    }
+    let mut bytes = Vec::with_capacity(PREAMBLE_BYTES + 2 + psdu_len);
+    bytes.extend_from_slice(&[0u8; PREAMBLE_BYTES]);
+    bytes.push(SFD);
+    bytes.push(psdu_len as u8);
+    bytes.extend_from_slice(payload);
+    let fcs = crc16(payload);
+    bytes.push((fcs & 0xFF) as u8);
+    bytes.push((fcs >> 8) as u8);
+    Ok(bytes_to_symbols(&bytes))
+}
+
+/// A successfully parsed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// MAC payload (FCS stripped).
+    pub payload: Vec<u8>,
+    /// Symbol index (into the parsed stream) where the PSDU began.
+    pub psdu_symbol_offset: usize,
+}
+
+/// Parses a symbol stream produced by [`build_frame_symbols`] (possibly with
+/// symbol errors): hunts for the SFD, reads the PHR, extracts the PSDU and
+/// verifies the FCS.
+///
+/// # Errors
+///
+/// - [`FrameError::SfdNotFound`] when no `0xA7` byte boundary exists,
+/// - [`FrameError::Truncated`] when the stream is shorter than PHR claims,
+/// - [`FrameError::BadFcs`] on checksum mismatch.
+pub fn parse_frame_symbols(symbols: &[u8]) -> Result<Frame, FrameError> {
+    // Hunt for the SFD at any symbol offset: synchronization may lock onto
+    // any of the identical preamble symbols, so byte alignment relative to
+    // the stream start is unknown.
+    let sfd_low = SFD & 0x0F;
+    let sfd_high = SFD >> 4;
+    let mut idx = None;
+    let mut i = 0;
+    while i + 1 < symbols.len() {
+        if symbols[i] == sfd_low && symbols[i + 1] == sfd_high {
+            idx = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let sfd_at = idx.ok_or(FrameError::SfdNotFound)?;
+    let phr_at = sfd_at + 2;
+    if phr_at + 1 >= symbols.len() {
+        return Err(FrameError::Truncated);
+    }
+    let psdu_len = ((symbols[phr_at] & 0x0F) | (symbols[phr_at + 1] << 4)) as usize & 0x7F;
+    if psdu_len < FCS_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let psdu_at = phr_at + 2;
+    let needed = psdu_at + psdu_len * 2;
+    if symbols.len() < needed {
+        return Err(FrameError::Truncated);
+    }
+    let psdu = symbols_to_bytes(&symbols[psdu_at..needed]);
+    let (payload, fcs_bytes) = psdu.split_at(psdu.len() - FCS_LEN);
+    let received = fcs_bytes[0] as u16 | ((fcs_bytes[1] as u16) << 8);
+    let computed = crc16(payload);
+    if computed != received {
+        return Err(FrameError::BadFcs { computed, received });
+    }
+    Ok(Frame {
+        payload: payload.to_vec(),
+        psdu_symbol_offset: psdu_at,
+    })
+}
+
+/// Total chip count for a frame carrying `payload_len` payload bytes.
+pub fn frame_chip_count(payload_len: usize) -> usize {
+    let bytes = PREAMBLE_BYTES + 1 + 1 + payload_len + FCS_LEN;
+    bytes * 2 * chipmap::CHIPS_PER_SYMBOL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc16_known_vectors() {
+        // ITU-T CRC16, CRC-16/KERMIT parameterization (poly 0x1021 reflected,
+        // init 0, LSB first) — the 802.15.4 FCS. Standard check value:
+        assert_eq!(crc16(&[]), 0x0000);
+        assert_eq!(crc16(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn nibble_roundtrip() {
+        let bytes = [0xA7, 0x00, 0x12, 0xFF];
+        let syms = bytes_to_symbols(&bytes);
+        assert_eq!(syms[0], 0x7);
+        assert_eq!(syms[1], 0xA);
+        assert_eq!(symbols_to_bytes(&syms), bytes.to_vec());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"00042";
+        let syms = build_frame_symbols(payload).unwrap();
+        let frame = parse_frame_symbols(&syms).unwrap();
+        assert_eq!(frame.payload, payload.to_vec());
+    }
+
+    #[test]
+    fn frame_symbol_layout() {
+        let syms = build_frame_symbols(b"").unwrap();
+        // Preamble: 8 zero symbols.
+        assert!(syms[..8].iter().all(|&s| s == 0));
+        // SFD low nibble 7 then high nibble A.
+        assert_eq!(syms[8], 0x7);
+        assert_eq!(syms[9], 0xA);
+        // PHR = 2 (FCS only).
+        assert_eq!(syms[10], 0x2);
+        assert_eq!(syms[11], 0x0);
+    }
+
+    #[test]
+    fn rejects_oversize_payload() {
+        let payload = vec![0u8; 126];
+        assert!(matches!(
+            build_frame_symbols(&payload),
+            Err(FrameError::PayloadTooLong { len: 126 })
+        ));
+        assert!(build_frame_symbols(&vec![0u8; 125]).is_ok());
+    }
+
+    #[test]
+    fn detects_missing_sfd() {
+        let syms = vec![0u8; 20];
+        assert_eq!(parse_frame_symbols(&syms), Err(FrameError::SfdNotFound));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut syms = build_frame_symbols(b"hello").unwrap();
+        syms.truncate(syms.len() - 4);
+        assert_eq!(parse_frame_symbols(&syms), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn detects_corrupted_payload() {
+        let mut syms = build_frame_symbols(b"hello").unwrap();
+        // Flip a payload symbol (after preamble+SFD+PHR = 12 symbols).
+        syms[14] ^= 0x5;
+        assert!(matches!(
+            parse_frame_symbols(&syms),
+            Err(FrameError::BadFcs { .. })
+        ));
+    }
+
+    #[test]
+    fn chip_count_matches_symbols() {
+        let payload = b"0123";
+        let syms = build_frame_symbols(payload).unwrap();
+        assert_eq!(
+            frame_chip_count(payload.len()),
+            syms.len() * chipmap::CHIPS_PER_SYMBOL
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = FrameError::BadFcs {
+            computed: 0x1234,
+            received: 0x5678,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x1234"));
+        assert!(msg.contains("0x5678"));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_payload_roundtrips(payload in proptest::collection::vec(any::<u8>(), 0..120)) {
+            let syms = build_frame_symbols(&payload).unwrap();
+            let frame = parse_frame_symbols(&syms).unwrap();
+            prop_assert_eq!(frame.payload, payload);
+        }
+
+        #[test]
+        fn single_symbol_error_in_payload_always_caught_or_corrected(
+            payload in proptest::collection::vec(any::<u8>(), 1..30),
+            flip_pos in 0usize..20,
+            flip_val in 1u8..16,
+        ) {
+            let mut syms = build_frame_symbols(&payload).unwrap();
+            let pos = 12 + flip_pos % (payload.len() * 2);
+            syms[pos] ^= flip_val;
+            // Either the parse fails (FCS catches it) or — impossible for a
+            // single nibble flip — returns the original payload.
+            match parse_frame_symbols(&syms) {
+                Err(FrameError::BadFcs { .. }) => {}
+                Ok(frame) => prop_assert_eq!(frame.payload, payload),
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+}

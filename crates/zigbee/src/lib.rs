@@ -1,0 +1,43 @@
+//! # ctc-zigbee
+//!
+//! IEEE 802.15.4 2.4 GHz PHY + minimal MAC, written from scratch for the
+//! *Hide and Seek* (ICDCS 2019) reproduction. This is the victim stack: the
+//! ZigBee transmitter whose waveform the WiFi attacker records, and the
+//! ZigBee receiver the emulated waveform must fool.
+//!
+//! Pipeline (paper Fig. 1):
+//!
+//! ```text
+//! TX: payload -> frame symbols -> DSSS spread (16x32 chips) -> O-QPSK half-sine
+//! RX: sync -> O-QPSK demod -> clock recovery -> hard/soft DSSS despread -> frame
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ctc_zigbee::{Receiver, Transmitter};
+//!
+//! let tx = Transmitter::new();
+//! let wave = tx.transmit_payload(b"00000")?;
+//! let reception = Receiver::usrp().receive(&wave);
+//! assert_eq!(reception.payload(), Some(&b"00000"[..]));
+//! # Ok::<(), ctc_zigbee::frame::FrameError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod channels;
+pub mod chipmap;
+pub mod frame;
+pub mod frontend;
+pub mod mac;
+pub mod modem;
+pub mod rx;
+pub mod tx;
+
+pub use channels::{WifiChannel, ZigbeeChannel};
+pub use modem::ChipSamples;
+pub use rx::{Decision, Receiver, Reception};
+pub use tx::Transmitter;

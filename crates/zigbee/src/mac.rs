@@ -1,0 +1,298 @@
+//! IEEE 802.15.4 MAC layer: frame control, sequence numbers, short
+//! addressing, and a stateful receiving device.
+//!
+//! The attack replays a recorded frame verbatim, so the MAC header — and in
+//! particular the 8-bit sequence number — comes along for the ride. A
+//! device that caches recent sequence numbers rejects *verbatim replays*
+//! while its cache holds state; the extension experiments quantify how far
+//! that gets a defender compared to the physical-layer detector (spoiler:
+//! it is bypassed by waiting out the cache or power-cycling the device,
+//! and it cannot tell *who* transmitted — the cumulant detector can).
+
+use crate::frame::{build_frame_symbols, FrameError};
+
+/// MAC frame types (FCF bits 0–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacFrameType {
+    /// Beacon.
+    Beacon,
+    /// Data.
+    Data,
+    /// Acknowledgement.
+    Ack,
+    /// MAC command.
+    Command,
+}
+
+impl MacFrameType {
+    fn to_bits(self) -> u16 {
+        match self {
+            MacFrameType::Beacon => 0,
+            MacFrameType::Data => 1,
+            MacFrameType::Ack => 2,
+            MacFrameType::Command => 3,
+        }
+    }
+
+    fn from_bits(bits: u16) -> Option<Self> {
+        Some(match bits & 0b111 {
+            0 => MacFrameType::Beacon,
+            1 => MacFrameType::Data,
+            2 => MacFrameType::Ack,
+            3 => MacFrameType::Command,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors from MAC parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacParseError {
+    /// Not enough bytes for the fixed header.
+    TooShort,
+    /// Reserved/unsupported frame type bits.
+    UnsupportedType,
+}
+
+impl std::fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacParseError::TooShort => write!(f, "MPDU shorter than the MAC header"),
+            MacParseError::UnsupportedType => write!(f, "unsupported MAC frame type"),
+        }
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+/// A MAC frame with short (16-bit) addressing on both ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacFrame {
+    /// Frame type.
+    pub frame_type: MacFrameType,
+    /// 8-bit sequence number.
+    pub sequence: u8,
+    /// Destination PAN identifier.
+    pub dest_pan: u16,
+    /// Destination short address.
+    pub dest: u16,
+    /// Source short address (intra-PAN: source PAN compressed).
+    pub src: u16,
+    /// MAC payload (MSDU).
+    pub payload: Vec<u8>,
+}
+
+impl MacFrame {
+    /// A data frame with the given addressing.
+    pub fn data(sequence: u8, dest_pan: u16, dest: u16, src: u16, payload: Vec<u8>) -> Self {
+        MacFrame {
+            frame_type: MacFrameType::Data,
+            sequence,
+            dest_pan,
+            dest,
+            src,
+            payload,
+        }
+    }
+
+    /// Serializes to an MPDU (without FCS — the PHY framing layer appends
+    /// the CRC-16).
+    pub fn to_mpdu(&self) -> Vec<u8> {
+        // FCF: type | intra-PAN (bit 6) | dest addressing short (bits 10-11
+        // = 0b10) | src addressing short (bits 14-15 = 0b10).
+        let fcf: u16 = self.frame_type.to_bits() | (1 << 6) | (0b10 << 10) | (0b10 << 14);
+        let mut out = Vec::with_capacity(9 + self.payload.len());
+        out.extend_from_slice(&fcf.to_le_bytes());
+        out.push(self.sequence);
+        out.extend_from_slice(&self.dest_pan.to_le_bytes());
+        out.extend_from_slice(&self.dest.to_le_bytes());
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses an MPDU (FCS already stripped by the PHY layer).
+    ///
+    /// # Errors
+    ///
+    /// See [`MacParseError`].
+    pub fn from_mpdu(mpdu: &[u8]) -> Result<MacFrame, MacParseError> {
+        if mpdu.len() < 9 {
+            return Err(MacParseError::TooShort);
+        }
+        let fcf = u16::from_le_bytes([mpdu[0], mpdu[1]]);
+        let frame_type = MacFrameType::from_bits(fcf).ok_or(MacParseError::UnsupportedType)?;
+        Ok(MacFrame {
+            frame_type,
+            sequence: mpdu[2],
+            dest_pan: u16::from_le_bytes([mpdu[3], mpdu[4]]),
+            dest: u16::from_le_bytes([mpdu[5], mpdu[6]]),
+            src: u16::from_le_bytes([mpdu[7], mpdu[8]]),
+            payload: mpdu[9..].to_vec(),
+        })
+    }
+
+    /// Builds the full on-air symbol stream (PHY framing + FCS included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameError::PayloadTooLong`].
+    pub fn to_symbols(&self) -> Result<Vec<u8>, FrameError> {
+        build_frame_symbols(&self.to_mpdu())
+    }
+}
+
+/// Why a device rejected a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// Addressed to another device or PAN.
+    NotForMe,
+    /// Sequence number recently seen from this source (verbatim replay).
+    DuplicateSequence,
+    /// Header did not parse.
+    Malformed,
+}
+
+/// A stateful ZigBee end device: filters by address and deduplicates by
+/// `(source, sequence)` over a bounded cache — the MAC-level anti-replay
+/// measure the extension experiments evaluate.
+#[derive(Debug, Clone)]
+pub struct ZigbeeDevice {
+    pan: u16,
+    address: u16,
+    seen: std::collections::VecDeque<(u16, u8)>,
+    cache_size: usize,
+}
+
+impl ZigbeeDevice {
+    /// A device with the given PAN/short address and a sequence cache of
+    /// `cache_size` entries (0 disables anti-replay).
+    pub fn new(pan: u16, address: u16, cache_size: usize) -> Self {
+        ZigbeeDevice {
+            pan,
+            address,
+            seen: std::collections::VecDeque::new(),
+            cache_size,
+        }
+    }
+
+    /// Handles one received MPDU: returns the accepted frame or the reason
+    /// for rejection. Accepting records the sequence number.
+    pub fn handle(&mut self, mpdu: &[u8]) -> Result<MacFrame, Rejection> {
+        let frame = MacFrame::from_mpdu(mpdu).map_err(|_| Rejection::Malformed)?;
+        if frame.dest_pan != self.pan || frame.dest != self.address {
+            return Err(Rejection::NotForMe);
+        }
+        let key = (frame.src, frame.sequence);
+        if self.cache_size > 0 {
+            if self.seen.contains(&key) {
+                return Err(Rejection::DuplicateSequence);
+            }
+            self.seen.push_back(key);
+            while self.seen.len() > self.cache_size {
+                self.seen.pop_front();
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Clears the sequence cache (a power cycle — what an attacker waits
+    /// for, or induces).
+    pub fn power_cycle(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::parse_frame_symbols;
+
+    fn frame(seq: u8) -> MacFrame {
+        MacFrame::data(seq, 0x1A2B, 0x0001, 0x00C0, b"on".to_vec())
+    }
+
+    #[test]
+    fn mpdu_roundtrip() {
+        let f = frame(42);
+        assert_eq!(MacFrame::from_mpdu(&f.to_mpdu()).unwrap(), f);
+    }
+
+    #[test]
+    fn all_types_roundtrip() {
+        for t in [
+            MacFrameType::Beacon,
+            MacFrameType::Data,
+            MacFrameType::Ack,
+            MacFrameType::Command,
+        ] {
+            let f = MacFrame {
+                frame_type: t,
+                ..frame(1)
+            };
+            assert_eq!(MacFrame::from_mpdu(&f.to_mpdu()).unwrap().frame_type, t);
+        }
+    }
+
+    #[test]
+    fn phy_integration() {
+        let f = frame(7);
+        let symbols = f.to_symbols().unwrap();
+        let parsed = parse_frame_symbols(&symbols).unwrap();
+        assert_eq!(MacFrame::from_mpdu(&parsed.payload).unwrap(), f);
+    }
+
+    #[test]
+    fn short_mpdu_rejected() {
+        assert_eq!(MacFrame::from_mpdu(&[0u8; 5]), Err(MacParseError::TooShort));
+    }
+
+    #[test]
+    fn device_filters_addresses() {
+        let mut dev = ZigbeeDevice::new(0x1A2B, 0x0001, 8);
+        assert!(dev.handle(&frame(1).to_mpdu()).is_ok());
+        let other = MacFrame::data(2, 0x1A2B, 0x0002, 0x00C0, vec![]);
+        assert_eq!(dev.handle(&other.to_mpdu()), Err(Rejection::NotForMe));
+        let other_pan = MacFrame::data(3, 0xFFFF, 0x0001, 0x00C0, vec![]);
+        assert_eq!(dev.handle(&other_pan.to_mpdu()), Err(Rejection::NotForMe));
+    }
+
+    #[test]
+    fn verbatim_replay_rejected_while_cached() {
+        let mut dev = ZigbeeDevice::new(0x1A2B, 0x0001, 8);
+        let f = frame(9);
+        assert!(dev.handle(&f.to_mpdu()).is_ok());
+        assert_eq!(dev.handle(&f.to_mpdu()), Err(Rejection::DuplicateSequence));
+    }
+
+    #[test]
+    fn cache_eviction_reopens_replay_window() {
+        let mut dev = ZigbeeDevice::new(0x1A2B, 0x0001, 2);
+        let f = frame(1);
+        assert!(dev.handle(&f.to_mpdu()).is_ok());
+        // Two newer frames evict sequence 1 from the 2-entry cache.
+        assert!(dev.handle(&frame(2).to_mpdu()).is_ok());
+        assert!(dev.handle(&frame(3).to_mpdu()).is_ok());
+        assert!(
+            dev.handle(&f.to_mpdu()).is_ok(),
+            "evicted sequence numbers are replayable again"
+        );
+    }
+
+    #[test]
+    fn power_cycle_clears_protection() {
+        let mut dev = ZigbeeDevice::new(0x1A2B, 0x0001, 8);
+        let f = frame(5);
+        assert!(dev.handle(&f.to_mpdu()).is_ok());
+        dev.power_cycle();
+        assert!(dev.handle(&f.to_mpdu()).is_ok());
+    }
+
+    #[test]
+    fn zero_cache_disables_anti_replay() {
+        let mut dev = ZigbeeDevice::new(0x1A2B, 0x0001, 0);
+        let f = frame(5);
+        assert!(dev.handle(&f.to_mpdu()).is_ok());
+        assert!(dev.handle(&f.to_mpdu()).is_ok());
+    }
+}

@@ -1,0 +1,589 @@
+//! ZigBee receiver: synchronization, O-QPSK demodulation, clock recovery,
+//! DSSS despreading and frame parsing (Fig. 1, right half).
+//!
+//! Two despreading back-ends model the paper's two receiver platforms:
+//!
+//! - [`Decision::Hard`] — hard chip decisions + minimum-Hamming-distance
+//!   lookup with a correlation threshold (the GNURadio/USRP pipeline).
+//! - [`Decision::Soft`] — correlation of soft chip values against all 16
+//!   sequences (the "stronger demodulation functions" of commodity
+//!   CC26x2R1 silicon, Fig. 14b).
+
+use crate::chipmap::{despread_hard, despread_soft, spread, CHIPS_PER_SYMBOL};
+use crate::frame::{parse_frame_symbols, Frame, FrameError};
+use crate::modem::{demodulate_chips, modulate_chips, ChipSamples, SAMPLES_PER_CHIP};
+use ctc_dsp::Complex;
+
+/// Despreading strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Hard chip decisions; a 32-chip group whose best Hamming distance
+    /// exceeds `threshold` is dropped (the paper uses threshold 10).
+    Hard {
+        /// Maximum tolerated Hamming distance.
+        threshold: u32,
+    },
+    /// Soft correlation against all chip sequences; a group whose normalized
+    /// score falls below `min_score` is dropped.
+    Soft {
+        /// Minimum normalized correlation in `[-1, 1]`.
+        min_score: f64,
+    },
+}
+
+impl Default for Decision {
+    fn default() -> Self {
+        Decision::Hard { threshold: 10 }
+    }
+}
+
+/// Synchronization estimates recovered from the preamble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncResult {
+    /// Sample offset of the first preamble chip.
+    pub offset: usize,
+    /// Carrier phase estimate (radians).
+    pub phase: f64,
+    /// Residual CFO estimate (radians per sample).
+    pub cfo_per_sample: f64,
+    /// Peak normalized correlation achieved during the search.
+    pub peak_correlation: f64,
+}
+
+/// Everything the receiver extracted from one waveform.
+#[derive(Debug, Clone)]
+pub struct Reception {
+    /// Despread data symbols, in order (dropped groups decoded anyway and
+    /// flagged in [`Reception::dropped`]).
+    pub symbols: Vec<u8>,
+    /// Per-symbol Hamming distance (hard decision) between received and
+    /// matched chip sequence.
+    pub hamming_distances: Vec<u32>,
+    /// Per-symbol normalized soft correlation score.
+    pub soft_scores: Vec<f64>,
+    /// Per-symbol drop flags (distance/score beyond the configured limit).
+    pub dropped: Vec<bool>,
+    /// Raw chip samples before any correction.
+    pub raw_chip_samples: ChipSamples,
+    /// Chip samples after CFO correction but before phase correction — what
+    /// the defense taps: clock recovery has removed the frequency drift, but
+    /// the channel's static phase rotation is still visible (Fig. 6b).
+    pub defense_chip_samples: ChipSamples,
+    /// Chip samples after phase/CFO correction — what despreading used.
+    pub chip_samples: ChipSamples,
+    /// Frame parse over the despread symbols.
+    pub frame: Result<Frame, FrameError>,
+    /// Synchronization estimates.
+    pub sync: SyncResult,
+}
+
+impl Reception {
+    /// True when a frame parsed, its FCS checked out, and no symbol in the
+    /// PSDU region was dropped.
+    pub fn packet_ok(&self) -> bool {
+        match &self.frame {
+            Ok(f) => {
+                let start = f.psdu_symbol_offset;
+                !self
+                    .dropped
+                    .iter()
+                    .skip(start)
+                    .take(f.payload.len() * 2 + 4)
+                    .any(|&d| d)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Payload bytes if the packet decoded.
+    pub fn payload(&self) -> Option<&[u8]> {
+        self.frame.as_ref().ok().map(|f| f.payload.as_slice())
+    }
+
+    /// Counts symbol mismatches against an expected transmitted stream
+    /// (compared over the shorter of the two).
+    pub fn symbol_errors(&self, expected: &[u8]) -> usize {
+        self.symbols
+            .iter()
+            .zip(expected)
+            .filter(|(a, b)| a != b)
+            .count()
+            + expected.len().saturating_sub(self.symbols.len())
+    }
+}
+
+/// A configured ZigBee receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Receiver {
+    decision: Decision,
+    sync_search: usize,
+    correct_phase: bool,
+    correct_cfo: bool,
+    fractional_timing: bool,
+}
+
+impl Default for Receiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Receiver {
+    /// Hard-decision receiver (threshold 10), no timing search (the waveform
+    /// is assumed frame-aligned, as in the paper's simulations), with
+    /// preamble phase correction enabled.
+    pub fn new() -> Self {
+        Receiver {
+            decision: Decision::default(),
+            sync_search: 0,
+            correct_phase: true,
+            correct_cfo: true,
+            fractional_timing: false,
+        }
+    }
+
+    /// USRP-like receiver: hard decisions with the paper's threshold of 10.
+    pub fn usrp() -> Self {
+        Self::new()
+    }
+
+    /// Commodity-device receiver: soft-decision despreading.
+    pub fn commodity() -> Self {
+        Self::new().with_decision(Decision::Soft { min_score: 0.25 })
+    }
+
+    /// Sets the despreading strategy.
+    pub fn with_decision(mut self, decision: Decision) -> Self {
+        self.decision = decision;
+        self
+    }
+
+    /// Enables a timing search over `0..=max_offset` samples.
+    pub fn with_sync_search(mut self, max_offset: usize) -> Self {
+        self.sync_search = max_offset;
+        self
+    }
+
+    /// Enables/disables preamble-based phase correction.
+    pub fn with_phase_correction(mut self, enabled: bool) -> Self {
+        self.correct_phase = enabled;
+        self
+    }
+
+    /// Enables/disables preamble-based CFO correction.
+    pub fn with_cfo_correction(mut self, enabled: bool) -> Self {
+        self.correct_cfo = enabled;
+        self
+    }
+
+    /// Enables sub-sample timing recovery: after the integer search, the
+    /// receiver tests quarter-sample offsets with a Farrow fractional
+    /// interpolator and keeps the best preamble correlation. Needed when
+    /// the incoming waveform is not sample-aligned with the receiver's
+    /// clock (always true over the air).
+    pub fn with_fractional_timing(mut self, enabled: bool) -> Self {
+        self.fractional_timing = enabled;
+        self
+    }
+
+    /// The reference waveform of one preamble symbol (32 chips of symbol 0).
+    fn preamble_template() -> Vec<Complex> {
+        modulate_chips(&spread(0))
+    }
+
+    /// Correlates the known preamble against the waveform to estimate
+    /// timing, phase and CFO.
+    fn synchronize(&self, wave: &[Complex]) -> SyncResult {
+        // Template: two preamble symbols for timing, full four for CFO.
+        let one = Self::preamble_template();
+        let sym_len = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP;
+        let mut template = Vec::with_capacity(sym_len * 2);
+        template.extend_from_slice(&one[..sym_len]);
+        template.extend_from_slice(&one[..sym_len]);
+
+        // Too little signal to correlate against the template: report a
+        // null sync instead of slicing out of range.
+        if wave.len() < template.len() {
+            return SyncResult {
+                offset: 0,
+                phase: 0.0,
+                cfo_per_sample: 0.0,
+                peak_correlation: 0.0,
+            };
+        }
+
+        let t_energy: f64 = template.iter().map(|v| v.norm_sqr()).sum();
+        let search = self.sync_search.min(wave.len().saturating_sub(template.len()));
+        let mut best_off = 0usize;
+        let mut best_corr = Complex::ZERO;
+        let mut best_score = f64::NEG_INFINITY;
+        for off in 0..=search {
+            let seg = &wave[off..off + template.len()];
+            let corr: Complex = seg
+                .iter()
+                .zip(&template)
+                .map(|(r, t)| *r * t.conj())
+                .sum();
+            let r_energy: f64 = seg.iter().map(|v| v.norm_sqr()).sum();
+            let score = if r_energy > 0.0 {
+                corr.norm_sqr() / (r_energy * t_energy)
+            } else {
+                0.0
+            };
+            if score > best_score {
+                best_score = score;
+                best_off = off;
+                best_corr = corr;
+            }
+        }
+
+        // CFO by delay-and-correlate over the preamble: consecutive preamble
+        // symbols carry identical chips, so the waveform is 64-sample
+        // periodic and `sum x[n+64] x*[n]` accumulates the per-symbol phase
+        // advance with a long averaging window (unbiased for offsets below
+        // fs/128 ≈ 31 kHz — far above any residual CFO after front-end
+        // correction).
+        let mut cfo = 0.0;
+        if self.correct_cfo {
+            let span = (6 * sym_len).min(wave.len().saturating_sub(best_off));
+            if span > sym_len + 32 {
+                let seg = &wave[best_off..best_off + span];
+                let acc: Complex = seg[..span - sym_len]
+                    .iter()
+                    .zip(&seg[sym_len..])
+                    .map(|(a, b)| *b * a.conj())
+                    .sum();
+                if acc.norm() > 0.0 {
+                    cfo = acc.arg() / sym_len as f64;
+                }
+            }
+        }
+
+        // Phase from the template correlation of the CFO-derotated preamble.
+        let phase = if self.correct_phase {
+            let seg_end = (best_off + template.len()).min(wave.len());
+            let corr: Complex = wave[best_off..seg_end]
+                .iter()
+                .enumerate()
+                .zip(&template)
+                .map(|((n, r), t)| *r * Complex::cis(-cfo * n as f64) * t.conj())
+                .sum();
+            if corr.norm() > 0.0 {
+                corr.arg()
+            } else {
+                best_corr.arg()
+            }
+        } else {
+            best_corr.arg()
+        };
+
+        SyncResult {
+            offset: best_off,
+            phase,
+            cfo_per_sample: cfo,
+            peak_correlation: best_score.max(0.0).sqrt(),
+        }
+    }
+
+    /// Processes a received baseband waveform (4 MHz, frame starting within
+    /// the configured search window) into a [`Reception`].
+    pub fn receive(&self, wave: &[Complex]) -> Reception {
+        let sync = self.synchronize(wave);
+        let aligned_slice = &wave[sync.offset.min(wave.len())..];
+        // Sub-sample refinement: advance by the fractional offset that
+        // maximizes preamble correlation.
+        let fractional = if self.fractional_timing && !aligned_slice.is_empty() {
+            let one = Self::preamble_template();
+            let sym_len = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP;
+            let template = &one[..sym_len.min(one.len())];
+            let mut best_mu = 0.0f64;
+            let mut best = f64::NEG_INFINITY;
+            for k in 0..8 {
+                let mu = k as f64 / 8.0;
+                let candidate = if mu == 0.0 {
+                    aligned_slice.to_vec()
+                } else {
+                    ctc_dsp::fractional::fractional_advance(aligned_slice, mu)
+                };
+                if candidate.len() < template.len() {
+                    break;
+                }
+                let corr: Complex = candidate[..template.len()]
+                    .iter()
+                    .zip(template)
+                    .map(|(r, t)| *r * t.conj())
+                    .sum();
+                if corr.norm() > best {
+                    best = corr.norm();
+                    best_mu = mu;
+                }
+            }
+            best_mu
+        } else {
+            0.0
+        };
+        let refined;
+        let aligned: &[Complex] = if fractional > 0.0 {
+            refined = ctc_dsp::fractional::fractional_advance(aligned_slice, fractional);
+            &refined
+        } else {
+            aligned_slice
+        };
+
+        // CFO-corrected copy (clock recovery), then the fully corrected copy
+        // for decoding.
+        let cfo_corrected: Vec<Complex> = if self.correct_cfo {
+            aligned
+                .iter()
+                .enumerate()
+                .map(|(n, &v)| v * Complex::cis(-sync.cfo_per_sample * n as f64))
+                .collect()
+        } else {
+            aligned.to_vec()
+        };
+        let corrected: Vec<Complex> = if self.correct_phase {
+            let r = Complex::cis(-sync.phase);
+            cfo_corrected.iter().map(|&v| v * r).collect()
+        } else {
+            cfo_corrected.clone()
+        };
+
+        let num_chips = (aligned.len() / SAMPLES_PER_CHIP) & !1usize;
+        let raw_chip_samples = demodulate_chips(aligned, num_chips);
+        let defense_chip_samples = demodulate_chips(&cfo_corrected, num_chips);
+        let chip_samples = demodulate_chips(&corrected, num_chips);
+
+        // Despread 32-chip groups.
+        let soft = chip_samples.interleaved();
+        let hard = chip_samples.hard_chips();
+        let mut symbols = Vec::new();
+        let mut hamming_distances = Vec::new();
+        let mut soft_scores = Vec::new();
+        let mut dropped = Vec::new();
+        for group in 0..(hard.len() / CHIPS_PER_SYMBOL) {
+            let lo = group * CHIPS_PER_SYMBOL;
+            let hi = lo + CHIPS_PER_SYMBOL;
+            let mut chips = [0u8; CHIPS_PER_SYMBOL];
+            chips.copy_from_slice(&hard[lo..hi]);
+            let (hard_sym, dist) = despread_hard(&chips);
+            let (soft_sym, score) = despread_soft(&soft[lo..hi]);
+            match self.decision {
+                Decision::Hard { threshold } => {
+                    symbols.push(hard_sym);
+                    dropped.push(dist > threshold);
+                }
+                Decision::Soft { min_score } => {
+                    symbols.push(soft_sym);
+                    dropped.push(score < min_score);
+                }
+            }
+            hamming_distances.push(dist);
+            soft_scores.push(score);
+        }
+
+        let frame = parse_frame_symbols(&symbols);
+        Reception {
+            symbols,
+            hamming_distances,
+            soft_scores,
+            dropped,
+            raw_chip_samples,
+            defense_chip_samples,
+            chip_samples,
+            frame,
+            sync,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transmitter;
+    use ctc_channel::Link;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tx_rx(payload: &[u8], rx: &Receiver) -> Reception {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(payload).unwrap();
+        rx.receive(&wave)
+    }
+
+    #[test]
+    fn clean_frame_decodes_hard() {
+        let r = tx_rx(b"00042", &Receiver::usrp());
+        assert!(r.packet_ok());
+        assert_eq!(r.payload(), Some(&b"00042"[..]));
+        assert!(r.hamming_distances.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn clean_frame_decodes_soft() {
+        let r = tx_rx(b"hello zigbee", &Receiver::commodity());
+        assert!(r.packet_ok());
+        assert_eq!(r.payload(), Some(&b"hello zigbee"[..]));
+        assert!(r.soft_scores.iter().all(|&s| s > 0.95));
+    }
+
+    #[test]
+    fn noisy_frame_decodes_at_moderate_snr() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"00007").unwrap();
+        let link = Link::awgn(12.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut ok = 0;
+        for _ in 0..20 {
+            let rxw = link.transmit(&wave, &mut rng);
+            if Receiver::usrp().receive(&rxw).packet_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 18, "only {ok}/20 packets at 12 dB");
+    }
+
+    #[test]
+    fn soft_beats_hard_at_low_snr() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"0001200045").unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let link = Link::awgn(2.0);
+        let mut hard_ok = 0;
+        let mut soft_ok = 0;
+        for _ in 0..60 {
+            let rxw = link.transmit(&wave, &mut rng);
+            if Receiver::usrp().receive(&rxw).packet_ok() {
+                hard_ok += 1;
+            }
+            if Receiver::commodity().receive(&rxw).packet_ok() {
+                soft_ok += 1;
+            }
+        }
+        assert!(
+            soft_ok >= hard_ok,
+            "soft ({soft_ok}) should be at least as robust as hard ({hard_ok})"
+        );
+    }
+
+    #[test]
+    fn phase_offset_corrected() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"4567").unwrap();
+        let rotated = ctc_channel::impairments::apply_phase(&wave, 0.9);
+        let r = Receiver::usrp().receive(&rotated);
+        assert!(r.packet_ok(), "phase correction failed");
+        // Raw samples keep the rotation; corrected ones do not.
+        let raw_pts = r.raw_chip_samples.constellation();
+        let fixed_pts = r.chip_samples.constellation();
+        let raw_rot = raw_pts[4].arg();
+        let fixed_rot = fixed_pts[4].arg();
+        // Fixed points sit near odd multiples of pi/4.
+        let snap = |a: f64| {
+            let r = a.rem_euclid(std::f64::consts::FRAC_PI_2) - std::f64::consts::FRAC_PI_4;
+            r.abs()
+        };
+        assert!(snap(fixed_rot) < 0.1, "corrected rot {fixed_rot}");
+        assert!(snap(raw_rot) > 0.1, "raw constellation lost its rotation {raw_rot}");
+    }
+
+    #[test]
+    fn timing_offset_found_by_search() {
+        let tx = Transmitter::new();
+        let mut wave = vec![Complex::ZERO; 37];
+        wave.extend(tx.transmit_payload(b"99").unwrap());
+        let r = Receiver::usrp().with_sync_search(64).receive(&wave);
+        assert_eq!(r.sync.offset, 37);
+        assert!(r.packet_ok());
+    }
+
+    #[test]
+    fn cfo_corrected() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"31415").unwrap();
+        let shifted = ctc_channel::impairments::apply_cfo(&wave, 200.0, 4.0e6, 0.2);
+        let r = Receiver::usrp().receive(&shifted);
+        assert!(r.packet_ok(), "CFO correction failed");
+    }
+
+    #[test]
+    fn garbage_does_not_decode() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let noise: Vec<Complex> = (0..2048)
+            .map(|_| ctc_channel::noise::complex_gaussian(&mut rng, 1.0))
+            .collect();
+        let r = Receiver::usrp().receive(&noise);
+        assert!(!r.packet_ok());
+    }
+
+    #[test]
+    fn dropped_symbols_fail_packet() {
+        // Corrupt enough chips of one payload symbol to exceed threshold 10
+        // but still decode to some symbol: packet must not count as ok.
+        let tx = Transmitter::new();
+        let symbols = crate::frame::build_frame_symbols(b"ab").unwrap();
+        let mut chips = tx.symbols_to_chips(&symbols);
+        // Payload starts after 12 symbols; corrupt symbol 13 heavily.
+        let lo = 13 * CHIPS_PER_SYMBOL;
+        for c in chips[lo..lo + 14].iter_mut() {
+            *c = 1 - *c;
+        }
+        let wave = crate::modem::modulate_chips(&chips);
+        let r = Receiver::usrp().receive(&wave);
+        assert!(
+            r.hamming_distances[13] > 10 || !r.packet_ok(),
+            "corruption not reflected"
+        );
+    }
+
+    #[test]
+    fn fractional_timing_recovers_half_sample_offset() {
+        // A half-sample delay is the worst case for a 2-sample/chip
+        // receiver: without sub-sample recovery the chip samples land on
+        // pulse shoulders and the constellation degrades badly.
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"frac").unwrap();
+        let delayed = ctc_dsp::fractional::fractional_delay(&wave, 0.5);
+        let mut rng = StdRng::seed_from_u64(44);
+        let noisy = Link::awgn(10.0).transmit(&delayed, &mut rng);
+
+        let plain = Receiver::usrp().receive(&noisy);
+        let frac = Receiver::usrp()
+            .with_fractional_timing(true)
+            .receive(&noisy);
+        assert!(frac.packet_ok(), "fractional timing should recover the frame");
+        assert_eq!(frac.payload(), Some(&b"frac"[..]));
+        // Half-sample misalignment costs ~8% chip amplitude (half-sine
+        // shoulders) — hard decisions survive, but the matched-filter
+        // quality visibly improves with sub-sample recovery.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let plain_score = mean(&plain.soft_scores);
+        let frac_score = mean(&frac.soft_scores);
+        assert!(
+            frac_score > plain_score + 0.01,
+            "sub-sample recovery should raise the despreading correlation: \
+             {frac_score} vs {plain_score}"
+        );
+    }
+
+    #[test]
+    fn fractional_timing_sweeps_all_offsets() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"mu").unwrap();
+        let rx = Receiver::usrp().with_fractional_timing(true);
+        for k in 0..8 {
+            let mu = k as f64 / 8.0;
+            let delayed = ctc_dsp::fractional::fractional_delay(&wave, mu);
+            let r = rx.receive(&delayed);
+            assert_eq!(r.payload(), Some(&b"mu"[..]), "failed at mu = {mu}");
+        }
+    }
+
+    #[test]
+    fn symbol_error_count() {
+        let r = tx_rx(b"z", &Receiver::usrp());
+        let expected = crate::frame::build_frame_symbols(b"z").unwrap();
+        assert_eq!(r.symbol_errors(&expected), 0);
+        let wrong = crate::frame::build_frame_symbols(b"y").unwrap();
+        assert!(r.symbol_errors(&wrong) > 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! ZigBee transmitter: MAC payload → frame symbols → DSSS chips → O-QPSK
+//! waveform (Fig. 1, left half).
+
+use crate::chipmap::{spread, CHIPS_PER_SYMBOL};
+use crate::frame::{build_frame_symbols, FrameError};
+use crate::modem::modulate_chips;
+use ctc_dsp::Complex;
+
+/// A configured ZigBee transmitter.
+///
+/// The defaults match the paper: 2 MHz channel, 4 MHz sample rate
+/// (2 samples/chip), channel 17 at 2435 MHz.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_zigbee::Transmitter;
+/// let tx = Transmitter::new();
+/// let wave = tx.transmit_payload(b"00000")?;
+/// assert!(!wave.is_empty());
+/// # Ok::<(), ctc_zigbee::frame::FrameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmitter {
+    center_frequency_hz: f64,
+    sample_rate_hz: f64,
+    leading_zero_samples: usize,
+}
+
+impl Default for Transmitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transmitter {
+    /// Transmitter on ZigBee channel 17 (2435 MHz) at 4 MHz sampling.
+    pub fn new() -> Self {
+        Transmitter {
+            center_frequency_hz: 2.435e9,
+            sample_rate_hz: 4.0e6,
+            leading_zero_samples: 0,
+        }
+    }
+
+    /// Prepends `n` zero samples to every transmitted waveform.
+    ///
+    /// The paper's experiments "add 10 zero points at the beginning of each
+    /// emulated packet" so the receiver's zero-sequence detector fires.
+    pub fn with_leading_zero_samples(mut self, n: usize) -> Self {
+        self.leading_zero_samples = n;
+        self
+    }
+
+    /// RF centre frequency (informational; the simulation is baseband).
+    pub fn center_frequency_hz(&self) -> f64 {
+        self.center_frequency_hz
+    }
+
+    /// Baseband sample rate.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Spreads a symbol stream into chips.
+    pub fn symbols_to_chips(&self, symbols: &[u8]) -> Vec<u8> {
+        let mut chips = Vec::with_capacity(symbols.len() * CHIPS_PER_SYMBOL);
+        for &s in symbols {
+            chips.extend_from_slice(&spread(s));
+        }
+        chips
+    }
+
+    /// Modulates a symbol stream into a baseband waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol is not a 4-bit value.
+    pub fn transmit_symbols(&self, symbols: &[u8]) -> Vec<Complex> {
+        let chips = self.symbols_to_chips(symbols);
+        let mut wave = vec![Complex::ZERO; self.leading_zero_samples];
+        wave.extend(modulate_chips(&chips));
+        wave
+    }
+
+    /// Builds and modulates a full frame around a MAC payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::PayloadTooLong`] for payloads over 125 bytes.
+    pub fn transmit_payload(&self, payload: &[u8]) -> Result<Vec<Complex>, FrameError> {
+        let symbols = build_frame_symbols(payload)?;
+        Ok(self.transmit_symbols(&symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::frame_chip_count;
+    use crate::modem::{SAMPLES_PER_CHIP, TAIL_SAMPLES};
+
+    #[test]
+    fn waveform_length_matches_frame() {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(b"00000").unwrap();
+        let chips = frame_chip_count(5);
+        assert_eq!(wave.len(), chips * SAMPLES_PER_CHIP + TAIL_SAMPLES);
+    }
+
+    #[test]
+    fn leading_zeros_prepended() {
+        let tx = Transmitter::new().with_leading_zero_samples(10);
+        let wave = tx.transmit_symbols(&[0]);
+        assert!(wave[..10].iter().all(|v| *v == Complex::ZERO));
+        assert!(wave[10..].iter().any(|v| *v != Complex::ZERO));
+    }
+
+    #[test]
+    fn symbols_to_chips_concatenates_table_rows() {
+        let tx = Transmitter::new();
+        let chips = tx.symbols_to_chips(&[3, 12]);
+        assert_eq!(chips.len(), 64);
+        assert_eq!(&chips[..32], &spread(3)[..]);
+        assert_eq!(&chips[32..], &spread(12)[..]);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let tx = Transmitter::new();
+        assert_eq!(tx.sample_rate_hz(), 4.0e6);
+        assert_eq!(tx.center_frequency_hz(), 2.435e9);
+    }
+
+    #[test]
+    fn oversize_payload_propagates_error() {
+        let tx = Transmitter::new();
+        assert!(tx.transmit_payload(&vec![0u8; 126]).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! The attack–defense arms race, interactively: the paper's attacker, the
+//! CP-aware least-squares attacker that tries to shrink its cumulant
+//! footprint, and the calibrated detector that still wins.
+//!
+//! ```text
+//! cargo run --release --example arms_race
+//! ```
+
+use hide_and_seek::channel::Link;
+use hide_and_seek::core::attack::{Emulator, LeastSquaresEmulator};
+use hide_and_seek::core::defense::{features_from_reception, ChannelAssumption, Detector};
+use hide_and_seek::zigbee::{Receiver, Transmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let observed = Transmitter::new().transmit_payload(b"00000")?;
+    let rx = Receiver::usrp();
+    let link = Link::awgn(15.0);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Round 0: the defender calibrates on the known (baseline) attack.
+    let baseline = Emulator::new();
+    let forged_v1 = baseline.received_at_zigbee(&baseline.emulate(&observed));
+    let train = |wave: &[hide_and_seek::dsp::Complex], rng: &mut StdRng| {
+        (0..30)
+            .map(|_| rx.receive(&link.transmit(wave, rng)))
+            .collect::<Vec<_>>()
+    };
+    let detector = Detector::calibrate(
+        ChannelAssumption::Ideal,
+        &train(&observed, &mut rng),
+        &train(&forged_v1, &mut rng),
+    );
+    println!(
+        "round 0: defender calibrates Q = {:.4} on the baseline attack",
+        detector.threshold()
+    );
+
+    // Round 1: the baseline attacker strikes.
+    let stats = |wave: &[hide_and_seek::dsp::Complex], rng: &mut StdRng| {
+        let mut de = 0.0;
+        let mut caught = 0usize;
+        const N: usize = 30;
+        for _ in 0..N {
+            let r = rx.receive(&link.transmit(wave, rng));
+            de += features_from_reception(&r).unwrap().de_squared_ideal();
+            caught += usize::from(detector.detect(&r).unwrap().is_attack);
+        }
+        (de / N as f64, caught as f64 / N as f64)
+    };
+    let (de1, caught1) = stats(&forged_v1, &mut rng);
+    println!("round 1: baseline attack   — DE² {de1:.4}, detected {:.0}%", caught1 * 100.0);
+
+    // Round 2: the attacker adapts — least-squares fit over the whole
+    // 80-sample block, CP included, shrinking the defense's main signal.
+    let ls = LeastSquaresEmulator::new();
+    let forged_v2 = ls.received_at_zigbee(&ls.emulate(&observed));
+    let (de2, caught2) = stats(&forged_v2, &mut rng);
+    println!("round 2: LS (CP-aware)     — DE² {de2:.4}, detected {:.0}%", caught2 * 100.0);
+
+    // Reference: the authentic transmitter.
+    let (de0, flagged0) = stats(&observed, &mut rng);
+    println!("reference: authentic       — DE² {de0:.4}, flagged  {:.0}%", flagged0 * 100.0);
+
+    println!(
+        "\nThe adaptive attacker cut its statistic by {:.0}% but remains {:.0}x\n\
+         above the authentic class: the 7-subcarrier truncation and the QAM\n\
+         grid put a floor under the footprint the detector thresholds on.",
+        (1.0 - de2 / de1) * 100.0,
+        de2 / de0,
+    );
+    assert!(de2 < de1, "the adaptation should help the attacker");
+    assert!(caught2 > 0.5, "the defender should still win most rounds");
+    Ok(())
+}

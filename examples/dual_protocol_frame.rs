@@ -1,0 +1,74 @@
+//! The full-stack attack: craft ONE radio transmission that
+//!
+//! 1. a stock 802.11g receiver accepts as a perfectly legal WiFi frame
+//!    (PLCP preamble, SIGNAL, SERVICE, tail — everything checks out), and
+//! 2. a ZigBee device decodes as an authentic control frame.
+//!
+//! This extends the paper's attack (Sec. V emits bare OFDM payload symbols)
+//! with constrained-Viterbi frame shaping; see
+//! `ctc_core::attack::fullframe` for the construction.
+//!
+//! ```text
+//! cargo run --release --example dual_protocol_frame
+//! ```
+
+use hide_and_seek::channel::Link;
+use hide_and_seek::core::attack::FullFrameAttack;
+use hide_and_seek::wifi::WifiReceiver;
+use hide_and_seek::zigbee::{Receiver, Transmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The recorded victim frame.
+    let observed = Transmitter::new().transmit_payload(b"00000")?;
+    println!("recorded ZigBee frame: {} samples at 4 MHz", observed.len());
+
+    // Build the dual-protocol transmission.
+    let attack = FullFrameAttack::new();
+    let emulation = attack.emulate(&observed);
+    println!(
+        "crafted 802.11g frame: {} samples at 20 MHz\n\
+         - PLCP preamble + SIGNAL + {} data symbols\n\
+         - PSDU: {} bytes\n\
+         - constrained-codeword distance: {}",
+        emulation.wifi_waveform.len(),
+        emulation.data_symbols,
+        emulation.psdu.len(),
+        emulation.codeword_distance,
+    );
+
+    // Side 1: a standard WiFi receiver.
+    let wifi = WifiReceiver::new().receive(&emulation.wifi_waveform)?;
+    println!(
+        "\n[WiFi side] rate {} Mb/s, PSDU {} bytes, Viterbi distance {} -> {}",
+        wifi.rate.mbps(),
+        wifi.psdu_len,
+        wifi.viterbi_distance,
+        if wifi.psdu == emulation.psdu {
+            "frame decodes EXACTLY"
+        } else {
+            "mismatch"
+        },
+    );
+    assert_eq!(wifi.psdu, emulation.psdu);
+
+    // Side 2: the ZigBee victim, over a noisy channel.
+    let at_zigbee = attack.received_at_zigbee(&emulation);
+    let mut rng = StdRng::seed_from_u64(7);
+    let link = Link::awgn(13.0);
+    let rx = Receiver::usrp().with_sync_search(160);
+    let mut ok = 0;
+    const TRIALS: usize = 20;
+    for _ in 0..TRIALS {
+        let r = rx.receive(&link.transmit(&at_zigbee, &mut rng));
+        ok += usize::from(r.payload() == Some(&b"00000"[..]));
+    }
+    println!(
+        "[ZigBee side] {} of {TRIALS} frames accepted at 13 dB SNR — the same \
+         transmission controls the device",
+        ok
+    );
+    assert!(ok >= 18);
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! The paper's motivating scenario end-to-end: a WiFi attacker hijacks a
+//! ZigBee smart light bulb (or garage door, Sec. I) by replaying an
+//! eavesdropped control frame as an emulated waveform — across a noisy
+//! indoor channel, at increasing distance.
+//!
+//! ```text
+//! cargo run --release --example smart_bulb_hijack
+//! ```
+
+use hide_and_seek::channel::Link;
+use hide_and_seek::core::attack::Emulator;
+use hide_and_seek::zigbee::app::Command;
+use hide_and_seek::zigbee::{Receiver, Transmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A toy smart bulb: applies any command whose frame decodes.
+#[derive(Debug, Default)]
+struct SmartBulb {
+    on: bool,
+    level: u8,
+    commands_accepted: usize,
+}
+
+impl SmartBulb {
+    fn handle(&mut self, payload: &[u8]) -> Option<Command> {
+        let cmd = Command::from_payload(payload)?;
+        match cmd {
+            Command::TurnOn => self.on = true,
+            Command::TurnOff => self.on = false,
+            Command::SetLevel(v) => self.level = v,
+            Command::Unlock => {}
+        }
+        self.commands_accepted += 1;
+        Some(cmd)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let gateway = Transmitter::new();
+    let bulb_radio = Receiver::commodity(); // CC26x2R1-class device
+    let mut bulb = SmartBulb::default();
+
+    // --- Phase 1: the legitimate gateway turns the bulb on. The attacker,
+    // parked nearby, records the waveform off the air.
+    let control = Command::TurnOn.to_payload();
+    let over_the_air = gateway.transmit_payload(&control)?;
+    let eavesdropped = Link::real_indoor(2.0, 0.0).transmit(&over_the_air, &mut rng);
+    println!("[t1] gateway sends TURN_ON; attacker eavesdrops from 2 m");
+
+    let reception = bulb_radio.receive(&eavesdropped);
+    if let Some(p) = reception.payload() {
+        let cmd = bulb.handle(p).expect("gateway frames carry commands");
+        println!("[t1] bulb applies {cmd}; state: on={}", bulb.on);
+    }
+
+    // --- Phase 2: later, the attacker replays the *recorded* (noisy!)
+    // waveform as a WiFi emulation from several distances.
+    let emulator = Emulator::new();
+    let emulation = emulator.emulate(&eavesdropped);
+    println!(
+        "[t2] attacker builds the emulation: {} WiFi symbols, alpha = {:.2}, quantization error = {:.1}",
+        emulation.wifi_symbol_count(),
+        emulation.alpha,
+        emulation.quantization_error
+    );
+    let forged = emulator.received_at_zigbee(&emulation);
+
+    for distance in [1.0, 3.0, 5.0, 8.0] {
+        let link = Link::real_indoor(distance, 0.0);
+        let mut wins = 0;
+        const ATTEMPTS: usize = 20;
+        for _ in 0..ATTEMPTS {
+            let rx_wave = link.transmit(&forged, &mut rng);
+            let r = bulb_radio.receive(&rx_wave);
+            if let Some(p) = r.payload() {
+                if bulb.handle(p).is_some() {
+                    wins += 1;
+                }
+            }
+        }
+        println!(
+            "[t2] attack from {distance} m: {wins}/{ATTEMPTS} forged frames accepted \
+             (link SNR {:.1} dB)",
+            link.snr_db()
+        );
+    }
+
+    println!(
+        "\nbulb accepted {} commands total — every forged frame was \
+         indistinguishable to the stock receiver stack.",
+        bulb.commands_accepted
+    );
+    assert!(bulb.commands_accepted > 1, "the attack should land");
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # hide-and-seek
+//!
+//! Facade crate for the reproduction of *Hide and Seek: Waveform Emulation
+//! Attack and Defense in Cross-Technology Communication* (ICDCS 2019).
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! - [`dsp`] — FFT, filters, resampling, cumulants, k-means
+//! - [`channel`] — AWGN, CFO/phase offset, fading, path loss, RSSI
+//! - [`zigbee`] — IEEE 802.15.4 O-QPSK/DSSS PHY + MAC
+//! - [`wifi`] — IEEE 802.11g 64-QAM OFDM PHY
+//! - [`core`] — the paper's contribution: the waveform-emulation attack and
+//!   the cumulant-based defense
+
+#![warn(missing_docs)]
+
+pub use ctc_channel as channel;
+pub use ctc_core as core;
+pub use ctc_dsp as dsp;
+pub use ctc_wifi as wifi;
+pub use ctc_zigbee as zigbee;

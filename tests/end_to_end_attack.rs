@@ -1,0 +1,150 @@
+//! Integration: the full attack pipeline across crates — ZigBee TX →
+//! attacker emulation (both spectral modes, both synthesis modes) → channel
+//! → ZigBee RX.
+
+use hide_and_seek::channel::Link;
+use hide_and_seek::core::attack::{Emulator, SpectralMode, SynthesisMode};
+use hide_and_seek::zigbee::{Receiver, Transmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn forged(payload: &[u8], emulator: &Emulator) -> Vec<hide_and_seek::dsp::Complex> {
+    let observed = Transmitter::new().transmit_payload(payload).unwrap();
+    emulator.received_at_zigbee(&emulator.emulate(&observed))
+}
+
+#[test]
+fn attack_succeeds_noiseless_for_many_payloads() {
+    let emulator = Emulator::new();
+    let rx = Receiver::usrp();
+    for payload in [&b"00000"[..], b"00099", b"hello", b"\x00\xff\x55\xaa"] {
+        let wave = forged(payload, &emulator);
+        let r = rx.receive(&wave);
+        assert_eq!(r.payload(), Some(payload), "payload {payload:?}");
+    }
+}
+
+#[test]
+fn attack_succeeds_across_awgn_snrs() {
+    let emulator = Emulator::new();
+    let rx = Receiver::usrp();
+    let wave = forged(b"00000", &emulator);
+    let mut rng = StdRng::seed_from_u64(1);
+    for snr in [9.0, 13.0, 17.0] {
+        let link = Link::awgn(snr);
+        let mut ok = 0;
+        for _ in 0..25 {
+            if rx.receive(&link.transmit(&wave, &mut rng)).payload() == Some(&b"00000"[..]) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 23, "SNR {snr}: only {ok}/25 forged packets accepted");
+    }
+}
+
+#[test]
+fn attack_succeeds_on_commodity_receiver() {
+    let emulator = Emulator::new();
+    let wave = forged(b"00042", &emulator);
+    let r = Receiver::commodity().receive(&wave);
+    assert_eq!(r.payload(), Some(&b"00042"[..]));
+    assert!(r.packet_ok());
+}
+
+#[test]
+fn carrier_allocated_attack_end_to_end() {
+    let emulator = Emulator::new().with_spectral_mode(SpectralMode::CarrierAllocated);
+    let wave = forged(b"00000", &emulator);
+    let mut rng = StdRng::seed_from_u64(2);
+    let noisy = Link::awgn(15.0).transmit(&wave, &mut rng);
+    let r = Receiver::usrp().receive(&noisy);
+    assert_eq!(r.payload(), Some(&b"00000"[..]));
+}
+
+#[test]
+fn bitchain_attack_still_decodes() {
+    // Even when the attacker restricts itself to valid 802.11g codewords
+    // (extra distortion), DSSS tolerance lets the frame through noiselessly.
+    let emulator = Emulator::new()
+        .with_spectral_mode(SpectralMode::CarrierAllocated)
+        .with_synthesis_mode(SynthesisMode::BitChain);
+    let observed = Transmitter::new().transmit_payload(b"00000").unwrap();
+    let emulation = emulator.emulate(&observed);
+    assert!(emulation.codeword_distance.is_some());
+    assert!(emulation.wifi_data_bits.is_some());
+    let wave = emulator.received_at_zigbee(&emulation);
+    let r = Receiver::commodity().receive(&wave);
+    assert_eq!(
+        r.payload(),
+        Some(&b"00000"[..]),
+        "distances: {:?}",
+        r.hamming_distances
+    );
+}
+
+#[test]
+fn attack_works_from_noisy_recording() {
+    // The attacker records over the air (with noise), then emulates the
+    // *recording* — the realistic channel-listening phase of Sec. IV-A.
+    let mut rng = StdRng::seed_from_u64(3);
+    let clean = Transmitter::new().transmit_payload(b"00007").unwrap();
+    let recorded = Link::awgn(20.0).transmit(&clean, &mut rng);
+    let emulator = Emulator::new();
+    let wave = emulator.received_at_zigbee(&emulator.emulate(&recorded));
+    let r = Receiver::usrp().receive(&wave);
+    assert_eq!(r.payload(), Some(&b"00007"[..]));
+}
+
+#[test]
+fn attack_chip_errors_bounded_by_dsss_threshold() {
+    // Paper Fig. 7: the emulation costs 4-8 chip errors per symbol, always
+    // under the correlation threshold of 10.
+    let emulator = Emulator::new();
+    let rx = Receiver::usrp();
+    for payload in [&b"00000"[..], b"00050", b"00099"] {
+        let wave = forged(payload, &emulator);
+        let r = rx.receive(&wave);
+        let max = r.hamming_distances.iter().max().copied().unwrap();
+        let mean: f64 = r.hamming_distances.iter().map(|&d| d as f64).sum::<f64>()
+            / r.hamming_distances.len() as f64;
+        assert!(max <= 10, "max chip errors {max}");
+        assert!(
+            (2.0..=9.0).contains(&mean),
+            "mean chip errors {mean} outside the paper's 4-8 band (±tolerance)"
+        );
+    }
+}
+
+#[test]
+fn emulated_waveform_has_wifi_structure() {
+    // The transmitted artifact really is a WiFi waveform: 80-sample symbols
+    // with a verbatim cyclic prefix.
+    let emulator = Emulator::new();
+    let observed = Transmitter::new().transmit_payload(b"00000").unwrap();
+    let emulation = emulator.emulate(&observed);
+    assert_eq!(emulation.waveform_20mhz.len() % 80, 0);
+    for sym in emulation.waveform_20mhz.chunks(80) {
+        for i in 0..16 {
+            assert!((sym[i] - sym[64 + i]).norm() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fading_channel_attack() {
+    let emulator = Emulator::new();
+    let wave = forged(b"00000", &emulator);
+    let link = Link::real_indoor(3.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ok = 0;
+    for _ in 0..20 {
+        if Receiver::commodity()
+            .receive(&link.transmit(&wave, &mut rng))
+            .payload()
+            == Some(&b"00000"[..])
+        {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 18, "only {ok}/20 under fading at 3 m");
+}

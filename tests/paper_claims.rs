@@ -1,0 +1,195 @@
+//! Integration: the paper's headline quantitative claims, as assertions.
+//! Each test names the table/figure it guards. These are the same
+//! computations the `experiments` binary reports, pinned at reduced trial
+//! counts so regressions in any crate surface as failures here.
+
+use hide_and_seek::channel::Link;
+use hide_and_seek::core::attack::spectrum::{block_spectra, select_subcarriers};
+use hide_and_seek::core::attack::Emulator;
+use hide_and_seek::core::defense::{features_from_reception, ChannelAssumption, Detector};
+use hide_and_seek::dsp::cumulants::Modulation;
+use hide_and_seek::dsp::resample::interpolate;
+use hide_and_seek::zigbee::{Receiver, Transmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pair() -> (Vec<hide_and_seek::dsp::Complex>, Vec<hide_and_seek::dsp::Complex>) {
+    let original = Transmitter::new().transmit_payload(b"00000").unwrap();
+    let emulator = Emulator::new();
+    let forged = emulator.received_at_zigbee(&emulator.emulate(&original));
+    (original, forged)
+}
+
+#[test]
+fn table1_selected_bins_match_paper() {
+    // Paper Table I keeps 1-based bins {1,2,3,4,62,63,64} = 0-based
+    // {0,1,2,3,61,62,63}.
+    let (original, _) = pair();
+    let wide = interpolate(&original, 5).unwrap();
+    let bins = select_subcarriers(&block_spectra(&wide), 3.0, 7);
+    assert_eq!(bins, vec![0, 1, 2, 3, 61, 62, 63]);
+}
+
+#[test]
+fn table2_attack_success_monotone_and_saturating() {
+    let (_, forged) = pair();
+    let rx = Receiver::usrp();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut prev = 0.0;
+    for snr in [0.0, 3.0, 6.0, 17.0] {
+        let link = Link::awgn(snr);
+        let mut ok = 0;
+        const N: usize = 40;
+        for _ in 0..N {
+            ok += usize::from(
+                rx.receive(&link.transmit(&forged, &mut rng)).payload() == Some(&b"00000"[..]),
+            );
+        }
+        let rate = ok as f64 / N as f64;
+        assert!(
+            rate + 0.15 >= prev,
+            "success rate should be (noisily) monotone: {rate} after {prev} at {snr} dB"
+        );
+        prev = rate;
+    }
+    assert!(prev == 1.0, "attack must reach 100% at 17 dB, got {prev}");
+}
+
+#[test]
+fn table3_qpsk_and_qam64_rows() {
+    // The two rows the defense actually uses.
+    assert_eq!(Modulation::Qpsk.theoretical_c40(), 1.0);
+    assert_eq!(Modulation::Qpsk.theoretical_c42(), -1.0);
+    assert!((Modulation::Qam64.theoretical_c40() + 0.619).abs() < 1e-9);
+    assert!((Modulation::Qam64.theoretical_c42() + 0.619).abs() < 1e-9);
+}
+
+#[test]
+fn table4_de_squared_gap_at_all_snrs() {
+    let (original, forged) = pair();
+    let rx = Receiver::usrp();
+    for (i, snr) in [7.0, 12.0, 17.0].into_iter().enumerate() {
+        let link = Link::awgn(snr);
+        let mut rng = StdRng::seed_from_u64(10 + i as u64);
+        let mut zig = 0.0;
+        let mut emu = 0.0;
+        const N: usize = 10;
+        for _ in 0..N {
+            zig += features_from_reception(&rx.receive(&link.transmit(&original, &mut rng)))
+                .unwrap()
+                .de_squared_ideal();
+            emu += features_from_reception(&rx.receive(&link.transmit(&forged, &mut rng)))
+                .unwrap()
+                .de_squared_ideal();
+        }
+        assert!(
+            emu > zig * 1.8,
+            "SNR {snr}: emulated mean {} not well above zigbee mean {}",
+            emu / N as f64,
+            zig / N as f64
+        );
+    }
+}
+
+#[test]
+fn table5_real_channel_gap_at_all_distances() {
+    let (original, forged) = pair();
+    let rx = Receiver::usrp();
+    for (i, d) in [1.0, 3.0, 6.0].into_iter().enumerate() {
+        let link = Link::real_indoor(d, 0.0);
+        let mut rng = StdRng::seed_from_u64(20 + i as u64);
+        let mut zig: Vec<f64> = Vec::new();
+        let mut emu: Vec<f64> = Vec::new();
+        for _ in 0..10 {
+            zig.push(
+                features_from_reception(&rx.receive(&link.transmit(&original, &mut rng)))
+                    .unwrap()
+                    .de_squared_real(),
+            );
+            emu.push(
+                features_from_reception(&rx.receive(&link.transmit(&forged, &mut rng)))
+                    .unwrap()
+                    .de_squared_real(),
+            );
+        }
+        let zmax = zig.iter().copied().fold(f64::MIN, f64::max);
+        let emin = emu.iter().copied().fold(f64::MAX, f64::min);
+        assert!(
+            emin > zmax * 3.0,
+            "{d} m: classes too close — max zig {zmax}, min emu {emin}"
+        );
+    }
+}
+
+#[test]
+fn fig7_emulation_chip_error_band() {
+    let (_, forged) = pair();
+    let r = Receiver::usrp().receive(&forged);
+    // Past the leading sync symbols, every payload symbol shows errors.
+    let payload_distances = &r.hamming_distances[12..];
+    assert!(payload_distances.iter().all(|&d| d >= 1 && d <= 10));
+}
+
+#[test]
+fn fig12_calibrated_threshold_separates_train_and_test() {
+    let (original, forged) = pair();
+    let rx = Receiver::usrp();
+    let link = Link::awgn(11.0);
+    let collect = |wave: &[hide_and_seek::dsp::Complex], seed: u64, n: usize| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| rx.receive(&link.transmit(wave, &mut rng)))
+            .collect::<Vec<_>>()
+    };
+    let det = Detector::calibrate(
+        ChannelAssumption::Ideal,
+        &collect(&original, 30, 15),
+        &collect(&forged, 31, 15),
+    );
+    assert!(det.threshold() > 0.0 && det.threshold() < 1.0);
+    for r in collect(&original, 32, 15) {
+        assert!(!det.detect(&r).unwrap().is_attack);
+    }
+    for r in collect(&forged, 33, 15) {
+        assert!(det.detect(&r).unwrap().is_attack);
+    }
+}
+
+#[test]
+fn fig14_commodity_outranges_usrp() {
+    let (_, forged) = pair();
+    // At the range limit the commodity receiver (soft + lower NF) must beat
+    // the hard-decision USRP pipeline.
+    let d = 8.0;
+    let usrp_link = Link::real_indoor(d, -20.0);
+    let commodity_link = usrp_link.clone().with_snr_db(usrp_link.snr_db() + 3.0);
+    let mut rng = StdRng::seed_from_u64(40);
+    let mut usrp_ok = 0;
+    let mut comm_ok = 0;
+    const N: usize = 40;
+    for _ in 0..N {
+        let w1 = usrp_link.transmit(&forged, &mut rng);
+        let w2 = commodity_link.transmit(&forged, &mut rng);
+        usrp_ok += usize::from(Receiver::usrp().receive(&w1).payload() == Some(&b"00000"[..]));
+        comm_ok += usize::from(
+            Receiver::commodity().receive(&w2).payload() == Some(&b"00000"[..]),
+        );
+    }
+    assert!(
+        comm_ok > usrp_ok,
+        "commodity ({comm_ok}/{N}) should outperform USRP ({usrp_ok}/{N}) at {d} m"
+    );
+}
+
+#[test]
+fn alpha_close_to_papers_sqrt26() {
+    // The paper reports alpha = sqrt(26) ≈ 5.10 for its example; our global
+    // search on the same waveform family lands in the same neighbourhood.
+    let (original, _) = pair();
+    let emulation = Emulator::new().emulate(&original);
+    assert!(
+        (3.5..=6.5).contains(&emulation.alpha),
+        "alpha {} far from sqrt(26)",
+        emulation.alpha
+    );
+}

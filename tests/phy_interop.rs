@@ -1,0 +1,134 @@
+//! Integration: PHY substrates interoperating — ZigBee link over every
+//! channel model, WiFi chain integrity, and the spectral embed/capture path
+//! between the two radios.
+
+use hide_and_seek::channel::fading::Multipath;
+use hide_and_seek::channel::Link;
+use hide_and_seek::dsp::metrics::correlation;
+use hide_and_seek::wifi::ofdm;
+use hide_and_seek::wifi::WifiTransmitter;
+use hide_and_seek::zigbee::frontend;
+use hide_and_seek::zigbee::{Decision, Receiver, Transmitter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn zigbee_link_over_all_channel_models() {
+    let tx = Transmitter::new();
+    let wave = tx.transmit_payload(b"interop").unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let links = [
+        Link::awgn(15.0),
+        Link::awgn(15.0).with_fading(Some(5.0)),
+        Link::awgn(15.0).with_max_cfo_hz(300.0).with_random_phase(true),
+        Link::real_indoor(2.0, 0.0),
+    ];
+    for (i, link) in links.iter().enumerate() {
+        let mut ok = 0;
+        for _ in 0..10 {
+            let r = Receiver::usrp().receive(&link.transmit(&wave, &mut rng));
+            ok += usize::from(r.payload() == Some(&b"interop"[..]));
+        }
+        assert!(ok >= 9, "link {i}: {ok}/10");
+    }
+}
+
+#[test]
+fn zigbee_survives_mild_multipath() {
+    let tx = Transmitter::new();
+    let wave = tx.transmit_payload(b"mp").unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ok = 0;
+    for _ in 0..20 {
+        // Two-tap channel with a weak echo.
+        let ch = Multipath::from_taps(vec![
+            hide_and_seek::dsp::Complex::from_re(0.95),
+            hide_and_seek::dsp::Complex::new(
+                rng.gen_range(-0.2..0.2),
+                rng.gen_range(-0.2..0.2),
+            ),
+        ]);
+        let faded = ch.apply(&wave);
+        let r = Receiver::usrp().receive(&faded);
+        ok += usize::from(r.payload() == Some(&b"mp"[..]));
+    }
+    assert!(ok >= 18, "{ok}/20 under two-tap multipath");
+}
+
+#[test]
+fn zigbee_with_timing_offset_and_noise() {
+    let tx = Transmitter::new();
+    let mut wave = vec![hide_and_seek::dsp::Complex::ZERO; 23];
+    wave.extend(tx.transmit_payload(b"sync").unwrap());
+    let mut rng = StdRng::seed_from_u64(3);
+    let noisy = Link::awgn(14.0).transmit(&wave, &mut rng);
+    let r = Receiver::usrp().with_sync_search(64).receive(&noisy);
+    assert_eq!(r.sync.offset, 23);
+    assert_eq!(r.payload(), Some(&b"sync"[..]));
+}
+
+#[test]
+fn wifi_chain_bits_survive_ofdm_roundtrip() {
+    let tx = WifiTransmitter::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let bits: Vec<u8> = (0..432).map(|_| rng.gen_range(0..2u8)).collect();
+    let wave = tx.transmit_bits(&bits);
+    // Demodulate symbol by symbol and invert the chain via the reverse path.
+    let mut points = Vec::new();
+    for sym in wave.chunks(ofdm::SYMBOL_LEN) {
+        points.extend(ofdm::extract_data_subcarriers(&ofdm::analyze_symbol(sym)));
+    }
+    let rec = tx.recover_bits_for_points(&points);
+    assert_eq!(rec.codeword_distance, 0);
+    assert_eq!(&rec.data_bits[..bits.len()], &bits[..]);
+}
+
+#[test]
+fn embed_capture_respects_spectral_positions() {
+    // A ZigBee frame embedded at its real offset inside the WiFi baseband is
+    // recoverable only by a front-end tuned to the ZigBee channel.
+    let wave = Transmitter::new().transmit_payload(b"pos").unwrap();
+    let wide = frontend::embed(&wave, 2.435e9, 4.0e6, 2.44e9, 20.0e6).unwrap();
+    // Correctly tuned front-end:
+    let good = frontend::capture(&wide, 2.44e9, 20.0e6, 2.435e9, 4.0e6).unwrap();
+    let n = wave.len().min(good.len());
+    assert!(correlation(&wave[40..n - 40], &good[40..n - 40]) > 0.97);
+    // Mis-tuned by +10 MHz: almost nothing of the signal remains.
+    let bad = frontend::capture(&wide, 2.44e9, 20.0e6, 2.445e9, 4.0e6).unwrap();
+    let c = correlation(&wave[40..n - 40], &bad[40..n - 40]);
+    assert!(c < 0.3, "mis-tuned capture should lose the signal, corr {c}");
+}
+
+#[test]
+fn soft_receiver_at_least_matches_hard_at_low_snr() {
+    let tx = Transmitter::new();
+    let wave = tx.transmit_payload(b"lowsnr").unwrap();
+    let link = Link::awgn(2.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let hard = Receiver::usrp();
+    let soft = Receiver::new().with_decision(Decision::Soft { min_score: 0.0 });
+    let mut hard_ok = 0;
+    let mut soft_ok = 0;
+    for _ in 0..60 {
+        let noisy = link.transmit(&wave, &mut rng);
+        hard_ok += usize::from(hard.receive(&noisy).payload() == Some(&b"lowsnr"[..]));
+        soft_ok += usize::from(soft.receive(&noisy).payload() == Some(&b"lowsnr"[..]));
+    }
+    assert!(soft_ok >= hard_ok, "soft {soft_ok} vs hard {hard_ok}");
+}
+
+#[test]
+fn corpus_roundtrip_all_hundred_messages() {
+    // The paper's APP-layer corpus, end to end, noiseless.
+    let tx = Transmitter::new();
+    let rx = Receiver::usrp();
+    for (i, msg) in hide_and_seek::zigbee::app::numbered_messages(100)
+        .into_iter()
+        .enumerate()
+    {
+        let wave = tx.transmit_payload(&msg).unwrap();
+        let r = rx.receive(&wave);
+        assert_eq!(r.payload(), Some(&msg[..]), "message {i}");
+        assert!(hide_and_seek::zigbee::app::verify_message(r.payload().unwrap(), i));
+    }
+}
