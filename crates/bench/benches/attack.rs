@@ -23,14 +23,10 @@ fn bench_attack_scaling(c: &mut Criterion) {
     for payload_len in [5usize, 20, 60, 120] {
         let wave = observed(payload_len);
         group.throughput(Throughput::Elements(wave.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(wave.len()),
-            &wave,
-            |b, wave| {
-                let emulator = Emulator::new();
-                b.iter(|| emulator.emulate(std::hint::black_box(wave)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(wave.len()), &wave, |b, wave| {
+            let emulator = Emulator::new();
+            b.iter(|| emulator.emulate(std::hint::black_box(wave)));
+        });
     }
     group.finish();
 }

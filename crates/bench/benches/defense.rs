@@ -66,7 +66,11 @@ fn bench_detect_frame(c: &mut Criterion) {
         b.iter(|| constellation_from_reception(std::hint::black_box(&reception)))
     });
     group.bench_function("detect", |b| {
-        b.iter(|| detector.detect(std::hint::black_box(&reception)).expect("samples"))
+        b.iter(|| {
+            detector
+                .detect(std::hint::black_box(&reception))
+                .expect("samples")
+        })
     });
     group.finish();
 }

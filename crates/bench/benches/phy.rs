@@ -16,9 +16,7 @@ fn bench_fft64(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("fft");
     group.throughput(Throughput::Elements(64));
-    group.bench_function("fft64", |b| {
-        b.iter(|| fft::fft64(std::hint::black_box(&x)))
-    });
+    group.bench_function("fft64", |b| b.iter(|| fft::fft64(std::hint::black_box(&x))));
     group.bench_function("dft64_naive_oracle", |b| {
         b.iter(|| fft::dft_naive(std::hint::black_box(&x)))
     });
@@ -35,7 +33,10 @@ fn bench_zigbee_chain(c: &mut Criterion) {
     group.sample_size(30);
     group.throughput(Throughput::Elements(wave.len() as u64));
     group.bench_function("tx_frame", |b| {
-        b.iter(|| tx.transmit_payload(std::hint::black_box(payload)).expect("short"))
+        b.iter(|| {
+            tx.transmit_payload(std::hint::black_box(payload))
+                .expect("short")
+        })
     });
     group.bench_function("rx_frame_hard", |b| {
         b.iter(|| rx.receive(std::hint::black_box(&wave)))
@@ -74,7 +75,9 @@ fn bench_viterbi(c: &mut Criterion) {
 
 fn bench_wifi_rx(c: &mut Criterion) {
     use ctc_wifi::WifiReceiver;
-    let frame = WifiTransmitter::new().transmit_frame(b"benchmark frame payload").expect("fits");
+    let frame = WifiTransmitter::new()
+        .transmit_frame(b"benchmark frame payload")
+        .expect("fits");
     let mut group = c.benchmark_group("wifi_rx");
     group.sample_size(20);
     group.throughput(Throughput::Elements(frame.len() as u64));

@@ -1,135 +1,87 @@
 //! Experiment harness regenerating every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--results <dir>] [--quick] <id>...
-//! ids: table1 table2 table3 table4 table5 fig5 fig6 fig7 fig8 fig9
+//! experiments [--results <dir>] [--quick] [--jobs N] [--seed S] <id>...
+//! ids: table1 table2 table3 table4 table5 phy fig5 fig6 fig7 fig8 fig9
 //!      fig10 fig11 fig12 fig14 roc ablation-subcarriers ablation-alpha
 //!      bitchain cfo gap arms-race spectral coexistence fullframe
-//!      channels detectors replay all
+//!      channels detectors replay lowsnr hardware alignment scenario
+//!      timefreq all
 //! ```
 //!
 //! `--quick` shrinks trial counts ~20x for smoke runs; defaults match the
-//! paper's counts where feasible.
+//! paper's counts where feasible. `--jobs N` sets the worker-thread count
+//! (default: available parallelism); results are byte-identical for any
+//! value. Reports go to stdout; timing goes to stderr so redirected output
+//! is reproducible.
 
-use ctc_bench::experiments::{advanced, extensions, figures, protocol, tables};
+use ctc_bench::engine::{available_jobs, Artifacts, TrialRunner, DEFAULT_BASE_SEED};
+use ctc_bench::experiments::{build, ALL};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Config {
     results: PathBuf,
     quick: bool,
+    jobs: usize,
+    seed: u64,
 }
 
-fn scale(cfg: &Config, full: usize) -> usize {
-    if cfg.quick {
-        (full / 20).max(3)
-    } else {
-        full
-    }
-}
-
-fn run_one(cfg: &Config, id: &str) -> Result<String, String> {
-    let d = cfg.results.as_path();
-    let out = match id {
-        "table1" => tables::table1(d),
-        "table2" => tables::table2(d, scale(cfg, 1000)),
-        "table3" => tables::table3(d),
-        "table4" => tables::table4(d, scale(cfg, 50)),
-        "table5" => tables::table5(d, scale(cfg, 200)),
-        "phy" => tables::phy_validation(d, scale(cfg, 60)),
-        "fig5" => figures::fig5(d),
-        "fig6" => figures::fig6(d),
-        "fig7" => figures::fig7(d, scale(cfg, 100)),
-        "fig8" => figures::fig8(d, scale(cfg, 100)),
-        "fig9" => figures::fig9(d),
-        "fig10" | "fig11" | "fig10_11" => figures::fig10_11(d, scale(cfg, 100)),
-        "fig12" => figures::fig12(d, scale(cfg, 50), scale(cfg, 50)),
-        "fig14" => figures::fig14(d, scale(cfg, 100)),
-        "roc" => extensions::roc(d, 12.0, scale(cfg, 200)),
-        "ablation-subcarriers" => extensions::ablation_subcarriers(d, scale(cfg, 200)),
-        "ablation-alpha" => extensions::ablation_alpha(d, scale(cfg, 200)),
-        "bitchain" => extensions::bitchain(d, scale(cfg, 100)),
-        "cfo" => extensions::cfo_robustness(d, scale(cfg, 100)),
-        "gap" => extensions::gap_summary(d, scale(cfg, 100)),
-        "arms-race" => advanced::arms_race(d, scale(cfg, 50)),
-        "spectral" => advanced::spectral(d),
-        "coexistence" => advanced::coexistence(d, scale(cfg, 100)),
-        "fullframe" => advanced::fullframe(d, scale(cfg, 100)),
-        "channels" => protocol::channels(d, scale(cfg, 30)),
-        "detectors" => protocol::detectors(d, scale(cfg, 60)),
-        "replay" => protocol::replay(d),
-        "lowsnr" => protocol::lowsnr(d, scale(cfg, 40)),
-        "hardware" => protocol::hardware(d, scale(cfg, 100)),
-        "alignment" => protocol::alignment(d),
-        "scenario" => protocol::scenario(d),
-        "timefreq" => advanced::timefreq(d),
-        other => return Err(format!("unknown experiment id: {other}")),
-    };
-    Ok(out)
-}
-
-const ALL: &[&str] = &[
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "table5",
-    "phy",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10_11",
-    "fig12",
-    "fig14",
-    "roc",
-    "ablation-subcarriers",
-    "ablation-alpha",
-    "bitchain",
-    "cfo",
-    "gap",
-    "arms-race",
-    "spectral",
-    "coexistence",
-    "fullframe",
-    "channels",
-    "detectors",
-    "replay",
-    "lowsnr",
-    "hardware",
-    "alignment",
-    "scenario",
-    "timefreq",
-];
-
-fn main() -> ExitCode {
+fn parse_args() -> Result<(Config, Vec<String>), String> {
     let mut cfg = Config {
         results: PathBuf::from("results"),
         quick: false,
+        jobs: available_jobs(),
+        seed: DEFAULT_BASE_SEED,
     };
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--results" => match args.next() {
-                Some(p) => cfg.results = PathBuf::from(p),
-                None => {
-                    eprintln!("--results needs a directory argument");
-                    return ExitCode::FAILURE;
-                }
-            },
+            "--results" => {
+                cfg.results = args
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--results needs a directory argument")?;
+            }
+            "--jobs" => {
+                cfg.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--jobs needs a positive integer")?;
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
             "--quick" => cfg.quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--results <dir>] [--quick] <id>...\nids: {} all",
+                    "usage: experiments [--results <dir>] [--quick] [--jobs N] [--seed S] <id>...\nids: {} all",
                     ALL.join(" ")
                 );
-                return ExitCode::SUCCESS;
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
             }
             other => ids.push(other.to_string()),
         }
     }
+    Ok((cfg, ids))
+}
+
+fn main() -> ExitCode {
+    let (cfg, mut ids) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if ids.is_empty() {
         eprintln!("no experiment ids given; try `experiments all` or --help");
         return ExitCode::FAILURE;
@@ -137,15 +89,44 @@ fn main() -> ExitCode {
     if ids.iter().any(|i| i == "all") {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }
+
+    // One shared artifact cache: the waveform pair, emulator outputs and
+    // expected-symbol tables are built once and reused by every experiment.
+    let artifacts = Artifacts::new();
+    let runner = TrialRunner::new(cfg.jobs).with_base_seed(cfg.seed);
+    eprintln!(
+        "[experiments] {} experiment(s), {} worker thread(s), base seed {:#x}",
+        ids.len(),
+        runner.jobs(),
+        cfg.seed,
+    );
+    let total = std::time::Instant::now();
     for id in &ids {
+        let Some(exp) = build(id, &cfg.results, cfg.quick) else {
+            eprintln!("error: unknown experiment id: {id}");
+            return ExitCode::FAILURE;
+        };
         eprintln!("[experiments] running {id} ...");
-        match run_one(&cfg, id) {
-            Ok(out) => println!("{out}"),
+        match runner.run(&*exp, &artifacts) {
+            Ok(report) => {
+                println!("{}", report.text);
+                eprintln!(
+                    "[experiments] {id}: {} trials in {:.2}s ({:.0} trials/sec, {} jobs)",
+                    report.trials,
+                    report.elapsed.as_secs_f64(),
+                    report.trials_per_sec(),
+                    report.jobs,
+                );
+            }
             Err(e) => {
-                eprintln!("error: {e}");
+                eprintln!("error: {id}: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    eprintln!(
+        "[experiments] total wall clock: {:.2}s",
+        total.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }

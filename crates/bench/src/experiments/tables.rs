@@ -1,7 +1,8 @@
-//! Reproductions of the paper's tables (I–V).
+//! Reproductions of the paper's tables (I–V) as [`Experiment`]s.
 
+use crate::engine::{column, flag, rate_of, Artifacts, Ctx, Experiment, MonteCarlo, OneShot};
 use crate::report::{f2, f4, markdown_table, pct, write_csv};
-use crate::scenario::{mean, packet_success_rate, receive_trials, waveform_pair};
+use crate::trials::mean;
 use ctc_channel::pathloss::{rssi_dbm, PathLoss};
 use ctc_channel::Link;
 use ctc_core::attack::spectrum::{block_spectra, select_subcarriers};
@@ -11,272 +12,421 @@ use ctc_dsp::resample::interpolate;
 use ctc_dsp::Complex;
 use ctc_zigbee::{Receiver, Transmitter};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::path::Path;
+use std::path::PathBuf;
 
 /// Table I: frequency components of the observed ZigBee waveform per FFT
 /// bin, six consecutive blocks, plus the bins the two-step selection keeps.
-pub fn table1(results_dir: &Path) -> String {
-    let pair = waveform_pair(b"00000");
-    let wide = interpolate(&pair.original, 5).expect("factor 5");
-    let spectra = block_spectra(&wide);
-    let shown = &spectra[..6.min(spectra.len())];
-    let kept = select_subcarriers(&spectra, 3.0, 7);
+pub fn table1(results: PathBuf) -> Box<dyn Experiment> {
+    Box::new(OneShot {
+        name: "table1",
+        render: move |artifacts: &Artifacts| {
+            let pair = artifacts.pair(b"00000")?;
+            let wide = interpolate(&pair.original, 5).expect("factor 5");
+            let spectra = block_spectra(&wide);
+            let shown = &spectra[..6.min(spectra.len())];
+            let kept = select_subcarriers(&spectra, 3.0, 7);
 
-    // Paper prints bins 1..7 and 55..64 (1-based); ours are 0-based.
-    let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
-    let row_bins: Vec<usize> = (0..7).chain(54..64).collect();
-    for bin in row_bins {
-        let mut row = vec![format!("{}", bin + 1)];
-        let mut csv = vec![format!("{}", bin + 1)];
-        for s in shown {
-            let m = s.components[bin].norm();
-            row.push(f4(m));
-            csv.push(f4(m));
-        }
-        rows.push(row);
-        csv_rows.push(csv);
-    }
-    let mut header = vec!["bin (1-based)".to_string()];
-    for i in 0..shown.len() {
-        header.push(format!("block {}", i + 1));
-    }
-    let _ = write_csv(results_dir, "table1_frequency_points.csv", &header, &csv_rows);
+            // Paper prints bins 1..7 and 55..64 (1-based); ours are 0-based.
+            let mut rows = Vec::new();
+            let mut csv_rows = Vec::new();
+            let row_bins: Vec<usize> = (0..7).chain(54..64).collect();
+            for bin in row_bins {
+                let mut row = vec![format!("{}", bin + 1)];
+                let mut csv = vec![format!("{}", bin + 1)];
+                for s in shown {
+                    let m = s.components[bin].norm();
+                    row.push(f4(m));
+                    csv.push(f4(m));
+                }
+                rows.push(row);
+                csv_rows.push(csv);
+            }
+            let mut header = vec!["bin (1-based)".to_string()];
+            for i in 0..shown.len() {
+                header.push(format!("block {}", i + 1));
+            }
+            write_csv(&results, "table1_frequency_points.csv", &header, &csv_rows)?;
 
-    let mut out = String::new();
-    out.push_str("## Table I — Frequency points of the ZigBee waveform\n\n");
-    out.push_str(&markdown_table(&header, &rows));
-    out.push_str(&format!(
-        "\nSelected bins (0-based): {kept:?}  (paper keeps 1-based 1-4 and 62-64, i.e. 0-based 0-3 and 61-63)\n",
-    ));
-    out
+            let mut out = String::new();
+            out.push_str("## Table I — Frequency points of the ZigBee waveform\n\n");
+            out.push_str(&markdown_table(&header, &rows));
+            out.push_str(&format!(
+                "\nSelected bins (0-based): {kept:?}  (paper keeps 1-based 1-4 and 62-64, i.e. 0-based 0-3 and 61-63)\n",
+            ));
+            Ok(out)
+        },
+    })
 }
 
 /// Table II: emulation-attack packet success rate under AWGN,
 /// `trials` transmissions per SNR (paper: 1000).
-pub fn table2(results_dir: &Path, trials: usize) -> String {
-    let pair = waveform_pair(b"00000");
-    let rx = Receiver::usrp();
+pub fn table2(results: PathBuf, trials: usize) -> Box<dyn Experiment> {
     // The paper's columns (7–17 dB) plus a low-SNR extension: our coherent
     // matched-filter receiver is ~5 dB stronger than the paper's GNURadio
     // pipeline, so the 42%→100% transition appears below 7 dB here.
-    let snrs = [0.0, 2.0, 4.0, 6.0, 7.0, 9.0, 11.0, 13.0, 15.0, 17.0];
-    let mut rates = Vec::new();
-    for (i, &snr) in snrs.iter().enumerate() {
-        let rs = receive_trials(&pair.emulated, &Link::awgn(snr), &rx, trials, 20_000 + i as u64);
-        rates.push(packet_success_rate(&rs, b"00000"));
-    }
-    let header: Vec<String> = std::iter::once("SNR".to_string())
-        .chain(snrs.iter().map(|s| format!("{s} dB")))
-        .collect();
-    let row: Vec<String> = std::iter::once("Successful rate".to_string())
-        .chain(rates.iter().map(|&r| pct(r)))
-        .collect();
-    let csv_rows: Vec<Vec<String>> = snrs
-        .iter()
-        .zip(&rates)
-        .map(|(&s, &r)| vec![f2(s), f4(r)])
-        .collect();
-    let _ = write_csv(
-        results_dir,
-        "table2_attack_success_rate.csv",
-        &["snr_db".to_string(), "success_rate".to_string()],
-        &csv_rows,
-    );
+    const SNRS: [f64; 10] = [0.0, 2.0, 4.0, 6.0, 7.0, 9.0, 11.0, 13.0, 15.0, 17.0];
+    Box::new(MonteCarlo {
+        name: "table2",
+        cells: SNRS.len(),
+        per_cell: trials,
+        trial_fn: |ctx: &Ctx<'_>, cell: usize, rng: &mut StdRng| {
+            let pair = ctx.artifacts.pair(b"00000")?;
+            let rx = Receiver::usrp();
+            let r = rx.receive(&Link::awgn(SNRS[cell]).transmit(&pair.emulated, rng));
+            Ok(vec![flag(crate::trials::packet_ok(&r, b"00000"))])
+        },
+        reduce_fn: move |_artifacts: &Artifacts, grouped: Vec<Vec<Vec<f64>>>| {
+            let rates: Vec<f64> = grouped.iter().map(|cell| rate_of(cell, 0)).collect();
+            let header: Vec<String> = std::iter::once("SNR".to_string())
+                .chain(SNRS.iter().map(|s| format!("{s} dB")))
+                .collect();
+            let row: Vec<String> = std::iter::once("Successful rate".to_string())
+                .chain(rates.iter().map(|&r| pct(r)))
+                .collect();
+            let csv_rows: Vec<Vec<String>> = SNRS
+                .iter()
+                .zip(&rates)
+                .map(|(&s, &r)| vec![f2(s), f4(r)])
+                .collect();
+            write_csv(
+                &results,
+                "table2_attack_success_rate.csv",
+                &["snr_db".to_string(), "success_rate".to_string()],
+                &csv_rows,
+            )?;
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "## Table II — Emulation attack performance under AWGN ({trials} transmissions per SNR)\n\n"
-    ));
-    out.push_str(&markdown_table(&header, &[row]));
-    out.push_str(
-        "\nPaper (7–17 dB): 42.4% / 69.2% / 87.4% / 93.3% / 97.2% / 100% —\n\
-         a monotone rise to 100%. Our curve has the same shape shifted ~5 dB\n\
-         left (stronger receiver); the paper's claim — the attack fully\n\
-         controls the device at practical SNRs — reproduces a fortiori.\n",
-    );
-    out
+            let mut out = String::new();
+            out.push_str(&format!(
+                "## Table II — Emulation attack performance under AWGN ({trials} transmissions per SNR)\n\n"
+            ));
+            out.push_str(&markdown_table(&header, &[row]));
+            out.push_str(
+                "\nPaper (7–17 dB): 42.4% / 69.2% / 87.4% / 93.3% / 97.2% / 100% —\n\
+                 a monotone rise to 100%. Our curve has the same shape shifted ~5 dB\n\
+                 left (stronger receiver); the paper's claim — the attack fully\n\
+                 controls the device at practical SNRs — reproduces a fortiori.\n",
+            );
+            Ok(out)
+        },
+    })
 }
 
 /// Table III: theoretical cumulants vs sampled estimates for every
-/// modulation (100k noisy symbols each).
-pub fn table3(results_dir: &Path) -> String {
-    let mut rng = StdRng::seed_from_u64(30_000);
-    let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
-    for m in Modulation::all() {
-        let constellation = m.constellation();
-        // Sample symbols uniformly with mild noise (30 dB) to exercise the
-        // estimators rather than evaluate exact expectations.
-        let pts: Vec<Complex> = (0..100_000)
-            .map(|_| {
-                let p = constellation[rand::Rng::gen_range(&mut rng, 0..constellation.len())];
-                p + ctc_channel::noise::complex_gaussian(&mut rng, 1e-3)
-            })
+/// modulation (100k noisy symbols each, one parallel trial per modulation).
+pub fn table3(results: PathBuf) -> Box<dyn Experiment> {
+    let cells = Modulation::all().len();
+    Box::new(MonteCarlo {
+        name: "table3",
+        cells,
+        per_cell: 1,
+        trial_fn: |_ctx: &Ctx<'_>, cell: usize, rng: &mut StdRng| {
+            let m = Modulation::all()[cell];
+            let constellation = m.constellation();
+            // Sample symbols uniformly with mild noise (30 dB) to exercise
+            // the estimators rather than evaluate exact expectations.
+            let pts: Vec<Complex> = (0..100_000)
+                .map(|_| {
+                    let p = constellation[rand::Rng::gen_range(rng, 0..constellation.len())];
+                    p + ctc_channel::noise::complex_gaussian(rng, 1e-3)
+                })
+                .collect();
+            let c = Cumulants::estimate(&pts).expect("nonempty");
+            Ok(vec![
+                c.c20().norm(),
+                c.c40_normalized().re,
+                c.c42_normalized(),
+            ])
+        },
+        reduce_fn: move |_artifacts: &Artifacts, grouped: Vec<Vec<Vec<f64>>>| {
+            let mut rows = Vec::new();
+            let mut csv_rows = Vec::new();
+            for (cell, m) in Modulation::all().into_iter().enumerate() {
+                let est = &grouped[cell][0];
+                rows.push(vec![
+                    m.to_string(),
+                    f4(m.theoretical_c20()),
+                    f4(est[0]),
+                    f4(m.theoretical_c40()),
+                    f4(est[1]),
+                    f4(m.theoretical_c42()),
+                    f4(est[2]),
+                ]);
+                csv_rows.push(vec![
+                    m.to_string(),
+                    f4(m.theoretical_c40()),
+                    f4(est[1]),
+                    f4(m.theoretical_c42()),
+                    f4(est[2]),
+                ]);
+            }
+            let header: Vec<String> = [
+                "Modulation",
+                "C20 (theory)",
+                "|C20| (est)",
+                "C40 (theory)",
+                "C40 (est)",
+                "C42 (theory)",
+                "C42 (est)",
+            ]
+            .iter()
+            .map(|s| s.to_string())
             .collect();
-        let c = Cumulants::estimate(&pts).expect("nonempty");
-        rows.push(vec![
-            m.to_string(),
-            f4(m.theoretical_c20()),
-            f4(c.c20().norm()),
-            f4(m.theoretical_c40()),
-            f4(c.c40_normalized().re),
-            f4(m.theoretical_c42()),
-            f4(c.c42_normalized()),
-        ]);
-        csv_rows.push(vec![
-            m.to_string(),
-            f4(m.theoretical_c40()),
-            f4(c.c40_normalized().re),
-            f4(m.theoretical_c42()),
-            f4(c.c42_normalized()),
-        ]);
-    }
-    let header: Vec<String> = [
-        "Modulation",
-        "C20 (theory)",
-        "|C20| (est)",
-        "C40 (theory)",
-        "C40 (est)",
-        "C42 (theory)",
-        "C42 (est)",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-    let _ = write_csv(
-        results_dir,
-        "table3_theoretical_cumulants.csv",
-        &["modulation".into(), "c40_theory".into(), "c40_est".into(), "c42_theory".into(), "c42_est".into()],
-        &csv_rows,
-    );
-    let mut out = String::new();
-    out.push_str("## Table III — Theoretical cumulants (C21 = 1) vs sampled estimates\n\n");
-    out.push_str(&markdown_table(&header, &rows));
-    out
+            write_csv(
+                &results,
+                "table3_theoretical_cumulants.csv",
+                &[
+                    "modulation".into(),
+                    "c40_theory".into(),
+                    "c40_est".into(),
+                    "c42_theory".into(),
+                    "c42_est".into(),
+                ],
+                &csv_rows,
+            )?;
+            let mut out = String::new();
+            out.push_str("## Table III — Theoretical cumulants (C21 = 1) vs sampled estimates\n\n");
+            out.push_str(&markdown_table(&header, &rows));
+            Ok(out)
+        },
+    })
 }
+
+const TABLE4_SNRS: [f64; 3] = [7.0, 12.0, 17.0];
 
 /// Table IV: averaged DE² over `per_class` training waveforms at SNR
 /// 7/12/17 dB for both classes (paper: 50 waveforms each).
-pub fn table4(results_dir: &Path, per_class: usize) -> String {
-    let pair = waveform_pair(b"00000");
-    let rx = Receiver::usrp();
-    let snrs = [7.0, 12.0, 17.0];
-    let mut zig_means = Vec::new();
-    let mut emu_means = Vec::new();
-    for (i, &snr) in snrs.iter().enumerate() {
-        let link = Link::awgn(snr);
-        let zig: Vec<f64> = receive_trials(&pair.original, &link, &rx, per_class, 40_000 + i as u64)
-            .iter()
-            .filter_map(|r| Some(features_from_reception(r).ok()?.de_squared_ideal()))
-            .collect();
-        let emu: Vec<f64> = receive_trials(&pair.emulated, &link, &rx, per_class, 41_000 + i as u64)
-            .iter()
-            .filter_map(|r| Some(features_from_reception(r).ok()?.de_squared_ideal()))
-            .collect();
-        zig_means.push(mean(&zig));
-        emu_means.push(mean(&emu));
-    }
-    let header: Vec<String> = std::iter::once("SNR".to_string())
-        .chain(snrs.iter().map(|s| format!("{s} dB")))
-        .collect();
-    let rows = vec![
-        std::iter::once("ZigBee waveform".to_string())
-            .chain(zig_means.iter().map(|&v| f4(v)))
-            .collect::<Vec<_>>(),
-        std::iter::once("Emulated waveform".to_string())
-            .chain(emu_means.iter().map(|&v| f4(v)))
-            .collect::<Vec<_>>(),
-    ];
-    let csv_rows: Vec<Vec<String>> = snrs
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| vec![f2(s), f4(zig_means[i]), f4(emu_means[i])])
-        .collect();
-    let _ = write_csv(
-        results_dir,
-        "table4_de_squared.csv",
-        &["snr_db".into(), "zigbee_de2".into(), "emulated_de2".into()],
-        &csv_rows,
-    );
+pub fn table4(results: PathBuf, per_class: usize) -> Box<dyn Experiment> {
+    Box::new(MonteCarlo {
+        name: "table4",
+        // cell = snr_index * 2 + class (0 = ZigBee, 1 = emulated).
+        cells: TABLE4_SNRS.len() * 2,
+        per_cell: per_class,
+        trial_fn: |ctx: &Ctx<'_>, cell: usize, rng: &mut StdRng| {
+            let pair = ctx.artifacts.pair(b"00000")?;
+            let wave = if cell.is_multiple_of(2) {
+                &pair.original
+            } else {
+                &pair.emulated
+            };
+            let link = Link::awgn(TABLE4_SNRS[cell / 2]);
+            let r = Receiver::usrp().receive(&link.transmit(wave, rng));
+            Ok(match features_from_reception(&r) {
+                Ok(f) => vec![f.de_squared_ideal()],
+                Err(_) => vec![],
+            })
+        },
+        reduce_fn: move |_artifacts: &Artifacts, grouped: Vec<Vec<Vec<f64>>>| {
+            let cell_mean = |i: usize| mean(&column(&grouped[i], 0));
+            let zig_means: Vec<f64> = (0..TABLE4_SNRS.len()).map(|i| cell_mean(i * 2)).collect();
+            let emu_means: Vec<f64> = (0..TABLE4_SNRS.len())
+                .map(|i| cell_mean(i * 2 + 1))
+                .collect();
+            let header: Vec<String> = std::iter::once("SNR".to_string())
+                .chain(TABLE4_SNRS.iter().map(|s| format!("{s} dB")))
+                .collect();
+            let rows = vec![
+                std::iter::once("ZigBee waveform".to_string())
+                    .chain(zig_means.iter().map(|&v| f4(v)))
+                    .collect::<Vec<_>>(),
+                std::iter::once("Emulated waveform".to_string())
+                    .chain(emu_means.iter().map(|&v| f4(v)))
+                    .collect::<Vec<_>>(),
+            ];
+            let csv_rows: Vec<Vec<String>> = TABLE4_SNRS
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| vec![f2(s), f4(zig_means[i]), f4(emu_means[i])])
+                .collect();
+            write_csv(
+                &results,
+                "table4_de_squared.csv",
+                &["snr_db".into(), "zigbee_de2".into(), "emulated_de2".into()],
+                &csv_rows,
+            )?;
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "## Table IV — Averaged DE² over {per_class} training waveforms per class\n\n"
-    ));
-    out.push_str(&markdown_table(&header, &rows));
-    out.push_str(
-        "\nPaper: ZigBee 0.1546/0.0642/0.0421 vs emulated 1.7140/1.6238/1.5536.\n\
-         Shape check: ZigBee DE² falls with SNR; emulated DE² stays an order\n\
-         of magnitude higher, leaving a threshold gap at every SNR.\n",
-    );
-    out
+            let mut out = String::new();
+            out.push_str(&format!(
+                "## Table IV — Averaged DE² over {per_class} training waveforms per class\n\n"
+            ));
+            out.push_str(&markdown_table(&header, &rows));
+            out.push_str(
+                "\nPaper: ZigBee 0.1546/0.0642/0.0421 vs emulated 1.7140/1.6238/1.5536.\n\
+                 Shape check: ZigBee DE² falls with SNR; emulated DE² stays an order\n\
+                 of magnitude higher, leaving a threshold gap at every SNR.\n",
+            );
+            Ok(out)
+        },
+    })
 }
+
+const TABLE5_DISTANCES: [f64; 6] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
 
 /// Table V: averaged DE² (real-channel |C40| variant) vs distance for both
 /// classes, plus the RSSI row of Fig. 13's inset.
-pub fn table5(results_dir: &Path, per_class: usize) -> String {
-    let pair = waveform_pair(b"00000");
-    let rx = Receiver::usrp();
-    let detector_stat = |r: &ctc_zigbee::Reception| -> Option<f64> {
-        Some(features_from_reception(r).ok()?.de_squared_real())
-    };
-    let distances = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
-    let pl = PathLoss::indoor_2_4ghz();
-    let mut rows_zig = vec!["ZigBee waveform".to_string()];
-    let mut rows_emu = vec!["Emulated waveform".to_string()];
-    let mut rows_rssi = vec!["RSSI (dBm)".to_string()];
-    let mut csv_rows = Vec::new();
-    for (i, &d) in distances.iter().enumerate() {
-        let link = Link::real_indoor(d, 0.0);
-        let zig: Vec<f64> = receive_trials(&pair.original, &link, &rx, per_class, 50_000 + i as u64)
-            .iter()
-            .filter_map(detector_stat)
-            .collect();
-        let emu: Vec<f64> = receive_trials(&pair.emulated, &link, &rx, per_class, 51_000 + i as u64)
-            .iter()
-            .filter_map(detector_stat)
-            .collect();
-        let rssi = rssi_dbm(&pl, 0.0, d);
-        rows_zig.push(f4(mean(&zig)));
-        rows_emu.push(f4(mean(&emu)));
-        rows_rssi.push(format!("{rssi}"));
-        csv_rows.push(vec![
-            f2(d),
-            f4(mean(&zig)),
-            f4(mean(&emu)),
-            format!("{rssi}"),
-        ]);
-    }
-    let header: Vec<String> = std::iter::once("Distance".to_string())
-        .chain(distances.iter().map(|d| format!("{d} m")))
-        .collect();
-    let _ = write_csv(
-        results_dir,
-        "table5_real_environment.csv",
-        &["distance_m".into(), "zigbee_de2".into(), "emulated_de2".into(), "rssi_dbm".into()],
-        &csv_rows,
-    );
+pub fn table5(results: PathBuf, per_class: usize) -> Box<dyn Experiment> {
+    Box::new(MonteCarlo {
+        name: "table5",
+        // cell = distance_index * 2 + class (0 = ZigBee, 1 = emulated).
+        cells: TABLE5_DISTANCES.len() * 2,
+        per_cell: per_class,
+        trial_fn: |ctx: &Ctx<'_>, cell: usize, rng: &mut StdRng| {
+            let pair = ctx.artifacts.pair(b"00000")?;
+            let wave = if cell.is_multiple_of(2) {
+                &pair.original
+            } else {
+                &pair.emulated
+            };
+            let link = Link::real_indoor(TABLE5_DISTANCES[cell / 2], 0.0);
+            let r = Receiver::usrp().receive(&link.transmit(wave, rng));
+            Ok(match features_from_reception(&r) {
+                Ok(f) => vec![f.de_squared_real()],
+                Err(_) => vec![],
+            })
+        },
+        reduce_fn: move |_artifacts: &Artifacts, grouped: Vec<Vec<Vec<f64>>>| {
+            let pl = PathLoss::indoor_2_4ghz();
+            let mut rows_zig = vec!["ZigBee waveform".to_string()];
+            let mut rows_emu = vec!["Emulated waveform".to_string()];
+            let mut rows_rssi = vec!["RSSI (dBm)".to_string()];
+            let mut csv_rows = Vec::new();
+            for (i, &d) in TABLE5_DISTANCES.iter().enumerate() {
+                let zig = mean(&column(&grouped[i * 2], 0));
+                let emu = mean(&column(&grouped[i * 2 + 1], 0));
+                let rssi = rssi_dbm(&pl, 0.0, d);
+                rows_zig.push(f4(zig));
+                rows_emu.push(f4(emu));
+                rows_rssi.push(format!("{rssi}"));
+                csv_rows.push(vec![f2(d), f4(zig), f4(emu), format!("{rssi}")]);
+            }
+            let header: Vec<String> = std::iter::once("Distance".to_string())
+                .chain(TABLE5_DISTANCES.iter().map(|d| format!("{d} m")))
+                .collect();
+            write_csv(
+                &results,
+                "table5_real_environment.csv",
+                &[
+                    "distance_m".into(),
+                    "zigbee_de2".into(),
+                    "emulated_de2".into(),
+                    "rssi_dbm".into(),
+                ],
+                &csv_rows,
+            )?;
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "## Table V — Real-environment DE² (|C40| variant) vs distance ({per_class} waveforms per class)\n\n"
-    ));
-    out.push_str(&markdown_table(&header, &[rows_zig, rows_emu, rows_rssi]));
-    out.push_str(
-        "\nPaper: ZigBee ≈ 0.0003–0.0103 vs emulated ≈ 1.14–2.00 at 1–6 m;\n\
-         any threshold in the gap (paper suggests [0.1, 1]) detects the attacker.\n",
-    );
-    out
+            let mut out = String::new();
+            out.push_str(&format!(
+                "## Table V — Real-environment DE² (|C40| variant) vs distance ({per_class} waveforms per class)\n\n"
+            ));
+            out.push_str(&markdown_table(&header, &[rows_zig, rows_emu, rows_rssi]));
+            out.push_str(
+                "\nPaper: ZigBee ≈ 0.0003–0.0103 vs emulated ≈ 1.14–2.00 at 1–6 m;\n\
+                 any threshold in the gap (paper suggests [0.1, 1]) detects the attacker.\n",
+            );
+            Ok(out)
+        },
+    })
+}
+
+const PHY_SNRS: [f64; 5] = [-2.0, 0.0, 2.0, 4.0, 6.0];
+const PHY_PAYLOAD: &[u8] = b"0123456789";
+
+/// Per-frame chip/symbol expectations for the PHY validation experiment.
+struct PhySetup {
+    wave: Vec<Complex>,
+    expected_chips: Vec<u8>,
+    expected_syms: Vec<u8>,
+}
+
+fn phy_setup(artifacts: &Artifacts) -> Result<std::sync::Arc<PhySetup>, ctc_core::Error> {
+    artifacts.try_memo("phy:setup", || {
+        let tx = Transmitter::new();
+        let wave = tx.transmit_payload(PHY_PAYLOAD)?;
+        let expected_syms = ctc_zigbee::frame::build_frame_symbols(PHY_PAYLOAD)?;
+        let expected_chips = tx.symbols_to_chips(&expected_syms);
+        Ok(PhySetup {
+            wave,
+            expected_chips,
+            expected_syms,
+        })
+    })
 }
 
 /// Substrate validation: measured chip-error rate of the O-QPSK receiver
 /// vs the coherent-BPSK theory curve `p = Q(sqrt(2 SNR_chip))`, plus the
 /// DSSS-decoded symbol error rate — evidence the PHY behaves textbook-like
 /// before any attack numbers are trusted.
-pub fn phy_validation(results_dir: &Path, trials: usize) -> String {
-    // Q(x) via the complementary error function (Abramowitz & Stegun 7.1.26).
+pub fn phy_validation(results: PathBuf, trials: usize) -> Box<dyn Experiment> {
+    Box::new(MonteCarlo {
+        name: "phy",
+        cells: PHY_SNRS.len(),
+        per_cell: trials,
+        trial_fn: |ctx: &Ctx<'_>, cell: usize, rng: &mut StdRng| {
+            let setup = phy_setup(ctx.artifacts)?;
+            let link = Link::awgn(PHY_SNRS[cell]);
+            let r = Receiver::usrp().receive(&link.transmit(&setup.wave, rng));
+            let got = r.chip_samples.hard_chips();
+            let mut chip_errs = 0usize;
+            let mut chips_total = 0usize;
+            for (a, b) in got.iter().zip(&setup.expected_chips) {
+                chip_errs += usize::from(a != b);
+                chips_total += 1;
+            }
+            let sym_errs = r.symbol_errors(&setup.expected_syms);
+            Ok(vec![
+                chip_errs as f64,
+                chips_total as f64,
+                sym_errs as f64,
+                setup.expected_syms.len() as f64,
+            ])
+        },
+        reduce_fn: move |_artifacts: &Artifacts, grouped: Vec<Vec<Vec<f64>>>| {
+            let mut rows = Vec::new();
+            for (cell, &snr) in PHY_SNRS.iter().enumerate() {
+                let sum = |idx: usize| -> f64 { column(&grouped[cell], idx).iter().sum() };
+                let (chip_errs, chips_total) = (sum(0), sum(1));
+                let (sym_errs, syms_total) = (sum(2), sum(3));
+                // Per-chip SNR: unit-power constant-envelope signal, chip
+                // decision on one sample's real/imag part with noise
+                // variance sigma^2/2.
+                let sigma2 = 10f64.powf(-snr / 10.0);
+                let theory = q_function((2.0 / sigma2).sqrt());
+                rows.push(vec![
+                    f2(snr),
+                    format!("{:.5}", chip_errs / chips_total),
+                    format!("{:.5}", theory),
+                    format!("{:.5}", sym_errs / syms_total),
+                ]);
+            }
+            let header: Vec<String> = [
+                "SNR (dB)",
+                "measured chip error rate",
+                "theory Q(sqrt(2/sigma^2))",
+                "symbol error rate (DSSS)",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            write_csv(&results, "ext_phy_validation.csv", &header, &rows)?;
+            let mut out = String::new();
+            out.push_str(&format!(
+                "## Extension — PHY substrate validation ({trials} frames per SNR)\n\n"
+            ));
+            out.push_str(&markdown_table(&header, &rows));
+            out.push_str(
+                "\nThe measured chip-error rate follows the coherent-BPSK theory curve\n\
+                 with a 2-3 dB implementation loss at these very low SNRs — the\n\
+                 preamble-based phase/CFO estimates are themselves noise-limited\n\
+                 there (the loss vanishes above ~6 dB, where every attack/defense\n\
+                 experiment operates). DSSS despreading crushes symbol errors well\n\
+                 below chip errors, the processing gain the attack exploits.\n",
+            );
+            Ok(out)
+        },
+    })
+}
+
+/// Q(x) via the complementary error function (Abramowitz & Stegun 7.1.26).
+fn q_function(x: f64) -> f64 {
     fn erfc(x: f64) -> f64 {
         let z = x.abs();
         let t = 1.0 / (1.0 + 0.5 * z);
@@ -290,100 +440,56 @@ pub fn phy_validation(results_dir: &Path, trials: usize) -> String {
                                     + t * (-1.13520398
                                         + t * (1.48851587
                                             + t * (-0.82215223 + t * 0.17087277)))))))))
-            .exp();
-        if x >= 0.0 { ans } else { 2.0 - ans }
-    }
-    fn q(x: f64) -> f64 {
-        0.5 * erfc(x / std::f64::consts::SQRT_2)
-    }
-
-    let tx = Transmitter::new();
-    let payload = b"0123456789";
-    let wave = tx.transmit_payload(payload).expect("short payload");
-    let expected_chips: Vec<u8> = {
-        let symbols = ctc_zigbee::frame::build_frame_symbols(payload).expect("short");
-        tx.symbols_to_chips(&symbols)
-    };
-    let rx = Receiver::usrp();
-    let mut rows = Vec::new();
-    for (i, &snr) in [-2.0f64, 0.0, 2.0, 4.0, 6.0].iter().enumerate() {
-        let link = Link::awgn(snr);
-        let mut chip_errs = 0usize;
-        let mut chips_total = 0usize;
-        let mut sym_errs = 0usize;
-        let mut syms_total = 0usize;
-        let expected_syms = ctc_zigbee::frame::build_frame_symbols(payload).expect("short");
-        for r in receive_trials(&wave, &link, &rx, trials, 460_000 + i as u64) {
-            let got = r.chip_samples.hard_chips();
-            for (a, b) in got.iter().zip(&expected_chips) {
-                chip_errs += usize::from(a != b);
-                chips_total += 1;
-            }
-            sym_errs += r.symbol_errors(&expected_syms);
-            syms_total += expected_syms.len();
+                .exp();
+        if x >= 0.0 {
+            ans
+        } else {
+            2.0 - ans
         }
-        // Per-chip SNR: unit-power constant-envelope signal, chip decision on
-        // one sample's real/imag part with noise variance sigma^2/2.
-        let sigma2 = 10f64.powf(-snr / 10.0);
-        let theory = q((2.0 / sigma2).sqrt());
-        rows.push(vec![
-            f2(snr),
-            format!("{:.5}", chip_errs as f64 / chips_total as f64),
-            format!("{:.5}", theory),
-            format!("{:.5}", sym_errs as f64 / syms_total as f64),
-        ]);
     }
-    let header: Vec<String> = [
-        "SNR (dB)",
-        "measured chip error rate",
-        "theory Q(sqrt(2/sigma^2))",
-        "symbol error rate (DSSS)",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-    let _ = write_csv(results_dir, "ext_phy_validation.csv", &header, &rows);
-    let mut out = String::new();
-    out.push_str(&format!(
-        "## Extension — PHY substrate validation ({trials} frames per SNR)\n\n"
-    ));
-    out.push_str(&markdown_table(&header, &rows));
-    out.push_str(
-        "\nThe measured chip-error rate follows the coherent-BPSK theory curve\n\
-         with a 2-3 dB implementation loss at these very low SNRs — the\n\
-         preamble-based phase/CFO estimates are themselves noise-limited\n\
-         there (the loss vanishes above ~6 dB, where every attack/defense\n\
-         experiment operates). DSSS despreading crushes symbol errors well\n\
-         below chip errors, the processing gain the attack exploits.\n",
-    );
-    out
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Runs one experiment on a small thread pool for tests.
+#[cfg(test)]
+pub(crate) fn run_test(exp: Box<dyn Experiment>) -> String {
+    let artifacts = Artifacts::new();
+    crate::engine::TrialRunner::new(2)
+        .run(&*exp, &artifacts)
+        .unwrap()
+        .text
+}
+
+#[cfg(test)]
+pub(crate) fn test_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(name)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn dir() -> std::path::PathBuf {
-        std::env::temp_dir().join("ctc_tables_test")
+    fn dir() -> PathBuf {
+        test_dir("ctc_tables_test")
     }
 
     #[test]
     fn table1_mentions_selected_bins() {
-        let out = table1(&dir());
+        let out = run_test(table1(dir()));
         assert!(out.contains("Selected bins"));
         assert!(out.contains("block 6"));
     }
 
     #[test]
     fn table2_small_run() {
-        let out = table2(&dir(), 5);
+        let out = run_test(table2(dir(), 5));
         assert!(out.contains("17 dB"));
         assert!(out.contains('%'));
     }
 
     #[test]
     fn table3_rows_for_every_modulation() {
-        let out = table3(&dir());
+        let out = run_test(table3(dir()));
         for name in ["BPSK", "QPSK", "64-QAM", "256-QAM"] {
             assert!(out.contains(name), "missing {name}");
         }
@@ -391,14 +497,14 @@ mod tests {
 
     #[test]
     fn table4_gap_present_even_in_small_run() {
-        let out = table4(&dir(), 5);
+        let out = run_test(table4(dir(), 5));
         assert!(out.contains("ZigBee waveform"));
         assert!(out.contains("Emulated waveform"));
     }
 
     #[test]
     fn table5_small_run() {
-        let out = table5(&dir(), 3);
+        let out = run_test(table5(dir(), 3));
         assert!(out.contains("RSSI"));
         assert!(out.contains("6 m"));
     }

@@ -5,9 +5,14 @@
 //! table and figure of the paper's evaluation section:
 //!
 //! ```text
-//! cargo run -p ctc-bench --bin experiments --release -- all
-//! cargo run -p ctc-bench --bin experiments --release -- table2 --trials 1000
+//! cargo run -p ctc-bench --bin experiments --release -- all --jobs 8
+//! cargo run -p ctc-bench --bin experiments --release -- table2 --quick
 //! ```
+//!
+//! Experiments implement the [`engine::Experiment`] trait — independent
+//! Monte-Carlo trials plus a single-threaded reduce — and run on the
+//! [`engine::TrialRunner`] thread pool; results are byte-identical for any
+//! `--jobs` value.
 //!
 //! Criterion benches (`cargo bench -p ctc-bench`) cover the complexity
 //! claims of Sec. VII-A and the ablations listed in DESIGN.md §6.
@@ -15,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine;
 pub mod experiments;
 pub mod report;
-pub mod scenario;
+pub mod trials;

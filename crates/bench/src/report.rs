@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn table_shape() {
-        let t = markdown_table(
-            &["a".into(), "b".into()],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let t = markdown_table(&["a".into(), "b".into()], &[vec!["1".into(), "2".into()]]);
         assert!(t.contains("| a | b |"));
         assert!(t.contains("|---|---|"));
         assert!(t.contains("| 1 | 2 |"));

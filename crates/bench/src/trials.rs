@@ -1,0 +1,154 @@
+//! Reception-batch helpers for the experiment suite.
+//!
+//! The waveform-pair construction itself lives in
+//! [`ctc_core::waveform::WaveformPair`] (re-exported here): the two
+//! communication links of the paper's evaluation (Sec. VII-B) are link A,
+//! ZigBee transmitter → ZigBee receiver, and link B, WiFi attacker
+//! (emulating a recorded ZigBee frame) → ZigBee receiver. "Scenario" in
+//! this workspace always means the coexistence timeline of
+//! [`ctc_core::scenario`].
+
+use ctc_channel::Link;
+use ctc_dsp::Complex;
+use ctc_zigbee::{Receiver, Reception};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use ctc_core::waveform::WaveformPair;
+
+/// Runs `trials` receptions of one waveform through a link, drawing noise
+/// from the supplied generator.
+pub fn receive_with(
+    wave: &[Complex],
+    link: &Link,
+    receiver: &Receiver,
+    trials: usize,
+    rng: &mut StdRng,
+) -> Vec<Reception> {
+    (0..trials)
+        .map(|_| receiver.receive(&link.transmit(wave, rng)))
+        .collect()
+}
+
+/// Runs `trials` receptions of one waveform through a link, with a
+/// deterministic seed stream.
+pub fn receive_trials(
+    wave: &[Complex],
+    link: &Link,
+    receiver: &Receiver,
+    trials: usize,
+    seed: u64,
+) -> Vec<Reception> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    receive_with(wave, link, receiver, trials, &mut rng)
+}
+
+/// Packet success rate over a batch of receptions against the expected
+/// payload.
+pub fn packet_success_rate(receptions: &[Reception], expected: &[u8]) -> f64 {
+    if receptions.is_empty() {
+        return 0.0;
+    }
+    let ok = receptions
+        .iter()
+        .filter(|r| r.packet_ok() && r.payload() == Some(expected))
+        .count();
+    ok as f64 / receptions.len() as f64
+}
+
+/// Whether one reception decodes the expected payload.
+pub fn packet_ok(reception: &Reception, expected: &[u8]) -> bool {
+    reception.packet_ok() && reception.payload() == Some(expected)
+}
+
+/// Symbol error rate over a batch, relative to the expected frame symbols.
+///
+/// # Errors
+///
+/// Propagates framing errors when `expected_payload` cannot be framed.
+pub fn symbol_error_rate(
+    receptions: &[Reception],
+    expected_payload: &[u8],
+) -> Result<f64, ctc_core::Error> {
+    let expected = ctc_zigbee::frame::build_frame_symbols(expected_payload)?;
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for r in receptions {
+        errors += r.symbol_errors(&expected);
+        total += expected.len();
+    }
+    Ok(if total == 0 {
+        0.0
+    } else {
+        errors as f64 / total as f64
+    })
+}
+
+/// Mean of a sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctc_channel::Link;
+
+    #[test]
+    fn pair_decodes_both_ways() {
+        let pair = WaveformPair::new(b"00000").unwrap();
+        let rx = Receiver::usrp();
+        assert_eq!(rx.receive(&pair.original).payload(), Some(&b"00000"[..]));
+        assert_eq!(rx.receive(&pair.emulated).payload(), Some(&b"00000"[..]));
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let pair = WaveformPair::new(b"00001").unwrap();
+        let link = Link::awgn(10.0);
+        let rx = Receiver::usrp();
+        let a = receive_trials(&pair.original, &link, &rx, 3, 7);
+        let b = receive_trials(&pair.original, &link, &rx, 3, 7);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.symbols, y.symbols);
+        }
+    }
+
+    #[test]
+    fn success_rate_bounds() {
+        let pair = WaveformPair::new(b"00002").unwrap();
+        let link = Link::awgn(30.0);
+        let rx = Receiver::usrp();
+        let rs = receive_trials(&pair.original, &link, &rx, 5, 11);
+        let rate = packet_success_rate(&rs, b"00002");
+        assert!(rate > 0.99);
+        assert_eq!(packet_success_rate(&[], b"x"), 0.0);
+    }
+
+    #[test]
+    fn symbol_error_rate_rejects_bad_payloads() {
+        assert!(symbol_error_rate(&[], &vec![0u8; 4096]).is_err());
+        assert_eq!(symbol_error_rate(&[], b"00000").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+}

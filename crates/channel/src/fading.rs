@@ -172,7 +172,10 @@ mod tests {
     fn rayleigh_unit_average_power() {
         let mut rng = StdRng::seed_from_u64(21);
         let n = 100_000;
-        let p = (0..n).map(|_| rayleigh_gain(&mut rng).norm_sqr()).sum::<f64>() / n as f64;
+        let p = (0..n)
+            .map(|_| rayleigh_gain(&mut rng).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
         assert!((p - 1.0).abs() < 0.02, "avg power {p}");
     }
 
@@ -181,7 +184,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         for k in [0.0, 1.0, 5.0, 20.0] {
             let n = 50_000;
-            let p = (0..n).map(|_| rician_gain(&mut rng, k).norm_sqr()).sum::<f64>() / n as f64;
+            let p = (0..n)
+                .map(|_| rician_gain(&mut rng, k).norm_sqr())
+                .sum::<f64>()
+                / n as f64;
             assert!((p - 1.0).abs() < 0.03, "K={k}: avg power {p}");
         }
     }
@@ -277,7 +283,10 @@ mod tests {
         for k in 1..6 {
             far = far.max((fader.gain_at(0) - fader.gain_at(k * 400_000)).norm());
         }
-        assert!(far > 0.3, "channel should decorrelate over tens of ms: {far}");
+        assert!(
+            far > 0.3,
+            "channel should decorrelate over tens of ms: {far}"
+        );
     }
 
     #[test]

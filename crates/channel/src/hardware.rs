@@ -260,11 +260,7 @@ mod tests {
         let x = vec![Complex::new(0.7, 0.7); 64];
         let y = TxImpairments::typical_iot().apply(&x, &mut rng);
         assert_eq!(y.len(), 64);
-        let moved = x
-            .iter()
-            .zip(&y)
-            .map(|(a, b)| (*a - *b).norm())
-            .sum::<f64>();
+        let moved = x.iter().zip(&y).map(|(a, b)| (*a - *b).norm()).sum::<f64>();
         assert!(moved > 0.01, "impairments should perturb the waveform");
         // Default bundle is a no-op.
         let z = TxImpairments::default().apply(&x, &mut rng);

@@ -79,8 +79,17 @@ mod tests {
         let y = apply_cfo(&x, f, fs, 0.0);
         let w = 2.0 * std::f64::consts::PI * f / fs;
         for (n, v) in y.iter().enumerate() {
-            assert!((v.arg() - (w * n as f64 + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI) + std::f64::consts::PI).abs() < 1e-9
-                || (v.arg().rem_euclid(2.0*std::f64::consts::PI) - (w * n as f64).rem_euclid(2.0*std::f64::consts::PI)).abs() < 1e-9);
+            assert!(
+                (v.arg()
+                    - (w * n as f64 + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+                    + std::f64::consts::PI)
+                    .abs()
+                    < 1e-9
+                    || (v.arg().rem_euclid(2.0 * std::f64::consts::PI)
+                        - (w * n as f64).rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                        < 1e-9
+            );
         }
     }
 

@@ -76,9 +76,7 @@ impl Interferer {
         }
         // Band-limit white noise with a moving average of width ~1/bandwidth.
         let ma = ((1.0 / self.bandwidth).round() as usize).max(1);
-        let white: Vec<Complex> = (0..len + ma)
-            .map(|_| complex_gaussian(rng, 1.0))
-            .collect();
+        let white: Vec<Complex> = (0..len + ma).map(|_| complex_gaussian(rng, 1.0)).collect();
         let mut filtered = Vec::with_capacity(len);
         let mut acc = Complex::ZERO;
         for (i, &w) in white.iter().enumerate() {
@@ -127,10 +125,7 @@ impl Interferer {
     /// Adds this interferer's waveform to a victim signal.
     pub fn apply<R: Rng>(&self, x: &[Complex], rng: &mut R) -> Vec<Complex> {
         let interference = self.generate(x.len(), rng);
-        x.iter()
-            .zip(&interference)
-            .map(|(a, b)| *a + *b)
-            .collect()
+        x.iter().zip(&interference).map(|(a, b)| *a + *b).collect()
     }
 }
 
@@ -148,7 +143,10 @@ mod tests {
             duty_cycle: 0.0,
             ..Interferer::wifi_like(0.0, 1.0)
         };
-        assert!(i.generate(100, &mut rng).iter().all(|v| *v == Complex::ZERO));
+        assert!(i
+            .generate(100, &mut rng)
+            .iter()
+            .all(|v| *v == Complex::ZERO));
     }
 
     #[test]

@@ -178,7 +178,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let y = link.transmit(&x, &mut rng);
         // High SNR: output close to normalized input (already unit power).
-        let err: f64 = x.iter().zip(&y).map(|(a, b)| (*b - *a).norm_sqr()).sum::<f64>() / x.len() as f64;
+        let err: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*b - *a).norm_sqr())
+            .sum::<f64>()
+            / x.len() as f64;
         assert!(err < 1e-3, "err {err}");
     }
 

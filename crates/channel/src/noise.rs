@@ -100,7 +100,10 @@ mod tests {
             .map(|(a, b)| (*b - *a).norm_sqr())
             .sum::<f64>()
             / x.len() as f64;
-        assert!((noise_power - 0.1).abs() < 0.01, "noise power {noise_power}");
+        assert!(
+            (noise_power - 0.1).abs() < 0.01,
+            "noise power {noise_power}"
+        );
     }
 
     #[test]
@@ -125,12 +128,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(15);
         let x = vec![Complex::ONE; 1000];
         let y = awgn(&x, 60.0, &mut rng);
-        let p = mean_power(
-            &x.iter()
-                .zip(&y)
-                .map(|(a, b)| *b - *a)
-                .collect::<Vec<_>>(),
-        );
+        let p = mean_power(&x.iter().zip(&y).map(|(a, b)| *b - *a).collect::<Vec<_>>());
         assert!(p < 2e-6);
     }
 

@@ -13,14 +13,14 @@
 //! ctc spectrum --input attack.cf32 --segment 64
 //! ```
 
-use ctc_core::attack::{EnergyDetector, Emulator, SpectralMode, SynthesisMode};
+use ctc_core::attack::{Emulator, EnergyDetector, SpectralMode, SynthesisMode};
 use ctc_core::defense::{ChannelAssumption, Detector};
 use ctc_dsp::io::{read_cf32_file, write_cf32_file};
 use ctc_dsp::psd::{welch_psd, Window};
 use ctc_dsp::Complex;
 use ctc_zigbee::{Receiver, Transmitter};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -100,11 +100,11 @@ impl Args {
     }
 }
 
-fn load(path: &PathBuf) -> Result<Vec<Complex>, String> {
+fn load(path: &Path) -> Result<Vec<Complex>, String> {
     read_cf32_file(path).map_err(|e| format!("reading {}: {e}", path.display()))
 }
 
-fn save(path: &PathBuf, samples: &[Complex]) -> Result<(), String> {
+fn save(path: &Path, samples: &[Complex]) -> Result<(), String> {
     write_cf32_file(path, samples).map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
@@ -174,7 +174,10 @@ fn cmd_emulate(args: &Args) -> Result<(), String> {
         em.waveform_20mhz.len()
     );
     println!("kept FFT bins: {:?}", em.kept_bins);
-    println!("alpha = {:.4}, quantization error = {:.1}", em.alpha, em.quantization_error);
+    println!(
+        "alpha = {:.4}, quantization error = {:.1}",
+        em.alpha, em.quantization_error
+    );
     if let Some(d) = em.codeword_distance {
         println!("bit-chain codeword distance = {d}");
     }
@@ -283,8 +286,7 @@ fn cmd_listen(args: &Args) -> Result<(), String> {
 fn cmd_spectrum(args: &Args) -> Result<(), String> {
     let wave = load(&args.path("input")?)?;
     let segment = args.parse_num::<usize>("segment")?.unwrap_or(64);
-    let psd = welch_psd(&wave, segment, Window::Hann)
-        .map_err(|e| format!("psd failed: {e}"))?;
+    let psd = welch_psd(&wave, segment, Window::Hann).map_err(|e| format!("psd failed: {e}"))?;
     let db = psd.db_rel_peak();
     let ordered = psd.ordered();
     println!("Welch PSD ({} segments of {segment}):", psd.segments);

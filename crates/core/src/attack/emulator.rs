@@ -174,12 +174,11 @@ impl Emulator {
     /// (20 MHz) with the ZigBee band at its configured spectral position.
     pub fn emulate_wideband(&self, observed_20mhz: &[Complex]) -> Emulation {
         let mut wide = observed_20mhz.to_vec();
-        while wide.len() % SYMBOL_LEN != 0 {
+        while !wide.len().is_multiple_of(SYMBOL_LEN) {
             wide.push(Complex::ZERO);
         }
         let spectra = block_spectra(&wide);
-        let kept_bins =
-            select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
+        let kept_bins = select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
 
         // Gather the chosen components of every block and quantize them with
         // one global scaler ("the attacker has to choose a scalar for QAM
@@ -205,9 +204,7 @@ impl Emulator {
         };
 
         match self.synthesis_mode {
-            SynthesisMode::RawSpectrum => {
-                self.synthesize_raw(&spectra, &kept_bins, &quantized)
-            }
+            SynthesisMode::RawSpectrum => self.synthesize_raw(&spectra, &kept_bins, &quantized),
             SynthesisMode::BitChain => self.synthesize_bitchain(&spectra, &kept_bins, &quantized),
         }
     }
@@ -433,7 +430,10 @@ mod tests {
         // Kept bins must sit in the data-subcarrier region around -16.
         for &b in &em.kept_bins {
             let sc = bin_to_subcarrier(b);
-            assert!((-22..=-10).contains(&sc), "bin {b} (subcarrier {sc}) off target");
+            assert!(
+                (-22..=-10).contains(&sc),
+                "bin {b} (subcarrier {sc}) off target"
+            );
         }
         let back = emu.received_at_zigbee(&em);
         let r = Receiver::usrp().receive(&back);
@@ -478,9 +478,6 @@ mod tests {
     #[test]
     fn all_zero_input_produces_silence() {
         let em = Emulator::new().emulate(&vec![Complex::ZERO; 64]);
-        assert!(em
-            .waveform_20mhz
-            .iter()
-            .all(|v| v.norm() < 1e-12));
+        assert!(em.waveform_20mhz.iter().all(|v| v.norm() < 1e-12));
     }
 }

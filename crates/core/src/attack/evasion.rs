@@ -33,8 +33,7 @@ fn cp_extended_basis(kept_bins: &[usize]) -> Matrix {
         } else {
             (n - CP_LEN) as f64
         };
-        Complex::cis(2.0 * std::f64::consts::PI * k * body_n / FFT_SIZE as f64)
-            / FFT_SIZE as f64
+        Complex::cis(2.0 * std::f64::consts::PI * k * body_n / FFT_SIZE as f64) / FFT_SIZE as f64
     })
 }
 
@@ -87,20 +86,18 @@ impl LeastSquaresEmulator {
     /// Returns the emulated 20 MHz waveform plus the quantizer diagnostics.
     pub fn emulate_wideband(&self, observed_20mhz: &[Complex]) -> LeastSquaresEmulation {
         let mut wide = observed_20mhz.to_vec();
-        while wide.len() % SYMBOL_LEN != 0 {
+        while !wide.len().is_multiple_of(SYMBOL_LEN) {
             wide.push(Complex::ZERO);
         }
         // Subcarrier selection identical to the baseline attack so the two
         // are comparable.
         let spectra = block_spectra(&wide);
-        let kept_bins =
-            select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
+        let kept_bins = select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
         let basis = cp_extended_basis(&kept_bins);
 
         // Per-block least-squares fit of the kept coefficients.
-        let mut coefficients: Vec<Complex> = Vec::with_capacity(
-            wide.len() / SYMBOL_LEN * kept_bins.len(),
-        );
+        let mut coefficients: Vec<Complex> =
+            Vec::with_capacity(wide.len() / SYMBOL_LEN * kept_bins.len());
         for block in wide.chunks(SYMBOL_LEN) {
             let x = basis
                 .least_squares(block)

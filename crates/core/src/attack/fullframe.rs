@@ -94,16 +94,15 @@ impl FullFrameAttack {
             self.wifi.sample_rate_hz(),
         )
         .expect("factor 5 is nonzero");
-        while wide.len() % SYMBOL_LEN != 0 {
+        while !wide.len().is_multiple_of(SYMBOL_LEN) {
             wide.push(Complex::ZERO);
         }
         // One extra block of margin: the receiver's sync lands a little
         // after the nominal PLCP offset (filter transients), and the final
         // ZigBee symbol must not fall off the end of the frame.
-        wide.extend(std::iter::repeat(Complex::ZERO).take(SYMBOL_LEN));
+        wide.extend(std::iter::repeat_n(Complex::ZERO, SYMBOL_LEN));
         let spectra = block_spectra(&wide);
-        let kept_bins =
-            select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
+        let kept_bins = select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
         let mut chosen = Vec::with_capacity(spectra.len() * kept_bins.len());
         for spec in &spectra {
             for &bin in &kept_bins {
@@ -137,13 +136,13 @@ impl FullFrameAttack {
             .collect();
         for (b, _) in spectra.iter().enumerate() {
             let sym = b + 1; // data symbol carrying this block
-            // Interleaved-bit view of this symbol. Out-of-band data
-            // subcarriers are pinned to minimum-amplitude QAM points
-            // (|level| = 1 on both axes, signs free): their energy sits just
-            // outside the ZigBee channel filter and would otherwise leak
-            // through the skirt as chip noise. In Gray coding |level| = 1 is
-            // `_10` per axis, so bits 1..3 and 4..6 are (1, 0) and the sign
-            // bits 0 and 3 stay don't-care.
+                             // Interleaved-bit view of this symbol. Out-of-band data
+                             // subcarriers are pinned to minimum-amplitude QAM points
+                             // (|level| = 1 on both axes, signs free): their energy sits just
+                             // outside the ZigBee channel filter and would otherwise leak
+                             // through the skirt as chip noise. In Gray coding |level| = 1 is
+                             // `_10` per axis, so bits 1..3 and 4..6 are (1, 0) and the sign
+                             // bits 0 and 3 stay don't-care.
             let mut inter: Vec<Option<u8>> = vec![None; N_CBPS_64QAM];
             for pos in 0..data_idx.len() {
                 inter[pos * N_BPSC_64QAM + 1] = Some(1);

@@ -146,7 +146,11 @@ impl EnergyDetector {
 pub fn clear_channel_assessment(x: &[Complex], window: usize, threshold_power: f64) -> bool {
     assert!(window > 0, "window must be positive");
     assert!(x.len() >= window, "need at least one CCA window of samples");
-    let p: f64 = x[x.len() - window..].iter().map(|v| v.norm_sqr()).sum::<f64>() / window as f64;
+    let p: f64 = x[x.len() - window..]
+        .iter()
+        .map(|v| v.norm_sqr())
+        .sum::<f64>()
+        / window as f64;
     p < threshold_power
 }
 
@@ -162,10 +166,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = Transmitter::new().transmit_payload(b"00000").unwrap();
         let sigma2 = 10f64.powf(-snr_db / 10.0);
-        let mut stream: Vec<Complex> =
-            (0..gap).map(|_| complex_gaussian(&mut rng, sigma2)).collect();
+        let mut stream: Vec<Complex> = (0..gap)
+            .map(|_| complex_gaussian(&mut rng, sigma2))
+            .collect();
         let start = stream.len();
-        stream.extend(frame.iter().map(|&v| v + complex_gaussian(&mut rng, sigma2)));
+        stream.extend(
+            frame
+                .iter()
+                .map(|&v| v + complex_gaussian(&mut rng, sigma2)),
+        );
         let end = stream.len();
         stream.extend((0..gap).map(|_| complex_gaussian(&mut rng, sigma2)));
         (stream, start, end)
@@ -177,8 +186,14 @@ mod tests {
         let bursts = EnergyDetector::default().detect(&stream);
         assert_eq!(bursts.len(), 1, "bursts: {bursts:?}");
         let b = bursts[0];
-        assert!((b.start as i64 - start as i64).unsigned_abs() < 32, "start {b:?} vs {start}");
-        assert!((b.end as i64 - end as i64).unsigned_abs() < 64, "end {b:?} vs {end}");
+        assert!(
+            (b.start as i64 - start as i64).unsigned_abs() < 32,
+            "start {b:?} vs {start}"
+        );
+        assert!(
+            (b.end as i64 - end as i64).unsigned_abs() < 64,
+            "end {b:?} vs {end}"
+        );
     }
 
     #[test]
@@ -206,17 +221,20 @@ mod tests {
     #[test]
     fn pure_noise_yields_nothing() {
         let mut rng = StdRng::seed_from_u64(5);
-        let noise: Vec<Complex> = (0..4000).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
+        let noise: Vec<Complex> = (0..4000)
+            .map(|_| complex_gaussian(&mut rng, 0.01))
+            .collect();
         assert!(EnergyDetector::default().detect(&noise).is_empty());
     }
 
     #[test]
     fn short_blips_rejected() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut stream: Vec<Complex> =
-            (0..2000).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
-        for i in 900..940 {
-            stream[i] = Complex::ONE;
+        let mut stream: Vec<Complex> = (0..2000)
+            .map(|_| complex_gaussian(&mut rng, 0.01))
+            .collect();
+        for sample in stream.iter_mut().take(940).skip(900) {
+            *sample = Complex::ONE;
         }
         assert!(EnergyDetector::default().detect(&stream).is_empty());
     }

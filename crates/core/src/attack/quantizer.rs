@@ -113,10 +113,7 @@ pub fn quantize_points(points: &[Complex], alpha_max: Option<f64>) -> QuantizedP
 /// Panics if `alpha <= 0`.
 pub fn quantize_points_fixed(points: &[Complex], alpha: f64) -> QuantizedPoints {
     assert!(alpha > 0.0, "alpha must be positive");
-    let quantized: Vec<Complex> = points
-        .iter()
-        .map(|&p| quantize_to_grid(p, alpha))
-        .collect();
+    let quantized: Vec<Complex> = points.iter().map(|&p| quantize_to_grid(p, alpha)).collect();
     let error = total_error(points, alpha);
     QuantizedPoints {
         alpha,
@@ -148,7 +145,12 @@ mod tests {
     #[test]
     fn optimal_beats_fixed() {
         let pts: Vec<Complex> = (0..16)
-            .map(|i| Complex::new((i as f64 * 1.37).sin() * 20.0, (i as f64 * 0.73).cos() * 20.0))
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 1.37).sin() * 20.0,
+                    (i as f64 * 0.73).cos() * 20.0,
+                )
+            })
             .collect();
         let opt = quantize_points(&pts, None);
         for fixed in [0.5, 1.0, 2.0, 5.0, 10.0] {

@@ -140,11 +140,7 @@ mod tests {
         // "the distribution of X(k) is similar for each waveform": two very
         // different payloads must agree on most selected bins.
         let a = select_subcarriers(&block_spectra(&observed_zigbee_20mhz(b"00000")), 3.0, 7);
-        let b = select_subcarriers(
-            &block_spectra(&observed_zigbee_20mhz(b"zZ!?9")),
-            3.0,
-            7,
-        );
+        let b = select_subcarriers(&block_spectra(&observed_zigbee_20mhz(b"zZ!?9")), 3.0, 7);
         let overlap = a.iter().filter(|x| b.contains(x)).count();
         assert!(overlap >= 5, "selections diverge: {a:?} vs {b:?}");
     }

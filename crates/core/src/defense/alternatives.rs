@@ -97,7 +97,6 @@ pub struct EvmVerdict {
 mod tests {
     use super::*;
     use crate::attack::Emulator;
-    use ctc_channel::Link;
     use ctc_zigbee::{Receiver, Transmitter};
 
     fn pair() -> (Vec<Complex>, Vec<Complex>) {
@@ -125,7 +124,11 @@ mod tests {
         let rotated = ctc_channel::impairments::apply_phase(&orig, 0.7);
         let r = Receiver::usrp().receive(&rotated);
         let v = EvmDetector::new().detect(&r).unwrap();
-        assert!(!v.is_attack, "static rotation should not fool EVM: {}", v.evm);
+        assert!(
+            !v.is_attack,
+            "static rotation should not fool EVM: {}",
+            v.evm
+        );
     }
 
     #[test]

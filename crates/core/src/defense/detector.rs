@@ -115,8 +115,23 @@ impl Detector {
         };
         let zig: Vec<f64> = zigbee_training.iter().filter_map(stat).collect();
         let emu: Vec<f64> = emulated_training.iter().filter_map(stat).collect();
-        let zig_max = zig.iter().copied().fold(f64::NAN, f64::max);
-        let emu_min = emu.iter().copied().fold(f64::NAN, f64::min);
+        Self::calibrate_from_stats(assumption, &zig, &emu)
+    }
+
+    /// Calibrates a threshold from already-computed training statistics
+    /// (per-reception `DE²` values) using the same rule as
+    /// [`Detector::calibrate`]: midpoint of the gap between the largest
+    /// ZigBee statistic and the smallest emulated statistic, falling back
+    /// to `Q = 0.5` when a class is empty or the classes overlap. Useful
+    /// when the caller has reduced receptions to their statistics already
+    /// (e.g. the experiment engine's map/reduce pipeline).
+    pub fn calibrate_from_stats(
+        assumption: ChannelAssumption,
+        zigbee_stats: &[f64],
+        emulated_stats: &[f64],
+    ) -> Self {
+        let zig_max = zigbee_stats.iter().copied().fold(f64::NAN, f64::max);
+        let emu_min = emulated_stats.iter().copied().fold(f64::NAN, f64::min);
         let threshold = if zig_max.is_finite() && emu_min.is_finite() && emu_min > zig_max {
             (zig_max + emu_min) / 2.0
         } else {
@@ -254,9 +269,7 @@ mod tests {
         // threshold separating the classes at every SNR.
         let det = Detector::new(ChannelAssumption::Ideal).with_threshold(0.25);
         for (i, snr) in [7.0, 12.0, 17.0].into_iter().enumerate() {
-            let z = det
-                .detect(&zigbee_reception(snr, 300 + i as u64))
-                .unwrap();
+            let z = det.detect(&zigbee_reception(snr, 300 + i as u64)).unwrap();
             let e = det
                 .detect(&emulated_reception(snr, 400 + i as u64))
                 .unwrap();

@@ -105,7 +105,11 @@ impl Features {
         // Normalize like the other cumulants. The `-3 C20²` correction is
         // omitted in the line estimator: under rotation C20 washes to ~0,
         // and for axis-aligned QPSK it is exactly 0.
-        let c40_magnitude = if c21 > 0.0 { best_mag / (c21 * c21) } else { 0.0 };
+        let c40_magnitude = if c21 > 0.0 {
+            best_mag / (c21 * c21)
+        } else {
+            0.0
+        };
         Ok(Features {
             c40: c.c40_normalized(),
             c42: c.c42_normalized(),
@@ -159,7 +163,11 @@ mod tests {
         let f = features_from_reception(&r).unwrap();
         assert!((f.c40.re - 1.0).abs() < 0.05, "C40 {:?}", f.c40);
         assert!((f.c42 + 1.0).abs() < 0.05, "C42 {}", f.c42);
-        assert!((f.c40_magnitude - 1.0).abs() < 0.05, "|C40| {}", f.c40_magnitude);
+        assert!(
+            (f.c40_magnitude - 1.0).abs() < 0.05,
+            "|C40| {}",
+            f.c40_magnitude
+        );
         assert!(f.line_frequency.abs() < 0.01);
         assert!(f.de_squared_ideal() < 0.01);
         assert!(f.de_squared_real() < 0.01);
@@ -184,9 +192,17 @@ mod tests {
         let r = Receiver::usrp().receive(&rotated);
         let f = features_from_reception(&r).unwrap();
         // Re(C40) rotated by 4*0.5 = 2 rad -> far from 1.
-        assert!(f.de_squared_ideal() > 0.5, "ideal DE² {}", f.de_squared_ideal());
+        assert!(
+            f.de_squared_ideal() > 0.5,
+            "ideal DE² {}",
+            f.de_squared_ideal()
+        );
         // |C40| unaffected.
-        assert!(f.de_squared_real() < 0.05, "real DE² {}", f.de_squared_real());
+        assert!(
+            f.de_squared_real() < 0.05,
+            "real DE² {}",
+            f.de_squared_real()
+        );
     }
 
     #[test]

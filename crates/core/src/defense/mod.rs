@@ -6,7 +6,7 @@ pub mod features;
 pub mod naive;
 pub mod stream;
 
+pub use alternatives::{clustered_evm, EvmDetector, EvmVerdict};
 pub use detector::{ChannelAssumption, DetectError, Detector, Verdict};
 pub use features::{constellation_from_reception, features_from_reception, Features};
-pub use alternatives::{clustered_evm, EvmDetector, EvmVerdict};
 pub use stream::{StreamEvent, StreamMonitor};

@@ -172,8 +172,8 @@ mod tests {
         // the quantitative form of "this methodology is not reliable".
         let (orig, emu) = pair();
         let n = orig.len().min(emu.len());
-        let clean_gap = cp_similarity_4mhz(&emu[..n]).unwrap()
-            - cp_similarity_4mhz(&orig[..n]).unwrap();
+        let clean_gap =
+            cp_similarity_4mhz(&emu[..n]).unwrap() - cp_similarity_4mhz(&orig[..n]).unwrap();
         let mut rng = StdRng::seed_from_u64(91);
         let link = Link::awgn(0.0);
         let mut noisy_gap_sum = 0.0;
@@ -181,8 +181,7 @@ mod tests {
         for _ in 0..RUNS {
             let no = link.transmit(&orig[..n], &mut rng);
             let ne = link.transmit(&emu[..n], &mut rng);
-            noisy_gap_sum +=
-                cp_similarity_4mhz(&ne).unwrap() - cp_similarity_4mhz(&no).unwrap();
+            noisy_gap_sum += cp_similarity_4mhz(&ne).unwrap() - cp_similarity_4mhz(&no).unwrap();
         }
         let noisy_gap = noisy_gap_sum / RUNS as f64;
         assert!(

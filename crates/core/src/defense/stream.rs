@@ -94,9 +94,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn monitor() -> StreamMonitor {
-        StreamMonitor::with_detector(
-            Detector::new(ChannelAssumption::Ideal).with_threshold(0.25),
-        )
+        StreamMonitor::with_detector(Detector::new(ChannelAssumption::Ideal).with_threshold(0.25))
     }
 
     fn build_stream(seed: u64) -> (Vec<Complex>, usize) {
@@ -142,7 +140,9 @@ mod tests {
     #[test]
     fn noise_only_no_events() {
         let mut rng = StdRng::seed_from_u64(2);
-        let noise: Vec<Complex> = (0..5000).map(|_| complex_gaussian(&mut rng, 1e-3)).collect();
+        let noise: Vec<Complex> = (0..5000)
+            .map(|_| complex_gaussian(&mut rng, 1e-3))
+            .collect();
         assert!(monitor().scan(&noise).is_empty());
     }
 }

@@ -1,0 +1,87 @@
+//! The workspace-wide error type.
+//!
+//! Fallible operations across the reproduction — framing/transmission
+//! ([`ctc_zigbee::frame::FrameError`]) and detection
+//! ([`crate::defense::DetectError`]) — converge on one [`Error`] enum so
+//! callers (the experiment engine, the CLI, examples) can propagate with
+//! `?` instead of panicking or juggling per-crate error types.
+
+use crate::defense::DetectError;
+use ctc_zigbee::frame::FrameError;
+
+/// Any error the attack/defense pipeline can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// ZigBee framing or transmission failed (payload too long, bad FCS, …).
+    Frame(FrameError),
+    /// The detector could not run (no chip samples, …).
+    Detect(DetectError),
+    /// Anything else, with a human-readable message (I/O in the experiment
+    /// harness, unknown experiment ids, …).
+    Other(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Frame(e) => write!(f, "frame error: {e}"),
+            Error::Detect(e) => write!(f, "detect error: {e}"),
+            Error::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Frame(e) => Some(e),
+            Error::Detect(e) => Some(e),
+            Error::Other(_) => None,
+        }
+    }
+}
+
+impl From<FrameError> for Error {
+    fn from(e: FrameError) -> Self {
+        Error::Frame(e)
+    }
+}
+
+impl From<DetectError> for Error {
+    fn from(e: DetectError) -> Self {
+        Error::Detect(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Other(format!("i/o error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = FrameError::Truncated.into();
+        assert!(matches!(e, Error::Frame(_)));
+        assert!(e.to_string().contains("frame error"));
+
+        let e: Error = DetectError::NoSamples.into();
+        assert!(matches!(e, Error::Detect(_)));
+        assert!(e.to_string().contains("detect error"));
+
+        let e = Error::Other("boom".into());
+        assert_eq!(e.to_string(), "boom");
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e: Error = DetectError::NoSamples.into();
+        assert!(e.source().is_some());
+        assert!(Error::Other("x".into()).source().is_none());
+    }
+}

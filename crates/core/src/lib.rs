@@ -44,7 +44,11 @@
 
 pub mod attack;
 pub mod defense;
+pub mod error;
 pub mod scenario;
+pub mod waveform;
 
 pub use attack::{Emulation, Emulator, SpectralMode, SynthesisMode};
 pub use defense::{ChannelAssumption, Detector, Verdict};
+pub use error::Error;
+pub use waveform::WaveformPair;

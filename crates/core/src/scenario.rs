@@ -172,11 +172,10 @@ pub fn run(config: &ScenarioConfig, seed: u64) -> ScenarioResult {
             let mut at = strike_at;
             if config.attacker_polite {
                 // Defer in 256-sample backoff steps while the channel is busy.
-                while busy(at, forged.len(), &transmissions)
-                    && at + forged.len() < config.duration
+                while busy(at, forged.len(), &transmissions) && at + forged.len() < config.duration
                 {
                     cca_deferrals += 1;
-                    at += 256 + rng.gen_range(0..128);
+                    at += 256 + rng.gen_range(0..128usize);
                 }
             }
             if at + forged.len() >= config.duration {
@@ -319,7 +318,10 @@ mod tests {
                 ),
             }
         }
-        assert!(checked >= 4, "only {checked} events matched to ground truth");
+        assert!(
+            checked >= 4,
+            "only {checked} events matched to ground truth"
+        );
     }
 
     #[test]

@@ -168,6 +168,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-inverse
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }
@@ -342,7 +343,7 @@ mod tests {
 
     #[test]
     fn sum_iterators() {
-        let v = vec![Complex::ONE, Complex::I, Complex::new(1.0, 1.0)];
+        let v = [Complex::ONE, Complex::I, Complex::new(1.0, 1.0)];
         let owned: Complex = v.iter().copied().sum();
         let byref: Complex = v.iter().sum();
         assert!(close(owned, Complex::new(2.0, 2.0)));

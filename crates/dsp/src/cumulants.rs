@@ -231,7 +231,9 @@ impl Modulation {
         fn pam(levels: i32) -> Vec<Complex> {
             let pts: Vec<f64> = (0..levels).map(|i| (2 * i - levels + 1) as f64).collect();
             let p = pts.iter().map(|v| v * v).sum::<f64>() / levels as f64;
-            pts.iter().map(|&v| Complex::from_re(v / p.sqrt())).collect()
+            pts.iter()
+                .map(|&v| Complex::from_re(v / p.sqrt()))
+                .collect()
         }
         fn qam(side: i32) -> Vec<Complex> {
             let mut pts = Vec::new();
@@ -345,8 +347,7 @@ mod tests {
         let base = Modulation::Qpsk.constellation();
         for k in 0..8 {
             let theta = k as f64 * 0.2;
-            let rotated: Vec<Complex> =
-                base.iter().map(|&p| p * Complex::cis(theta)).collect();
+            let rotated: Vec<Complex> = base.iter().map(|&p| p * Complex::cis(theta)).collect();
             let c = Cumulants::estimate(&rotated).unwrap();
             assert!(
                 (c.c40_normalized().norm() - 1.0).abs() < 1e-9,

@@ -142,7 +142,9 @@ pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
     (0..n)
         .map(|k| {
             (0..n)
-                .map(|t| x[t] * Complex::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64))
+                .map(|t| {
+                    x[t] * Complex::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                })
                 .sum()
         })
         .collect()
@@ -215,8 +217,12 @@ mod tests {
 
     #[test]
     fn linearity() {
-        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
-        let b: Vec<Complex> = (0..16).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let a: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
+        let b: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).cos(), 0.3))
+            .collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a).unwrap();
         let fb = fft(&b).unwrap();

@@ -68,7 +68,11 @@ impl Fir {
             "cutoff must be in (0, 0.5), got {cutoff}"
         );
         assert!(num_taps > 0, "num_taps must be positive");
-        let n = if num_taps % 2 == 0 { num_taps + 1 } else { num_taps };
+        let n = if num_taps.is_multiple_of(2) {
+            num_taps + 1
+        } else {
+            num_taps
+        };
         let mid = (n - 1) as f64 / 2.0;
         let mut taps = Vec::with_capacity(n);
         for i in 0..n {

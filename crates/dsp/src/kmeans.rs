@@ -181,15 +181,18 @@ mod tests {
     fn quad_cloud(rot: f64, n_per: usize, noise: f64, seed: u64) -> Vec<Complex> {
         let mut rng = StdRng::seed_from_u64(seed);
         let centers: Vec<Complex> = (0..4)
-            .map(|k| Complex::cis(std::f64::consts::FRAC_PI_4 + k as f64 * std::f64::consts::FRAC_PI_2 + rot))
+            .map(|k| {
+                Complex::cis(
+                    std::f64::consts::FRAC_PI_4 + k as f64 * std::f64::consts::FRAC_PI_2 + rot,
+                )
+            })
             .collect();
         let mut pts = Vec::new();
         for &c in &centers {
             for _ in 0..n_per {
-                pts.push(c + Complex::new(
-                    rng.gen_range(-noise..noise),
-                    rng.gen_range(-noise..noise),
-                ));
+                pts.push(
+                    c + Complex::new(rng.gen_range(-noise..noise), rng.gen_range(-noise..noise)),
+                );
             }
         }
         pts
@@ -198,7 +201,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(kmeans(&[Complex::ONE], 0, 10, &mut rng), Err(KmeansError::ZeroClusters));
+        assert_eq!(
+            kmeans(&[Complex::ONE], 0, 10, &mut rng),
+            Err(KmeansError::ZeroClusters)
+        );
         assert!(matches!(
             kmeans(&[Complex::ONE], 2, 10, &mut rng),
             Err(KmeansError::TooFewPoints { points: 1, k: 2 })
@@ -215,9 +221,9 @@ mod tests {
         for c in &res.centroids {
             let best = (0..4)
                 .map(|k| {
-                    (Complex::cis(std::f64::consts::FRAC_PI_4
-                        + k as f64 * std::f64::consts::FRAC_PI_2)
-                        - *c)
+                    (Complex::cis(
+                        std::f64::consts::FRAC_PI_4 + k as f64 * std::f64::consts::FRAC_PI_2,
+                    ) - *c)
                         .norm()
                 })
                 .fold(f64::INFINITY, f64::min);
@@ -242,7 +248,10 @@ mod tests {
             offsets.push(rel.min(std::f64::consts::FRAC_PI_2 - rel));
         }
         let mean_off: f64 = offsets.iter().sum::<f64>() / offsets.len() as f64;
-        assert!((mean_off - rot).abs() < 0.07, "estimated rotation {mean_off} vs {rot}");
+        assert!(
+            (mean_off - rot).abs() < 0.07,
+            "estimated rotation {mean_off} vs {rot}"
+        );
     }
 
     #[test]

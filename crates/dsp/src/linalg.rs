@@ -215,7 +215,11 @@ mod tests {
 
     #[test]
     fn identity_solve() {
-        let eye = Matrix::from_fn(3, 3, |r, cc| if r == cc { Complex::ONE } else { Complex::ZERO });
+        let eye = Matrix::from_fn(
+            3,
+            3,
+            |r, cc| if r == cc { Complex::ONE } else { Complex::ZERO },
+        );
         let b = vec![c(1.0, 2.0), c(-3.0, 0.5), c(0.0, -1.0)];
         assert_eq!(eye.solve(&b).unwrap(), b);
     }
@@ -239,14 +243,23 @@ mod tests {
     #[test]
     fn singular_detected() {
         let a = Matrix::from_fn(2, 2, |_, _| Complex::ONE);
-        assert_eq!(a.solve(&[Complex::ONE, Complex::ONE]), Err(LinalgError::Singular));
+        assert_eq!(
+            a.solve(&[Complex::ONE, Complex::ONE]),
+            Err(LinalgError::Singular)
+        );
     }
 
     #[test]
     fn dimension_checks() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(a.solve(&[Complex::ONE; 2]), Err(LinalgError::DimensionMismatch));
-        assert_eq!(a.mul_vec(&[Complex::ONE; 2]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(
+            a.solve(&[Complex::ONE; 2]),
+            Err(LinalgError::DimensionMismatch)
+        );
+        assert_eq!(
+            a.mul_vec(&[Complex::ONE; 2]),
+            Err(LinalgError::DimensionMismatch)
+        );
         let b = Matrix::zeros(2, 2);
         assert_eq!(a.mul(&b), Err(LinalgError::DimensionMismatch));
     }

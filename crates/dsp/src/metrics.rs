@@ -55,7 +55,11 @@ pub fn rms_error(a: &[Complex], b: &[Complex]) -> f64 {
 ///
 /// Panics if lengths differ or the reference has zero energy.
 pub fn nmse_db(reference: &[Complex], test: &[Complex]) -> f64 {
-    assert_eq!(reference.len(), test.len(), "nmse_db requires equal lengths");
+    assert_eq!(
+        reference.len(),
+        test.len(),
+        "nmse_db requires equal lengths"
+    );
     let sig: f64 = reference.iter().map(|v| v.norm_sqr()).sum();
     assert!(sig > 0.0, "nmse_db reference must have nonzero energy");
     let err: f64 = reference

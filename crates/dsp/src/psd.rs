@@ -135,7 +135,9 @@ pub fn welch_psd(x: &[Complex], segment_len: usize, window: Window) -> Result<Ps
         return Err(PsdError::TooShort);
     }
     let hop = segment_len / 2;
-    let win: Vec<f64> = (0..segment_len).map(|i| window.value(i, segment_len)).collect();
+    let win: Vec<f64> = (0..segment_len)
+        .map(|i| window.value(i, segment_len))
+        .collect();
     let win_power: f64 = win.iter().map(|w| w * w).sum();
     let mut power = vec![0.0f64; segment_len];
     let mut segments = 0usize;

@@ -174,12 +174,15 @@ mod tests {
     fn downsample_picks_every_kth() {
         let x: Vec<Complex> = (0..10).map(|i| Complex::from_re(i as f64)).collect();
         let y = downsample(&x, 3).unwrap();
-        assert_eq!(y, vec![
-            Complex::from_re(0.0),
-            Complex::from_re(3.0),
-            Complex::from_re(6.0),
-            Complex::from_re(9.0)
-        ]);
+        assert_eq!(
+            y,
+            vec![
+                Complex::from_re(0.0),
+                Complex::from_re(3.0),
+                Complex::from_re(6.0),
+                Complex::from_re(9.0)
+            ]
+        );
     }
 
     proptest! {

@@ -49,7 +49,9 @@ impl Spectrogram {
                     *bin as f64 / n - 1.0
                 };
                 let mut d = (f - center).abs();
-                d = d.min((f - center + 1.0).abs()).min((f - center - 1.0).abs());
+                d = d
+                    .min((f - center + 1.0).abs())
+                    .min((f - center - 1.0).abs());
                 d <= half_width
             })
             .map(|(_, p)| p)

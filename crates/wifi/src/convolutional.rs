@@ -140,10 +140,7 @@ pub fn decode_with(
     rate: Rate,
     constraints: &[Option<u8>],
 ) -> Result<Decoded, String> {
-    assert!(
-        coded.iter().flatten().all(|&b| b <= 1),
-        "bits must be 0/1"
-    );
+    assert!(coded.iter().flatten().all(|&b| b <= 1), "bits must be 0/1");
     assert!(
         constraints.iter().flatten().all(|&b| b <= 1),
         "constraints must be 0/1"
@@ -188,8 +185,8 @@ pub fn decode_with(
         let forced = constraints.get(t).copied().flatten();
         let mut next = vec![inf; STATES];
         let mut surv = vec![(0u8, 0u8); STATES];
-        for s in 0..STATES {
-            if metric[s] >= inf {
+        for (s, &m_s) in metric.iter().enumerate() {
+            if m_s >= inf {
                 continue;
             }
             for bit in 0..2u32 {
@@ -202,7 +199,7 @@ pub fn decode_with(
                 let a = parity(reg & G0);
                 let b = parity(reg & G1);
                 let ns = (reg >> 1) as usize;
-                let mut cost = metric[s];
+                let mut cost = m_s;
                 if let Some(ra) = oa {
                     cost += u32::from(ra != a);
                 }
@@ -299,7 +296,11 @@ pub fn decode_soft(llrs: &[f64], rate: Rate) -> Result<SoftDecoded, String> {
         let a = if keep_a {
             let v = *llrs.get(idx).ok_or("LLR sequence ends mid-step")?;
             idx += 1;
-            if v.is_nan() { None } else { Some(v) }
+            if v.is_nan() {
+                None
+            } else {
+                Some(v)
+            }
         } else {
             None
         };
@@ -309,7 +310,11 @@ pub fn decode_soft(llrs: &[f64], rate: Rate) -> Result<SoftDecoded, String> {
             }
             let v = llrs[idx];
             idx += 1;
-            if v.is_nan() { None } else { Some(v) }
+            if v.is_nan() {
+                None
+            } else {
+                Some(v)
+            }
         } else {
             None
         };
@@ -340,8 +345,8 @@ pub fn decode_soft(llrs: &[f64], rate: Rate) -> Result<SoftDecoded, String> {
     for &(oa, ob) in &observations {
         let mut next = vec![inf; STATES];
         let mut surv = vec![(0u8, 0u8); STATES];
-        for s in 0..STATES {
-            if !metric[s].is_finite() {
+        for (s, &m_s) in metric.iter().enumerate() {
+            if !m_s.is_finite() {
                 continue;
             }
             for bit in 0..2u32 {
@@ -349,7 +354,7 @@ pub fn decode_soft(llrs: &[f64], rate: Rate) -> Result<SoftDecoded, String> {
                 let a = parity(reg & G0);
                 let b = parity(reg & G1);
                 let ns = (reg >> 1) as usize;
-                let m = metric[s] + cost(oa, a) + cost(ob, b);
+                let m = m_s + cost(oa, a) + cost(ob, b);
                 if m < next[ns] {
                     next[ns] = m;
                     surv[ns] = (s as u8, bit as u8);
@@ -475,8 +480,7 @@ mod tests {
     #[test]
     fn constraints_force_data_bits() {
         let mut rng = StdRng::seed_from_u64(55);
-        let target: Vec<Option<u8>> =
-            (0..96).map(|_| Some(rng.gen_range(0..2u8))).collect();
+        let target: Vec<Option<u8>> = (0..96).map(|_| Some(rng.gen_range(0..2u8))).collect();
         // Force the first 8 data bits to an arbitrary pattern.
         let forced = [1u8, 0, 0, 1, 1, 1, 0, 1];
         let constraints: Vec<Option<u8>> = forced.iter().map(|&b| Some(b)).collect();
@@ -495,8 +499,7 @@ mod tests {
     #[test]
     fn constrained_distance_at_least_unconstrained() {
         let mut rng = StdRng::seed_from_u64(56);
-        let target: Vec<Option<u8>> =
-            (0..128).map(|_| Some(rng.gen_range(0..2u8))).collect();
+        let target: Vec<Option<u8>> = (0..128).map(|_| Some(rng.gen_range(0..2u8))).collect();
         let free = decode_with(&target, Rate::Half, &[]).unwrap();
         let constraints: Vec<Option<u8>> = (0..16).map(|_| Some(0u8)).collect();
         let pinned = decode_with(&target, Rate::Half, &constraints).unwrap();
@@ -536,9 +539,8 @@ mod tests {
                     let sym = if b == 0 { 1.0 } else { -1.0 };
                     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                     let u2: f64 = rng.gen();
-                    let noise = (-2.0 * u1.ln()).sqrt()
-                        * (2.0 * std::f64::consts::PI * u2).cos()
-                        * sigma;
+                    let noise =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma;
                     2.0 * (sym + noise) / (sigma * sigma)
                 })
                 .collect();

@@ -30,8 +30,11 @@ fn permute(k: usize, n_cbps: usize, n_bpsc: usize) -> usize {
 ///
 /// Panics unless `n_cbps` is a multiple of 16 and of `n_bpsc`.
 pub fn permutation(n_cbps: usize, n_bpsc: usize) -> Vec<usize> {
-    assert!(n_cbps % 16 == 0, "n_cbps must be a multiple of 16");
-    assert!(n_cbps % n_bpsc == 0, "n_cbps must divide by n_bpsc");
+    assert!(n_cbps.is_multiple_of(16), "n_cbps must be a multiple of 16");
+    assert!(
+        n_cbps.is_multiple_of(n_bpsc),
+        "n_cbps must divide by n_bpsc"
+    );
     (0..n_cbps).map(|k| permute(k, n_cbps, n_bpsc)).collect()
 }
 
@@ -52,8 +55,11 @@ pub fn permutation(n_cbps: usize, n_bpsc: usize) -> Vec<usize> {
 /// ```
 pub fn interleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
     assert_eq!(bits.len(), n_cbps, "one symbol of bits at a time");
-    assert!(n_cbps % 16 == 0, "n_cbps must be a multiple of 16");
-    assert!(n_cbps % n_bpsc == 0, "n_cbps must divide by n_bpsc");
+    assert!(n_cbps.is_multiple_of(16), "n_cbps must be a multiple of 16");
+    assert!(
+        n_cbps.is_multiple_of(n_bpsc),
+        "n_cbps must divide by n_bpsc"
+    );
     let mut out = vec![0u8; n_cbps];
     for (k, &b) in bits.iter().enumerate() {
         out[permute(k, n_cbps, n_bpsc)] = b;

@@ -40,7 +40,10 @@ impl std::fmt::Display for MacError {
         match self {
             MacError::TooShort => write!(f, "frame shorter than MAC header + FCS"),
             MacError::BadFcs { computed, received } => {
-                write!(f, "FCS mismatch: computed {computed:#010x}, received {received:#010x}")
+                write!(
+                    f,
+                    "FCS mismatch: computed {computed:#010x}, received {received:#010x}"
+                )
             }
             MacError::UnsupportedType(fc) => write!(f, "unsupported frame control {fc:#06x}"),
         }

@@ -190,13 +190,14 @@ mod tests {
 
     #[test]
     fn symbol_has_cyclic_prefix() {
-        let data: Vec<Complex> = (0..48)
-            .map(|i| Complex::cis(i as f64 * 0.37))
-            .collect();
+        let data: Vec<Complex> = (0..48).map(|i| Complex::cis(i as f64 * 0.37)).collect();
         let sym = synthesize_symbol(&allocate_subcarriers(&data));
         assert_eq!(sym.len(), SYMBOL_LEN);
         for i in 0..CP_LEN {
-            assert!((sym[i] - sym[FFT_SIZE + i]).norm() < 1e-12, "CP mismatch at {i}");
+            assert!(
+                (sym[i] - sym[FFT_SIZE + i]).norm() < 1e-12,
+                "CP mismatch at {i}"
+            );
         }
     }
 

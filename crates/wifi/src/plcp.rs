@@ -61,8 +61,9 @@ fn stf_spectrum() -> [Complex; FFT_SIZE] {
 /// 802.11-2016 Table 17-8.
 pub fn ltf_sequence() -> [Complex; FFT_SIZE] {
     const SEQ: [i8; 53] = [
-        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, /* DC */ 0,
-        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+        /* DC */ 0, 1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1,
+        -1, 1, 1, 1, 1,
     ];
     let mut spec = [Complex::ZERO; FFT_SIZE];
     for (i, &v) in SEQ.iter().enumerate() {
@@ -183,8 +184,8 @@ pub fn signal_bits(rate: SignalRate, psdu_len: usize) -> Result<[u8; 24], Signal
     }
     let mut bits = [0u8; 24];
     let r = rate as u8;
-    for i in 0..4 {
-        bits[i] = (r >> (3 - i)) & 1;
+    for (i, bit) in bits.iter_mut().enumerate().take(4) {
+        *bit = (r >> (3 - i)) & 1;
     }
     // bits[4] reserved = 0; LENGTH LSB-first in bits 5..17.
     for i in 0..12 {
@@ -262,7 +263,10 @@ mod tests {
         let stf = short_training_field();
         assert_eq!(stf.len(), STF_LEN);
         for i in 16..STF_LEN {
-            assert!((stf[i] - stf[i - 16]).norm() < 1e-12, "period broken at {i}");
+            assert!(
+                (stf[i] - stf[i - 16]).norm() < 1e-12,
+                "period broken at {i}"
+            );
         }
     }
 
@@ -289,11 +293,7 @@ mod tests {
 
     #[test]
     fn signal_bits_roundtrip() {
-        for rate in [
-            SignalRate::R6,
-            SignalRate::R12,
-            SignalRate::R54,
-        ] {
+        for rate in [SignalRate::R6, SignalRate::R12, SignalRate::R54] {
             for len in [0usize, 1, 100, 4095] {
                 let bits = signal_bits(rate, len).unwrap();
                 let (r, l) = parse_signal_bits(&bits).unwrap();
@@ -325,7 +325,10 @@ mod tests {
         // RATE = 0000, LENGTH = 0, parity over zeros = 0 — structure ok but
         // rate undefined.
         bits[17] = 0;
-        assert!(matches!(parse_signal_bits(&bits), Err(SignalError::BadRate(0))));
+        assert!(matches!(
+            parse_signal_bits(&bits),
+            Err(SignalError::BadRate(0))
+        ));
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub const LEVELS: [f64; 8] = [-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0];
 
 /// Normalization factor giving unit average symbol energy
 /// (`E[|x|^2] = 42` over the raw grid).
-pub const NORM_64QAM: f64 = 0.15430334996209191; // 1/sqrt(42)
+pub const NORM_64QAM: f64 = 0.154_303_349_962_091_9; // 1/sqrt(42)
 
 /// Gray mapping from 3 bits to an axis level, per 802.11 Table 18-10:
 /// `000->-7, 001->-5, 011->-3, 010->-1, 110->1, 111->3, 101->5, 100->7`.
@@ -246,8 +246,12 @@ mod tests {
     fn soft_demap_signs_match_hard_decision() {
         for n in [0u8, 13, 42, 63] {
             let bits = [
-                (n >> 5) & 1, (n >> 4) & 1, (n >> 3) & 1,
-                (n >> 2) & 1, (n >> 1) & 1, n & 1,
+                (n >> 5) & 1,
+                (n >> 4) & 1,
+                (n >> 3) & 1,
+                (n >> 2) & 1,
+                (n >> 1) & 1,
+                n & 1,
             ];
             let p = map_64qam(&bits);
             let llrs = soft_demap_64qam(p, 0.05);

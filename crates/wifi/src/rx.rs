@@ -230,7 +230,8 @@ impl WifiReceiver {
             sig_bits_soft[j] = u8::from(eq.re >= 0.0);
         }
         let deint = deinterleave(&sig_bits_soft, 48, 1);
-        let sig_dec = decode(&deint, Rate::Half).map_err(|_| WifiRxError::Signal(SignalError::BadStructure))?;
+        let sig_dec = decode(&deint, Rate::Half)
+            .map_err(|_| WifiRxError::Signal(SignalError::BadStructure))?;
         let mut sig_arr = [0u8; 24];
         sig_arr.copy_from_slice(&sig_dec.data[..24]);
         let (rate, psdu_len) = parse_signal_bits(&sig_arr)?;
@@ -276,8 +277,7 @@ impl WifiReceiver {
                 let eq = spec[bin] / channel[bin] * cpe;
                 inter_bits.extend_from_slice(&demap_64qam(eq));
                 if self.soft {
-                    inter_llrs
-                        .extend_from_slice(&crate::qam::soft_demap_64qam(eq, noise_var));
+                    inter_llrs.extend_from_slice(&crate::qam::soft_demap_64qam(eq, noise_var));
                 }
             }
             coded_stream.extend(deinterleave(&inter_bits, N_CBPS_64QAM, N_BPSC_64QAM));
@@ -383,7 +383,11 @@ mod tests {
             .collect();
         stream.extend(frame(b"offset"));
         let r = WifiReceiver::new().receive(&stream).unwrap();
-        assert!((r.frame_start as i64 - 200).unsigned_abs() <= 4, "start {}", r.frame_start);
+        assert!(
+            (r.frame_start as i64 - 200).unsigned_abs() <= 4,
+            "start {}",
+            r.frame_start
+        );
         assert_eq!(r.psdu, b"offset");
     }
 
@@ -488,7 +492,10 @@ mod tests {
             soft_ok >= hard_ok,
             "soft ({soft_ok}/20) should not lose to hard ({hard_ok}/20)"
         );
-        assert!(soft_ok >= 10, "soft should mostly work at 17.5 dB: {soft_ok}/20");
+        assert!(
+            soft_ok >= 10,
+            "soft should mostly work at 17.5 dB: {soft_ok}/20"
+        );
     }
 
     #[test]

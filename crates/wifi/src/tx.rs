@@ -12,11 +12,11 @@
 
 use crate::convolutional::{closest_codeword, encode, Rate};
 use crate::interleaver::{deinterleave, interleave, N_BPSC_64QAM, N_CBPS_64QAM};
-use crate::qam::{demap_64qam, map_64qam};
 use crate::ofdm::{
     allocate_subcarriers, analyze_symbol, extract_data_subcarriers, synthesize_symbol,
     DATA_SUBCARRIERS, SYMBOL_LEN,
 };
+use crate::qam::{demap_64qam, map_64qam};
 use crate::scrambler::Scrambler;
 use ctc_dsp::Complex;
 
@@ -101,7 +101,7 @@ impl WifiTransmitter {
     pub fn transmit_bits(&self, data_bits: &[u8]) -> Vec<Complex> {
         let n_dbps = self.data_bits_per_symbol();
         let mut bits = data_bits.to_vec();
-        while bits.len() % n_dbps != 0 || bits.is_empty() {
+        while !bits.len().is_multiple_of(n_dbps) || bits.is_empty() {
             bits.push(0);
         }
         let scrambled = Scrambler::new(self.scrambler_seed).scramble(&bits);
@@ -110,10 +110,7 @@ impl WifiTransmitter {
         let mut wave = Vec::new();
         for chunk in coded.chunks(N_CBPS_64QAM) {
             let inter = interleave(chunk, N_CBPS_64QAM, N_BPSC_64QAM);
-            let points: Vec<Complex> = inter
-                .chunks(N_BPSC_64QAM)
-                .map(map_64qam)
-                .collect();
+            let points: Vec<Complex> = inter.chunks(N_BPSC_64QAM).map(map_64qam).collect();
             debug_assert_eq!(points.len(), DATA_SUBCARRIERS);
             wave.extend(synthesize_symbol(&allocate_subcarriers(&points)));
         }
@@ -133,10 +130,7 @@ impl WifiTransmitter {
     ///
     /// Returns [`crate::plcp::SignalError::LengthTooLarge`] for PSDUs over
     /// 4095 bytes.
-    pub fn transmit_frame(
-        &self,
-        psdu: &[u8],
-    ) -> Result<Vec<Complex>, crate::plcp::SignalError> {
+    pub fn transmit_frame(&self, psdu: &[u8]) -> Result<Vec<Complex>, crate::plcp::SignalError> {
         let mut wave = crate::plcp::plcp_header(crate::plcp::SignalRate::R54, psdu.len())?;
         let mut bits = Vec::with_capacity(16 + psdu.len() * 8 + 6);
         bits.extend_from_slice(&[0u8; 16]); // SERVICE
@@ -259,7 +253,9 @@ mod tests {
     #[test]
     fn transmit_points_roundtrip_via_fft() {
         let tx = WifiTransmitter::new();
-        let pts: Vec<Complex> = (0..48).map(|i| Complex::new(i as f64 * 0.1, -0.2)).collect();
+        let pts: Vec<Complex> = (0..48)
+            .map(|i| Complex::new(i as f64 * 0.1, -0.2))
+            .collect();
         let wave = tx.transmit_points(&pts);
         let spec = analyze_symbol(&wave);
         let got = extract_data_subcarriers(&spec);
@@ -293,13 +289,14 @@ mod tests {
         let tx = WifiTransmitter::new();
         let mut rng = StdRng::seed_from_u64(63);
         let desired: Vec<Complex> = (0..48)
-            .map(|_| {
-                Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
-            })
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
             .collect();
         let rec = tx.recover_bits_for_points(&desired);
         assert_eq!(rec.actual_points.len(), 48);
-        assert!(rec.codeword_distance > 0, "random points should not be a codeword");
+        assert!(
+            rec.codeword_distance > 0,
+            "random points should not be a codeword"
+        );
         // The approximation should still be correlated with the target.
         let corr = ctc_dsp::metrics::correlation(&desired, &rec.actual_points);
         assert!(corr > 0.3, "approximation too poor: correlation {corr}");

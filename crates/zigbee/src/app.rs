@@ -19,7 +19,10 @@
 /// assert_eq!(msgs, vec![b"00000".to_vec(), b"00001".to_vec(), b"00002".to_vec()]);
 /// ```
 pub fn numbered_messages(count: usize) -> Vec<Vec<u8>> {
-    assert!(count <= 100_000, "five-digit corpus caps at 100000 messages");
+    assert!(
+        count <= 100_000,
+        "five-digit corpus caps at 100000 messages"
+    );
     (0..count).map(|i| format!("{i:05}").into_bytes()).collect()
 }
 

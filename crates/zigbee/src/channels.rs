@@ -71,7 +71,12 @@ impl ZigbeeChannel {
 
 impl std::fmt::Display for ZigbeeChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ZigBee ch.{} ({:.0} MHz)", self.0, self.center_hz() / 1e6)
+        write!(
+            f,
+            "ZigBee ch.{} ({:.0} MHz)",
+            self.0,
+            self.center_hz() / 1e6
+        )
     }
 }
 
@@ -193,10 +198,7 @@ mod tests {
         // channels fully (5 MHz apart).
         for wifi in WifiChannel::all() {
             let n = attackable_channels(wifi.center_hz()).len();
-            assert!(
-                (2..=4).contains(&n),
-                "{wifi}: {n} attackable channels"
-            );
+            assert!((2..=4).contains(&n), "{wifi}: {n} attackable channels");
         }
     }
 

@@ -25,14 +25,19 @@ pub fn chip_table() -> &'static [[u8; CHIPS_PER_SYMBOL]; SYMBOL_COUNT] {
         table[0] = SYMBOL0;
         for s in 1..8 {
             // Cyclic right rotation by 4 chips of the previous sequence.
-            for c in 0..CHIPS_PER_SYMBOL {
-                table[s][c] = table[s - 1][(c + CHIPS_PER_SYMBOL - 4) % CHIPS_PER_SYMBOL];
+            let prev = table[s - 1];
+            for (c, chip) in table[s].iter_mut().enumerate() {
+                *chip = prev[(c + CHIPS_PER_SYMBOL - 4) % CHIPS_PER_SYMBOL];
             }
         }
         for s in 8..16 {
-            for c in 0..CHIPS_PER_SYMBOL {
-                let base = table[s - 8][c];
-                table[s][c] = if c % 2 == 1 { 1 - base } else { base };
+            let base_row = table[s - 8];
+            for (c, chip) in table[s].iter_mut().enumerate() {
+                *chip = if c % 2 == 1 {
+                    1 - base_row[c]
+                } else {
+                    base_row[c]
+                };
             }
         }
         table

@@ -51,7 +51,9 @@ impl std::fmt::Display for FrameError {
             FrameError::PayloadTooLong { len } => {
                 write!(f, "payload of {len} bytes exceeds the 125-byte maximum")
             }
-            FrameError::Truncated => write!(f, "symbol stream shorter than the frame header claims"),
+            FrameError::Truncated => {
+                write!(f, "symbol stream shorter than the frame header claims")
+            }
             FrameError::SfdNotFound => write!(f, "start-of-frame delimiter not found"),
             FrameError::BadFcs { computed, received } => write!(
                 f,
@@ -247,7 +249,7 @@ mod tests {
             build_frame_symbols(&payload),
             Err(FrameError::PayloadTooLong { len: 126 })
         ));
-        assert!(build_frame_symbols(&vec![0u8; 125]).is_ok());
+        assert!(build_frame_symbols(&[0u8; 125]).is_ok());
     }
 
     #[test]

@@ -47,11 +47,12 @@ pub const TAIL_SAMPLES: usize = SAMPLES_PER_CHIP;
 /// assert_eq!(wave.len(), 32 * SAMPLES_PER_CHIP + TAIL_SAMPLES);
 /// ```
 pub fn modulate_chips(chips: &[u8]) -> Vec<Complex> {
-    assert!(chips.len() % 2 == 0, "chip count must be even, got {}", chips.len());
     assert!(
-        chips.iter().all(|&c| c <= 1),
-        "chips must be 0/1 values"
+        chips.len().is_multiple_of(2),
+        "chip count must be even, got {}",
+        chips.len()
     );
+    assert!(chips.iter().all(|&c| c <= 1), "chips must be 0/1 values");
     let n = chips.len() * SAMPLES_PER_CHIP + TAIL_SAMPLES;
     let mut wave = vec![Complex::ZERO; n];
     for (k, &chip) in chips.iter().enumerate() {
@@ -154,7 +155,7 @@ impl ChipSamples {
 ///
 /// Panics if `num_chips` is odd.
 pub fn demodulate_chips(wave: &[Complex], num_chips: usize) -> ChipSamples {
-    assert!(num_chips % 2 == 0, "chip count must be even");
+    assert!(num_chips.is_multiple_of(2), "chip count must be even");
     let pairs = num_chips / 2;
     let mut out = ChipSamples::default();
     for n in 0..pairs {

@@ -213,17 +213,15 @@ impl Receiver {
         }
 
         let t_energy: f64 = template.iter().map(|v| v.norm_sqr()).sum();
-        let search = self.sync_search.min(wave.len().saturating_sub(template.len()));
+        let search = self
+            .sync_search
+            .min(wave.len().saturating_sub(template.len()));
         let mut best_off = 0usize;
         let mut best_corr = Complex::ZERO;
         let mut best_score = f64::NEG_INFINITY;
         for off in 0..=search {
             let seg = &wave[off..off + template.len()];
-            let corr: Complex = seg
-                .iter()
-                .zip(&template)
-                .map(|(r, t)| *r * t.conj())
-                .sum();
+            let corr: Complex = seg.iter().zip(&template).map(|(r, t)| *r * t.conj()).sum();
             let r_energy: f64 = seg.iter().map(|v| v.norm_sqr()).sum();
             let score = if r_energy > 0.0 {
                 corr.norm_sqr() / (r_energy * t_energy)
@@ -483,7 +481,10 @@ mod tests {
             r.abs()
         };
         assert!(snap(fixed_rot) < 0.1, "corrected rot {fixed_rot}");
-        assert!(snap(raw_rot) > 0.1, "raw constellation lost its rotation {raw_rot}");
+        assert!(
+            snap(raw_rot) > 0.1,
+            "raw constellation lost its rotation {raw_rot}"
+        );
     }
 
     #[test]
@@ -550,7 +551,10 @@ mod tests {
         let frac = Receiver::usrp()
             .with_fractional_timing(true)
             .receive(&noisy);
-        assert!(frac.packet_ok(), "fractional timing should recover the frame");
+        assert!(
+            frac.packet_ok(),
+            "fractional timing should recover the frame"
+        );
         assert_eq!(frac.payload(), Some(&b"frac"[..]));
         // Half-sample misalignment costs ~8% chip amplitude (half-sine
         // shoulders) — hard decisions survive, but the matched-filter

@@ -135,6 +135,6 @@ mod tests {
     #[test]
     fn oversize_payload_propagates_error() {
         let tx = Transmitter::new();
-        assert!(tx.transmit_payload(&vec![0u8; 126]).is_err());
+        assert!(tx.transmit_payload(&[0u8; 126]).is_err());
     }
 }

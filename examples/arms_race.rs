@@ -50,18 +50,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (de / N as f64, caught as f64 / N as f64)
     };
     let (de1, caught1) = stats(&forged_v1, &mut rng);
-    println!("round 1: baseline attack   — DE² {de1:.4}, detected {:.0}%", caught1 * 100.0);
+    println!(
+        "round 1: baseline attack   — DE² {de1:.4}, detected {:.0}%",
+        caught1 * 100.0
+    );
 
     // Round 2: the attacker adapts — least-squares fit over the whole
     // 80-sample block, CP included, shrinking the defense's main signal.
     let ls = LeastSquaresEmulator::new();
     let forged_v2 = ls.received_at_zigbee(&ls.emulate(&observed));
     let (de2, caught2) = stats(&forged_v2, &mut rng);
-    println!("round 2: LS (CP-aware)     — DE² {de2:.4}, detected {:.0}%", caught2 * 100.0);
+    println!(
+        "round 2: LS (CP-aware)     — DE² {de2:.4}, detected {:.0}%",
+        caught2 * 100.0
+    );
 
     // Reference: the authentic transmitter.
     let (de0, flagged0) = stats(&observed, &mut rng);
-    println!("reference: authentic       — DE² {de0:.4}, flagged  {:.0}%", flagged0 * 100.0);
+    println!(
+        "reference: authentic       — DE² {de0:.4}, flagged  {:.0}%",
+        flagged0 * 100.0
+    );
 
     println!(
         "\nThe adaptive attacker cut its statistic by {:.0}% but remains {:.0}x\n\

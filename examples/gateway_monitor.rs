@@ -7,7 +7,7 @@
 //! ```
 
 use hide_and_seek::channel::noise::complex_gaussian;
-use hide_and_seek::core::attack::{EnergyDetector, Emulator, FullFrameAttack};
+use hide_and_seek::core::attack::{Emulator, EnergyDetector, FullFrameAttack};
 use hide_and_seek::core::defense::{ChannelAssumption, Detector, StreamMonitor};
 use hide_and_seek::dsp::metrics::normalize_power;
 use hide_and_seek::dsp::Complex;
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut stream: Vec<Complex> = Vec::new();
     let mut truth = Vec::new();
-    let mut noise = |n: usize, stream: &mut Vec<Complex>, rng: &mut StdRng| {
+    let noise = |n: usize, stream: &mut Vec<Complex>, rng: &mut StdRng| {
         stream.extend((0..n).map(|_| complex_gaussian(rng, 2e-3)));
     };
     for round in 0..3 {
@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stream.extend_from_slice(&authentic);
         truth.push("authentic");
         noise(700, &mut stream, &mut rng);
-        stream.extend_from_slice(if round % 2 == 0 { &forged_v1 } else { &forged_v2 });
+        stream.extend_from_slice(if round % 2 == 0 {
+            &forged_v1
+        } else {
+            &forged_v2
+        });
         truth.push(if round % 2 == 0 {
             "attack (baseline)"
         } else {
@@ -63,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let events = monitor.scan(&stream);
 
-    println!("{:<10} {:>10} {:>12} {:>10}  verdict", "burst", "payload", "DE²", "truth");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10}  verdict",
+        "burst", "payload", "DE²", "truth"
+    );
     let mut alarms = 0usize;
     for (event, truth) in events.iter().zip(&truth) {
         let verdict = event.verdict.expect("frames long enough for features");

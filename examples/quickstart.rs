@@ -11,7 +11,10 @@ use hide_and_seek::zigbee::{Receiver, Transmitter};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A ZigBee device transmits a control frame; the attacker records it.
     let observed = Transmitter::new().transmit_payload(b"00000")?;
-    println!("observed ZigBee waveform: {} samples at 4 MHz", observed.len());
+    println!(
+        "observed ZigBee waveform: {} samples at 4 MHz",
+        observed.len()
+    );
 
     // 2. The WiFi attacker emulates the waveform with its OFDM transmitter.
     let emulator = Emulator::new();
@@ -42,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "defense verdict: DE² = {:.4} (Q = {:.2}) -> {}",
         verdict.de_squared,
         detector.threshold(),
-        if verdict.is_attack { "WiFi ATTACKER" } else { "authentic ZigBee" },
+        if verdict.is_attack {
+            "WiFi ATTACKER"
+        } else {
+            "authentic ZigBee"
+        },
     );
     assert!(verdict.is_attack);
     Ok(())

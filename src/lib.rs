@@ -12,11 +12,16 @@
 //! - [`wifi`] — IEEE 802.11g 64-QAM OFDM PHY
 //! - [`core`] — the paper's contribution: the waveform-emulation attack and
 //!   the cumulant-based defense
+//!
+//! Fallible operations across the workspace converge on the single
+//! [`Error`] enum (re-exported from `ctc_core`), so cross-crate pipelines
+//! propagate with `?` instead of juggling per-crate error types.
 
 #![warn(missing_docs)]
 
 pub use ctc_channel as channel;
 pub use ctc_core as core;
+pub use ctc_core::{Error, WaveformPair};
 pub use ctc_dsp as dsp;
 pub use ctc_wifi as wifi;
 pub use ctc_zigbee as zigbee;

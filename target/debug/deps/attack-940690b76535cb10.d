@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack-940690b76535cb10.d: crates/bench/benches/attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack-940690b76535cb10.rmeta: crates/bench/benches/attack.rs Cargo.toml
+
+crates/bench/benches/attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

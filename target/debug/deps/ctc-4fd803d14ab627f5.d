@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctc-4fd803d14ab627f5.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc-4fd803d14ab627f5.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

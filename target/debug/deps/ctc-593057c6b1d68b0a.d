@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctc-593057c6b1d68b0a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ctc-593057c6b1d68b0a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctc-d21b337adf57d3c5.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc-d21b337adf57d3c5.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ctc_bench-bc7b83cb1b7e7b62.d: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_bench-bc7b83cb1b7e7b62.rmeta: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/engine.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/advanced.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/protocol.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/report.rs:
+crates/bench/src/trials.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

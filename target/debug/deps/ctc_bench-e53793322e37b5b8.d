@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ctc_bench-e53793322e37b5b8.d: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_bench-e53793322e37b5b8.rmeta: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/engine.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/advanced.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/protocol.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/report.rs:
+crates/bench/src/trials.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ctc_channel-cd1ca6378122996c.d: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+/root/repo/target/debug/deps/libctc_channel-cd1ca6378122996c.rlib: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+/root/repo/target/debug/deps/libctc_channel-cd1ca6378122996c.rmeta: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/hardware.rs:
+crates/channel/src/impairments.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ctc_channel-f8f6e0a438601c8c.d: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_channel-f8f6e0a438601c8c.rmeta: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/hardware.rs:
+crates/channel/src/impairments.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/ctc_core-f0f30d1b8b52d602.d: crates/core/src/lib.rs crates/core/src/attack/mod.rs crates/core/src/attack/emulator.rs crates/core/src/attack/evasion.rs crates/core/src/attack/fullframe.rs crates/core/src/attack/listener.rs crates/core/src/attack/quantizer.rs crates/core/src/attack/spectrum.rs crates/core/src/defense/mod.rs crates/core/src/defense/alternatives.rs crates/core/src/defense/detector.rs crates/core/src/defense/features.rs crates/core/src/defense/naive.rs crates/core/src/defense/stream.rs crates/core/src/error.rs crates/core/src/scenario.rs crates/core/src/waveform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_core-f0f30d1b8b52d602.rmeta: crates/core/src/lib.rs crates/core/src/attack/mod.rs crates/core/src/attack/emulator.rs crates/core/src/attack/evasion.rs crates/core/src/attack/fullframe.rs crates/core/src/attack/listener.rs crates/core/src/attack/quantizer.rs crates/core/src/attack/spectrum.rs crates/core/src/defense/mod.rs crates/core/src/defense/alternatives.rs crates/core/src/defense/detector.rs crates/core/src/defense/features.rs crates/core/src/defense/naive.rs crates/core/src/defense/stream.rs crates/core/src/error.rs crates/core/src/scenario.rs crates/core/src/waveform.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attack/mod.rs:
+crates/core/src/attack/emulator.rs:
+crates/core/src/attack/evasion.rs:
+crates/core/src/attack/fullframe.rs:
+crates/core/src/attack/listener.rs:
+crates/core/src/attack/quantizer.rs:
+crates/core/src/attack/spectrum.rs:
+crates/core/src/defense/mod.rs:
+crates/core/src/defense/alternatives.rs:
+crates/core/src/defense/detector.rs:
+crates/core/src/defense/features.rs:
+crates/core/src/defense/naive.rs:
+crates/core/src/defense/stream.rs:
+crates/core/src/error.rs:
+crates/core/src/scenario.rs:
+crates/core/src/waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ctc_dsp-7008eabcd840cccb.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/cumulants.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/fractional.rs crates/dsp/src/io.rs crates/dsp/src/kmeans.rs crates/dsp/src/linalg.rs crates/dsp/src/metrics.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/spectrogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_dsp-7008eabcd840cccb.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/cumulants.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/fractional.rs crates/dsp/src/io.rs crates/dsp/src/kmeans.rs crates/dsp/src/linalg.rs crates/dsp/src/metrics.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/spectrogram.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/cumulants.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/fractional.rs:
+crates/dsp/src/io.rs:
+crates/dsp/src/kmeans.rs:
+crates/dsp/src/linalg.rs:
+crates/dsp/src/metrics.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/spectrogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ctc_wifi-3f90758d117c68ce.d: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_wifi-3f90758d117c68ce.rmeta: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs Cargo.toml
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/convolutional.rs:
+crates/wifi/src/interleaver.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/plcp.rs:
+crates/wifi/src/qam.rs:
+crates/wifi/src/rx.rs:
+crates/wifi/src/scrambler.rs:
+crates/wifi/src/tx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

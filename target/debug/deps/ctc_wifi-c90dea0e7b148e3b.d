@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ctc_wifi-c90dea0e7b148e3b.d: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+/root/repo/target/debug/deps/libctc_wifi-c90dea0e7b148e3b.rlib: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+/root/repo/target/debug/deps/libctc_wifi-c90dea0e7b148e3b.rmeta: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/convolutional.rs:
+crates/wifi/src/interleaver.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/plcp.rs:
+crates/wifi/src/qam.rs:
+crates/wifi/src/rx.rs:
+crates/wifi/src/scrambler.rs:
+crates/wifi/src/tx.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ctc_zigbee-715423ff1ffc4418.d: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_zigbee-715423ff1ffc4418.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs Cargo.toml
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/app.rs:
+crates/zigbee/src/channels.rs:
+crates/zigbee/src/chipmap.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/frontend.rs:
+crates/zigbee/src/mac.rs:
+crates/zigbee/src/modem.rs:
+crates/zigbee/src/rx.rs:
+crates/zigbee/src/tx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

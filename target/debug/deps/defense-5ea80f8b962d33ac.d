@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense-5ea80f8b962d33ac.d: crates/bench/benches/defense.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense-5ea80f8b962d33ac.rmeta: crates/bench/benches/defense.rs Cargo.toml
+
+crates/bench/benches/defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-8b220bc063cbef1b.d: crates/bench/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-8b220bc063cbef1b.rmeta: crates/bench/tests/determinism.rs Cargo.toml
+
+crates/bench/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

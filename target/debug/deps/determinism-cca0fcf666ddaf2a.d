@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cca0fcf666ddaf2a.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cca0fcf666ddaf2a: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_attack-3da464cc23f1d1ac.d: tests/end_to_end_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_attack-3da464cc23f1d1ac.rmeta: tests/end_to_end_attack.rs Cargo.toml
+
+tests/end_to_end_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_attack-aa66ea2e52ed1d3a.d: tests/end_to_end_attack.rs
+
+/root/repo/target/debug/deps/end_to_end_attack-aa66ea2e52ed1d3a: tests/end_to_end_attack.rs
+
+tests/end_to_end_attack.rs:

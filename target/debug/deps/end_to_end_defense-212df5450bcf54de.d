@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_defense-212df5450bcf54de.d: tests/end_to_end_defense.rs
+
+/root/repo/target/debug/deps/end_to_end_defense-212df5450bcf54de: tests/end_to_end_defense.rs
+
+tests/end_to_end_defense.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_defense-f4381d9535f924ee.d: tests/end_to_end_defense.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_defense-f4381d9535f924ee.rmeta: tests/end_to_end_defense.rs Cargo.toml
+
+tests/end_to_end_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-1d6b1bf507a68cdd.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-1d6b1bf507a68cdd.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

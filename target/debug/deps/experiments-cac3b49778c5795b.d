@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-cac3b49778c5795b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-cac3b49778c5795b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-cd27da721cfc194e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-cd27da721cfc194e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-b7f4967deadd1aac.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-b7f4967deadd1aac.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

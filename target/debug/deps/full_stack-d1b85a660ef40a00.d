@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-d1b85a660ef40a00.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-d1b85a660ef40a00: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hide_and_seek-0580f30d5dea008e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhide_and_seek-0580f30d5dea008e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hide_and_seek-29156bb8a84cd55b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhide_and_seek-29156bb8a84cd55b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

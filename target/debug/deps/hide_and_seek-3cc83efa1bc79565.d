@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hide_and_seek-3cc83efa1bc79565.d: src/lib.rs
+
+/root/repo/target/debug/deps/hide_and_seek-3cc83efa1bc79565: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hide_and_seek-4632b0ba9a5cdeac.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhide_and_seek-4632b0ba9a5cdeac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhide_and_seek-4632b0ba9a5cdeac.rmeta: src/lib.rs
+
+src/lib.rs:

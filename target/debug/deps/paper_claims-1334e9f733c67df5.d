@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-1334e9f733c67df5.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-1334e9f733c67df5: tests/paper_claims.rs
+
+tests/paper_claims.rs:

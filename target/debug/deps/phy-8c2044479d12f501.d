@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy-8c2044479d12f501.d: crates/bench/benches/phy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy-8c2044479d12f501.rmeta: crates/bench/benches/phy.rs Cargo.toml
+
+crates/bench/benches/phy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

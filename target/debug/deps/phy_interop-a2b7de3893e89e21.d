@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy_interop-a2b7de3893e89e21.d: tests/phy_interop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy_interop-a2b7de3893e89e21.rmeta: tests/phy_interop.rs Cargo.toml
+
+tests/phy_interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_interop-bbf6086f45cbe2a4.d: tests/phy_interop.rs
+
+/root/repo/target/debug/deps/phy_interop-bbf6086f45cbe2a4: tests/phy_interop.rs
+
+tests/phy_interop.rs:

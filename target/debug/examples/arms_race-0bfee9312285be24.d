@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arms_race-0bfee9312285be24.d: examples/arms_race.rs
+
+/root/repo/target/debug/examples/arms_race-0bfee9312285be24: examples/arms_race.rs
+
+examples/arms_race.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/arms_race-7eb3f91fff740a70.d: examples/arms_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarms_race-7eb3f91fff740a70.rmeta: examples/arms_race.rs Cargo.toml
+
+examples/arms_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dual_protocol_frame-4b724f8cffc803be.d: examples/dual_protocol_frame.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdual_protocol_frame-4b724f8cffc803be.rmeta: examples/dual_protocol_frame.rs Cargo.toml
+
+examples/dual_protocol_frame.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

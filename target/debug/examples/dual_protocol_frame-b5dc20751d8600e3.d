@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dual_protocol_frame-b5dc20751d8600e3.d: examples/dual_protocol_frame.rs
+
+/root/repo/target/debug/examples/dual_protocol_frame-b5dc20751d8600e3: examples/dual_protocol_frame.rs
+
+examples/dual_protocol_frame.rs:

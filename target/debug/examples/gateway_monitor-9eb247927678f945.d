@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gateway_monitor-9eb247927678f945.d: examples/gateway_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgateway_monitor-9eb247927678f945.rmeta: examples/gateway_monitor.rs Cargo.toml
+
+examples/gateway_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

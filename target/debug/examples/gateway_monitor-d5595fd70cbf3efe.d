@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gateway_monitor-d5595fd70cbf3efe.d: examples/gateway_monitor.rs
+
+/root/repo/target/debug/examples/gateway_monitor-d5595fd70cbf3efe: examples/gateway_monitor.rs
+
+examples/gateway_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intrusion_detector-441d7844d71ac0df.d: examples/intrusion_detector.rs
+
+/root/repo/target/debug/examples/intrusion_detector-441d7844d71ac0df: examples/intrusion_detector.rs
+
+examples/intrusion_detector.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intrusion_detector-7d0683b8c1613372.d: examples/intrusion_detector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintrusion_detector-7d0683b8c1613372.rmeta: examples/intrusion_detector.rs Cargo.toml
+
+examples/intrusion_detector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e90beb38751d15b1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e90beb38751d15b1: examples/quickstart.rs
+
+examples/quickstart.rs:

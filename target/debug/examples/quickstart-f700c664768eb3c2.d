@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-f700c664768eb3c2.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-f700c664768eb3c2.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_bulb_hijack-6a09dcb0c5199d97.d: examples/smart_bulb_hijack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_bulb_hijack-6a09dcb0c5199d97.rmeta: examples/smart_bulb_hijack.rs Cargo.toml
+
+examples/smart_bulb_hijack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_bulb_hijack-ccd53f2d37c293e8.d: examples/smart_bulb_hijack.rs
+
+/root/repo/target/debug/examples/smart_bulb_hijack-ccd53f2d37c293e8: examples/smart_bulb_hijack.rs
+
+examples/smart_bulb_hijack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_anatomy-217d018666a8f0d9.d: examples/spectrum_anatomy.rs
+
+/root/repo/target/debug/examples/spectrum_anatomy-217d018666a8f0d9: examples/spectrum_anatomy.rs
+
+examples/spectrum_anatomy.rs:

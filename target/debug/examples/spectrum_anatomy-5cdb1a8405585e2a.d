@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spectrum_anatomy-5cdb1a8405585e2a.d: examples/spectrum_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspectrum_anatomy-5cdb1a8405585e2a.rmeta: examples/spectrum_anatomy.rs Cargo.toml
+
+examples/spectrum_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

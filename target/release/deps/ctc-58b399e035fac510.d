@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ctc-58b399e035fac510.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ctc-58b399e035fac510: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ctc_bench-83c5beff4eb88c6c.d: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs
+
+/root/repo/target/release/deps/libctc_bench-83c5beff4eb88c6c.rlib: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs
+
+/root/repo/target/release/deps/libctc_bench-83c5beff4eb88c6c.rmeta: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/engine.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/advanced.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/protocol.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/report.rs:
+crates/bench/src/trials.rs:

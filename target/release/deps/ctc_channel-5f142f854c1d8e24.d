@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ctc_channel-5f142f854c1d8e24.d: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+/root/repo/target/release/deps/libctc_channel-5f142f854c1d8e24.rlib: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+/root/repo/target/release/deps/libctc_channel-5f142f854c1d8e24.rmeta: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/hardware.rs:
+crates/channel/src/impairments.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ctc_wifi-5e4b665b82abdaf2.d: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+/root/repo/target/release/deps/libctc_wifi-5e4b665b82abdaf2.rlib: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+/root/repo/target/release/deps/libctc_wifi-5e4b665b82abdaf2.rmeta: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/convolutional.rs:
+crates/wifi/src/interleaver.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/plcp.rs:
+crates/wifi/src/qam.rs:
+crates/wifi/src/rx.rs:
+crates/wifi/src/scrambler.rs:
+crates/wifi/src/tx.rs:

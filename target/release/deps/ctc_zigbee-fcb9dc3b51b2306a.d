@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ctc_zigbee-fcb9dc3b51b2306a.d: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs
+
+/root/repo/target/release/deps/libctc_zigbee-fcb9dc3b51b2306a.rlib: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs
+
+/root/repo/target/release/deps/libctc_zigbee-fcb9dc3b51b2306a.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/app.rs:
+crates/zigbee/src/channels.rs:
+crates/zigbee/src/chipmap.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/frontend.rs:
+crates/zigbee/src/mac.rs:
+crates/zigbee/src/modem.rs:
+crates/zigbee/src/rx.rs:
+crates/zigbee/src/tx.rs:

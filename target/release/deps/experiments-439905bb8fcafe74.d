@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-439905bb8fcafe74.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-439905bb8fcafe74: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

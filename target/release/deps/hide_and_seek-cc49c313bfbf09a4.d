@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hide_and_seek-cc49c313bfbf09a4.d: src/lib.rs
+
+/root/repo/target/release/deps/libhide_and_seek-cc49c313bfbf09a4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhide_and_seek-cc49c313bfbf09a4.rmeta: src/lib.rs
+
+src/lib.rs:

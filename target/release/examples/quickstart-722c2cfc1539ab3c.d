@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-722c2cfc1539ab3c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-722c2cfc1539ab3c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -21,10 +21,17 @@ fn setup() -> Setup {
     Setup { authentic, forged }
 }
 
-fn receptions(wave: &[hide_and_seek::dsp::Complex], link: &Link, n: usize, seed: u64) -> Vec<Reception> {
+fn receptions(
+    wave: &[hide_and_seek::dsp::Complex],
+    link: &Link,
+    n: usize,
+    seed: u64,
+) -> Vec<Reception> {
     let mut rng = StdRng::seed_from_u64(seed);
     let rx = Receiver::usrp();
-    (0..n).map(|_| rx.receive(&link.transmit(wave, &mut rng))).collect()
+    (0..n)
+        .map(|_| rx.receive(&link.transmit(wave, &mut rng)))
+        .collect()
 }
 
 #[test]
@@ -40,7 +47,10 @@ fn calibrated_detector_is_perfect_on_awgn() {
         let emu_train = receptions(&s.forged, &link, 20, 11);
         let det = Detector::calibrate(ChannelAssumption::Ideal, &zig_train, &emu_train);
         for r in receptions(&s.authentic, &link, 20, 12) {
-            assert!(!det.detect(&r).unwrap().is_attack, "false positive at {snr} dB");
+            assert!(
+                !det.detect(&r).unwrap().is_attack,
+                "false positive at {snr} dB"
+            );
         }
         for r in receptions(&s.forged, &link, 20, 13) {
             assert!(det.detect(&r).unwrap().is_attack, "miss at {snr} dB");
@@ -170,8 +180,16 @@ fn defense_survives_walking_speed_doppler() {
         let rx = Receiver::usrp();
         let va = det.detect(&rx.receive(&faded_auth)).unwrap();
         let vf = det.detect(&rx.receive(&faded_forged)).unwrap();
-        assert!(!va.is_attack, "trial {trial}: authentic flagged, DE² {}", va.de_squared);
-        assert!(vf.is_attack, "trial {trial}: forgery missed, DE² {}", vf.de_squared);
+        assert!(
+            !va.is_attack,
+            "trial {trial}: authentic flagged, DE² {}",
+            va.de_squared
+        );
+        assert!(
+            vf.is_attack,
+            "trial {trial}: forgery missed, DE² {}",
+            vf.de_squared
+        );
     }
 }
 

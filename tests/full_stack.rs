@@ -6,7 +6,7 @@ use hide_and_seek::channel::interference::Interferer;
 use hide_and_seek::channel::noise::complex_gaussian;
 use hide_and_seek::channel::Link;
 use hide_and_seek::core::attack::{
-    clear_channel_assessment, EnergyDetector, Emulator, FullFrameAttack, LeastSquaresEmulator,
+    clear_channel_assessment, Emulator, EnergyDetector, FullFrameAttack, LeastSquaresEmulator,
 };
 use hide_and_seek::core::defense::{ChannelAssumption, Detector, StreamMonitor};
 use hide_and_seek::dsp::Complex;
@@ -23,9 +23,14 @@ fn kill_chain_from_raw_recording() {
     // t1: victim transmits inside a noisy recording.
     let victim = Transmitter::new().transmit_payload(b"00000").unwrap();
     let sigma2 = 1e-2;
-    let mut recording: Vec<Complex> =
-        (0..700).map(|_| complex_gaussian(&mut rng, sigma2)).collect();
-    recording.extend(victim.iter().map(|&v| v + complex_gaussian(&mut rng, sigma2)));
+    let mut recording: Vec<Complex> = (0..700)
+        .map(|_| complex_gaussian(&mut rng, sigma2))
+        .collect();
+    recording.extend(
+        victim
+            .iter()
+            .map(|&v| v + complex_gaussian(&mut rng, sigma2)),
+    );
     recording.extend((0..700).map(|_| complex_gaussian(&mut rng, sigma2)));
 
     // The attacker finds and extracts the frame.
@@ -33,7 +38,9 @@ fn kill_chain_from_raw_recording() {
     let captured = detector.extract_first(&recording).expect("frame present");
 
     // t2: channel idle check, then emulate and transmit.
-    let idle: Vec<Complex> = (0..256).map(|_| complex_gaussian(&mut rng, sigma2)).collect();
+    let idle: Vec<Complex> = (0..256)
+        .map(|_| complex_gaussian(&mut rng, sigma2))
+        .collect();
     assert!(clear_channel_assessment(&idle, 128, 0.2));
     let emulator = Emulator::new();
     let forged = emulator.received_at_zigbee(&emulator.emulate(captured));
@@ -51,11 +58,9 @@ fn gateway_monitor_catches_full_frame_attack() {
     let em = attack.emulate(&victim);
     // Unit receive power (any AGC does this); the attacker transmits at
     // whatever gain reaches the victim.
-    let at_zigbee =
-        hide_and_seek::dsp::metrics::normalize_power(&attack.received_at_zigbee(&em));
+    let at_zigbee = hide_and_seek::dsp::metrics::normalize_power(&attack.received_at_zigbee(&em));
 
-    let mut stream: Vec<Complex> =
-        (0..500).map(|_| complex_gaussian(&mut rng, 1e-3)).collect();
+    let mut stream: Vec<Complex> = (0..500).map(|_| complex_gaussian(&mut rng, 1e-3)).collect();
     stream.extend_from_slice(&at_zigbee);
     stream.extend((0..500).map(|_| complex_gaussian(&mut rng, 1e-3)));
 
@@ -124,7 +129,10 @@ fn adaptive_attacker_beats_naive_threshold_sometimes_but_not_calibration() {
     for r in collect(&v2, &mut rng) {
         missed += usize::from(!det.detect(&r).unwrap().is_attack);
     }
-    assert_eq!(missed, 0, "re-calibrated defender must catch the LS attacker");
+    assert_eq!(
+        missed, 0,
+        "re-calibrated defender must catch the LS attacker"
+    );
     let mut fp = 0;
     for r in collect(&victim, &mut rng) {
         fp += usize::from(det.detect(&r).unwrap().is_attack);
@@ -151,6 +159,12 @@ fn attack_and_defense_under_interference() {
         ok += usize::from(r.payload() == Some(&b"00000"[..]));
         caught += usize::from(det.detect(&r).map(|v| v.is_attack).unwrap_or(false));
     }
-    assert!(ok >= 13, "attack should survive mild interference: {ok}/{N}");
-    assert!(caught >= 13, "defense should survive mild interference: {caught}/{N}");
+    assert!(
+        ok >= 13,
+        "attack should survive mild interference: {ok}/{N}"
+    );
+    assert!(
+        caught >= 13,
+        "defense should survive mild interference: {caught}/{N}"
+    );
 }

@@ -13,7 +13,10 @@ use hide_and_seek::zigbee::{Receiver, Transmitter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn pair() -> (Vec<hide_and_seek::dsp::Complex>, Vec<hide_and_seek::dsp::Complex>) {
+fn pair() -> (
+    Vec<hide_and_seek::dsp::Complex>,
+    Vec<hide_and_seek::dsp::Complex>,
+) {
     let original = Transmitter::new().transmit_payload(b"00000").unwrap();
     let emulator = Emulator::new();
     let forged = emulator.received_at_zigbee(&emulator.emulate(&original));
@@ -127,7 +130,7 @@ fn fig7_emulation_chip_error_band() {
     let r = Receiver::usrp().receive(&forged);
     // Past the leading sync symbols, every payload symbol shows errors.
     let payload_distances = &r.hamming_distances[12..];
-    assert!(payload_distances.iter().all(|&d| d >= 1 && d <= 10));
+    assert!(payload_distances.iter().all(|&d| (1..=10).contains(&d)));
 }
 
 #[test]
@@ -171,9 +174,7 @@ fn fig14_commodity_outranges_usrp() {
         let w1 = usrp_link.transmit(&forged, &mut rng);
         let w2 = commodity_link.transmit(&forged, &mut rng);
         usrp_ok += usize::from(Receiver::usrp().receive(&w1).payload() == Some(&b"00000"[..]));
-        comm_ok += usize::from(
-            Receiver::commodity().receive(&w2).payload() == Some(&b"00000"[..]),
-        );
+        comm_ok += usize::from(Receiver::commodity().receive(&w2).payload() == Some(&b"00000"[..]));
     }
     assert!(
         comm_ok > usrp_ok,

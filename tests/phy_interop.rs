@@ -20,7 +20,9 @@ fn zigbee_link_over_all_channel_models() {
     let links = [
         Link::awgn(15.0),
         Link::awgn(15.0).with_fading(Some(5.0)),
-        Link::awgn(15.0).with_max_cfo_hz(300.0).with_random_phase(true),
+        Link::awgn(15.0)
+            .with_max_cfo_hz(300.0)
+            .with_random_phase(true),
         Link::real_indoor(2.0, 0.0),
     ];
     for (i, link) in links.iter().enumerate() {
@@ -43,10 +45,7 @@ fn zigbee_survives_mild_multipath() {
         // Two-tap channel with a weak echo.
         let ch = Multipath::from_taps(vec![
             hide_and_seek::dsp::Complex::from_re(0.95),
-            hide_and_seek::dsp::Complex::new(
-                rng.gen_range(-0.2..0.2),
-                rng.gen_range(-0.2..0.2),
-            ),
+            hide_and_seek::dsp::Complex::new(rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2)),
         ]);
         let faded = ch.apply(&wave);
         let r = Receiver::usrp().receive(&faded);
@@ -96,7 +95,10 @@ fn embed_capture_respects_spectral_positions() {
     // Mis-tuned by +10 MHz: almost nothing of the signal remains.
     let bad = frontend::capture(&wide, 2.44e9, 20.0e6, 2.445e9, 4.0e6).unwrap();
     let c = correlation(&wave[40..n - 40], &bad[40..n - 40]);
-    assert!(c < 0.3, "mis-tuned capture should lose the signal, corr {c}");
+    assert!(
+        c < 0.3,
+        "mis-tuned capture should lose the signal, corr {c}"
+    );
 }
 
 #[test]
@@ -129,6 +131,9 @@ fn corpus_roundtrip_all_hundred_messages() {
         let wave = tx.transmit_payload(&msg).unwrap();
         let r = rx.receive(&wave);
         assert_eq!(r.payload(), Some(&msg[..]), "message {i}");
-        assert!(hide_and_seek::zigbee::app::verify_message(r.payload().unwrap(), i));
+        assert!(hide_and_seek::zigbee::app::verify_message(
+            r.payload().unwrap(),
+            i
+        ));
     }
 }
