@@ -10,18 +10,32 @@
 //! ctc decode   --input at_receiver.cf32
 //! ctc detect   --input at_receiver.cf32
 //! ctc listen   --input long_recording.cf32
+//! ctc monitor  --input - --threshold 0.25
 //! ctc spectrum --input attack.cf32 --segment 64
+//! ```
+//!
+//! `decode`, `detect`, `listen` and `monitor` also accept `--input -`
+//! (stdin) and `--input tcp://host:port`, so captures pipe straight in:
+//!
+//! ```text
+//! ctc generate --payload 00000 --out - | ctc decode --input -
 //! ```
 
 use ctc_core::attack::{Emulator, EnergyDetector, SpectralMode, SynthesisMode};
 use ctc_core::defense::{ChannelAssumption, Detector};
-use ctc_dsp::io::{read_cf32_file, write_cf32_file};
+use ctc_dsp::io::{write_cf32_file, Cf32Reader};
 use ctc_dsp::psd::{welch_psd, Window};
 use ctc_dsp::Complex;
+use ctc_gateway::{Gateway, GatewayConfig, Input};
 use ctc_zigbee::{Receiver, Transmitter};
 use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code when a decoded frame was attributed to the attacker, so shell
+/// pipelines can branch on detection (`ctc detect ... || alarm`).
+const EXIT_FORGERY: u8 = 3;
 
 const USAGE: &str = "\
 ctc — CTC waveform emulation attack & defense toolkit (cf32 IQ files)
@@ -37,14 +51,23 @@ COMMANDS
             20 MHz out).
   capture   --input <file> --out <file> [--mode baseband|carrier]
             The ZigBee receiver front-end's 4 MHz view of a 20 MHz waveform.
-  decode    --input <file> [--soft] [--search N] [--fractional]
+  decode    --input <src> [--soft] [--search N] [--fractional]
             Decode a 4 MHz waveform with the 802.15.4 receiver.
-  detect    --input <file> [--real] [--threshold Q] [--search N]
-            Run the cumulant detector on a 4 MHz waveform.
-  listen    --input <file>
-            Energy-detect frame bursts in a long recording.
+  detect    --input <src> [--real] [--threshold Q] [--search N]
+            Run the cumulant detector on a 4 MHz waveform. Exits 3 when the
+            frame is attributed to the WiFi attacker.
+  listen    --input <src>
+            Energy-detect frame bursts in a stream of any length (bounded
+            memory; bursts print as they complete).
+  monitor   --input <src> [--real] [--threshold Q] [--workers N]
+            [--chunk N] [--queue N] [--stats SECS] [--max-burst N]
+            Streaming detection gateway: JSONL frame events on stdout,
+            periodic stats on stderr. Exits 3 when a forgery was accepted.
   spectrum  --input <file> [--segment N]
             Welch PSD of a waveform, printed as text.
+
+  <src> is a cf32 file path, `-` for stdin, or `tcp://host:port` to accept
+  one connection and stream from it.
 ";
 
 struct Args {
@@ -81,10 +104,6 @@ impl Args {
         self.get(key).ok_or_else(|| format!("missing --{key}"))
     }
 
-    fn path(&self, key: &str) -> Result<PathBuf, String> {
-        Ok(PathBuf::from(self.require(key)?))
-    }
-
     fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
@@ -100,12 +119,43 @@ impl Args {
     }
 }
 
-fn load(path: &Path) -> Result<Vec<Complex>, String> {
-    read_cf32_file(path).map_err(|e| format!("reading {}: {e}", path.display()))
+/// Reads a whole waveform from an input spec (file, `-`, `tcp://addr`),
+/// streaming through [`Cf32Reader`] so even stdin never double-buffers.
+fn load(spec: &str) -> Result<Vec<Complex>, String> {
+    let input = Input::parse(spec);
+    let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
+    let mut reader = Cf32Reader::new(reader);
+    let mut samples = Vec::new();
+    let mut chunk = Vec::new();
+    loop {
+        let n = reader
+            .read_chunk(&mut chunk)
+            .map_err(|e| format!("reading {input}: {e}"))?;
+        if n == 0 {
+            return Ok(samples);
+        }
+        samples.extend_from_slice(&chunk);
+    }
 }
 
-fn save(path: &Path, samples: &[Complex]) -> Result<(), String> {
-    write_cf32_file(path, samples).map_err(|e| format!("writing {}: {e}", path.display()))
+/// Writes a waveform to a file, or to stdout when the spec is `-`.
+fn save(spec: &str, samples: &[Complex]) -> Result<(), String> {
+    if spec == "-" {
+        ctc_dsp::io::write_cf32(std::io::stdout().lock(), samples)
+            .map_err(|e| format!("writing stdout: {e}"))
+    } else {
+        write_cf32_file(Path::new(spec), samples).map_err(|e| format!("writing {spec}: {e}"))
+    }
+}
+
+/// Status text goes to stdout normally, but to stderr when the waveform
+/// itself is being piped to stdout.
+fn note(out_spec: &str, msg: String) {
+    if out_spec == "-" {
+        eprintln!("{msg}");
+    } else {
+        println!("{msg}");
+    }
 }
 
 fn emulator_from(args: &Args) -> Result<Emulator, String> {
@@ -153,39 +203,50 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let wave = tx
         .transmit_payload(&payload)
         .map_err(|e| format!("building frame: {e}"))?;
-    save(&args.path("out")?, &wave)?;
-    println!(
-        "wrote {} samples (4 MHz, {:.1} µs) for payload {:?}",
-        wave.len(),
-        wave.len() as f64 / 4.0,
-        String::from_utf8_lossy(&payload)
+    let out = args.require("out")?;
+    save(out, &wave)?;
+    note(
+        out,
+        format!(
+            "wrote {} samples (4 MHz, {:.1} µs) for payload {:?}",
+            wave.len(),
+            wave.len() as f64 / 4.0,
+            String::from_utf8_lossy(&payload)
+        ),
     );
     Ok(())
 }
 
 fn cmd_emulate(args: &Args) -> Result<(), String> {
-    let observed = load(&args.path("input")?)?;
+    let observed = load(args.require("input")?)?;
     let emulator = emulator_from(args)?;
     let em = emulator.emulate(&observed);
-    save(&args.path("out")?, &em.waveform_20mhz)?;
-    println!(
-        "emulated {} WiFi symbols (20 MHz, {} samples)",
-        em.wifi_symbol_count(),
-        em.waveform_20mhz.len()
+    let out = args.require("out")?;
+    save(out, &em.waveform_20mhz)?;
+    note(
+        out,
+        format!(
+            "emulated {} WiFi symbols (20 MHz, {} samples)",
+            em.wifi_symbol_count(),
+            em.waveform_20mhz.len()
+        ),
     );
-    println!("kept FFT bins: {:?}", em.kept_bins);
-    println!(
-        "alpha = {:.4}, quantization error = {:.1}",
-        em.alpha, em.quantization_error
+    note(out, format!("kept FFT bins: {:?}", em.kept_bins));
+    note(
+        out,
+        format!(
+            "alpha = {:.4}, quantization error = {:.1}",
+            em.alpha, em.quantization_error
+        ),
     );
     if let Some(d) = em.codeword_distance {
-        println!("bit-chain codeword distance = {d}");
+        note(out, format!("bit-chain codeword distance = {d}"));
     }
     Ok(())
 }
 
 fn cmd_capture(args: &Args) -> Result<(), String> {
-    let wide = load(&args.path("input")?)?;
+    let wide = load(args.require("input")?)?;
     let (in_center, out_center) = match args.get("mode").unwrap_or("baseband") {
         "baseband" => (2.435e9, 2.435e9),
         "carrier" => (2.44e9, 2.435e9),
@@ -193,13 +254,14 @@ fn cmd_capture(args: &Args) -> Result<(), String> {
     };
     let captured = ctc_zigbee::frontend::capture(&wide, in_center, 20.0e6, out_center, 4.0e6)
         .map_err(|e| format!("capture failed: {e}"))?;
-    save(&args.path("out")?, &captured)?;
-    println!("captured {} samples at 4 MHz", captured.len());
+    let out = args.require("out")?;
+    save(out, &captured)?;
+    note(out, format!("captured {} samples at 4 MHz", captured.len()));
     Ok(())
 }
 
 fn cmd_decode(args: &Args) -> Result<(), String> {
-    let wave = load(&args.path("input")?)?;
+    let wave = load(args.require("input")?)?;
     let rx = receiver_from(args)?;
     let r = rx.receive(&wave);
     println!(
@@ -224,9 +286,8 @@ fn cmd_decode(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_detect(args: &Args) -> Result<(), String> {
-    let wave = load(&args.path("input")?)?;
-    let rx = receiver_from(args)?;
+/// The `--real`/`--threshold` options shared by `detect` and `monitor`.
+fn detector_from(args: &Args) -> Result<Detector, String> {
     let assumption = if args.flag("real") {
         ChannelAssumption::Real
     } else {
@@ -236,6 +297,13 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     if let Some(q) = args.parse_num::<f64>("threshold")? {
         detector = detector.with_threshold(q);
     }
+    Ok(detector)
+}
+
+fn cmd_detect(args: &Args) -> Result<ExitCode, String> {
+    let wave = load(args.require("input")?)?;
+    let rx = receiver_from(args)?;
+    let detector = detector_from(args)?;
     let r = rx.receive(&wave);
     let v = detector
         .detect(&r)
@@ -258,33 +326,113 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
             "authentic ZigBee (H0)"
         }
     );
-    Ok(())
+    Ok(if v.is_attack {
+        ExitCode::from(EXIT_FORGERY)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_listen(args: &Args) -> Result<(), String> {
-    let wave = load(&args.path("input")?)?;
-    let bursts = EnergyDetector::default().detect(&wave);
-    println!("{} burst(s) in {} samples:", bursts.len(), wave.len());
-    if bursts.is_empty() && ctc_dsp::metrics::mean_power(&wave) > 0.0 {
+    fn print_burst(i: usize, sb: &ctc_core::attack::StreamedBurst) {
+        let b = &sb.burst;
         println!(
-            "  (energy detection baselines on quiet gaps; a file that is all\n\
-             signal has no noise floor to rise above — record with margins)"
-        );
-    }
-    for (i, b) in bursts.iter().enumerate() {
-        println!(
-            "  #{i}: samples {}..{} ({} samples, {:.1} µs)",
+            "  #{i}: samples {}..{} ({} samples, {:.1} µs){}",
             b.start,
             b.end,
             b.len(),
-            b.len() as f64 / 4.0
+            b.len() as f64 / 4.0,
+            if sb.truncated() { "  [truncated]" } else { "" }
+        );
+    }
+
+    let input = Input::parse(args.require("input")?);
+    let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
+    let mut reader = Cf32Reader::new(reader);
+    let mut stream = EnergyDetector::default().stream();
+    let mut chunk = Vec::new();
+    let mut count = 0usize;
+    let mut total = 0usize;
+    let mut energy = 0.0f64;
+    loop {
+        let n = reader
+            .read_chunk(&mut chunk)
+            .map_err(|e| format!("reading {input}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        total += n;
+        energy += chunk.iter().map(|c| c.norm_sqr()).sum::<f64>();
+        for sb in stream.push(&chunk) {
+            print_burst(count, &sb);
+            count += 1;
+        }
+    }
+    if let Some(sb) = stream.finish() {
+        print_burst(count, &sb);
+        count += 1;
+    }
+    println!("{count} burst(s) in {total} samples");
+    if count == 0 && energy > 0.0 {
+        println!(
+            "  (energy detection baselines on quiet gaps; a stream that is all\n\
+             signal has no noise floor to rise above — record with margins)"
         );
     }
     Ok(())
 }
 
+fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
+    let input = Input::parse(args.require("input")?);
+    let mut receiver = receiver_from(args)?;
+    if args.get("search").is_none() {
+        // Burst captures start up to a margin before the preamble, so the
+        // gateway always needs a timing search window.
+        receiver = receiver.with_sync_search(96);
+    }
+    let mut config = GatewayConfig {
+        receiver,
+        detector: detector_from(args)?,
+        ..GatewayConfig::default()
+    };
+    if let Some(n) = args.parse_num::<usize>("workers")? {
+        config.workers = n.max(1);
+    }
+    if let Some(n) = args.parse_num::<usize>("chunk")? {
+        config.chunk_samples = n.max(1);
+    }
+    if let Some(n) = args.parse_num::<usize>("queue")? {
+        config.queue_depth = n.max(1);
+    }
+    if let Some(n) = args.parse_num::<usize>("max-burst")? {
+        if n < config.energy.min_len {
+            return Err(format!(
+                "--max-burst must be at least the detector's min burst length ({})",
+                config.energy.min_len
+            ));
+        }
+        config.max_burst = n;
+    }
+    if let Some(secs) = args.parse_num::<f64>("stats")? {
+        config.stats_interval = if secs > 0.0 {
+            Some(Duration::from_secs_f64(secs))
+        } else {
+            None
+        };
+    }
+    let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
+    let report = Gateway::new(config)
+        .run(reader, &mut std::io::stdout(), &mut std::io::stderr())
+        .map_err(|e| format!("gateway on {input}: {e}"))?;
+    Ok(if report.forgery_detected() {
+        ExitCode::from(EXIT_FORGERY)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_spectrum(args: &Args) -> Result<(), String> {
-    let wave = load(&args.path("input")?)?;
+    let wave = load(args.require("input")?)?;
     let segment = args.parse_num::<usize>("segment")?.unwrap_or(64);
     let psd = welch_psd(&wave, segment, Window::Hann).map_err(|e| format!("psd failed: {e}"))?;
     let db = psd.db_rel_peak();
@@ -299,23 +447,25 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(USAGE.into());
     };
     let args = Args::parse(rest)?;
+    let ok = |()| ExitCode::SUCCESS;
     match cmd.as_str() {
-        "generate" => cmd_generate(&args),
-        "emulate" => cmd_emulate(&args),
-        "capture" => cmd_capture(&args),
-        "decode" => cmd_decode(&args),
+        "generate" => cmd_generate(&args).map(ok),
+        "emulate" => cmd_emulate(&args).map(ok),
+        "capture" => cmd_capture(&args).map(ok),
+        "decode" => cmd_decode(&args).map(ok),
         "detect" => cmd_detect(&args),
-        "listen" => cmd_listen(&args),
-        "spectrum" => cmd_spectrum(&args),
+        "listen" => cmd_listen(&args).map(ok),
+        "monitor" => cmd_monitor(&args),
+        "spectrum" => cmd_spectrum(&args).map(ok),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -323,7 +473,7 @@ fn run() -> Result<(), String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE

@@ -121,6 +121,16 @@ impl EnergyDetector {
         bursts
     }
 
+    /// Starts a resumable streaming detection session with this
+    /// configuration (see [`EnergyStream`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn stream(&self) -> EnergyStream {
+        EnergyStream::new(*self)
+    }
+
     /// Extracts the first detected burst's samples — the attacker's recorded
     /// ZigBee waveform, ready for [`crate::attack::Emulator::emulate`] — with
     /// a guard margin of one detection window on each side so the frame's
@@ -131,6 +141,231 @@ impl EnergyDetector {
         let start = b.start.saturating_sub(margin);
         let end = (b.end + margin).min(x.len());
         Some(&x[start..end])
+    }
+}
+
+/// Resumable, chunk-invariant burst detection over an unbounded stream.
+///
+/// [`EnergyDetector::detect`] gates against a noise floor taken from the
+/// *whole* recording (a lower-quartile statistic) — fine for an attacker
+/// replaying a capture, impossible for a gateway that must decide as
+/// samples arrive. `EnergyStream` replaces that global statistic with a
+/// causal one: an exponential moving average of the windowed power,
+/// updated only while the channel is judged idle, so frames do not drag
+/// the floor up. Every decision is a function of the sample prefix alone,
+/// which makes the event sequence identical for **any** chunking of the
+/// same stream — the property the streaming defense is tested against.
+///
+/// State is O(`window`): suitable for arbitrarily long streams.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_core::attack::EnergyDetector;
+/// use ctc_dsp::Complex;
+///
+/// let mut stream = EnergyDetector::default().stream();
+/// let quiet = vec![Complex::new(1e-3, 0.0); 400];
+/// let loud = vec![Complex::ONE; 400];
+/// assert!(stream.push(&quiet).is_empty());
+/// let mut bursts = stream.push(&loud);
+/// bursts.extend(stream.push(&quiet));
+/// bursts.extend(stream.finish());
+/// assert_eq!(bursts.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyStream {
+    config: EnergyDetector,
+    /// Bursts longer than this are force-closed (and flagged), bounding
+    /// the memory of anything buffering the burst's samples downstream.
+    max_burst: usize,
+    /// Norms of the last `window` samples (ring buffer).
+    ring: Vec<f64>,
+    /// Running sum of the ring.
+    acc: f64,
+    /// Total samples consumed.
+    total: usize,
+    /// Causal noise-floor estimate; `None` until the first full window.
+    floor: Option<f64>,
+    /// Start (power index) of the currently open burst.
+    start: Option<usize>,
+    /// Most recent active power index.
+    last_active: usize,
+}
+
+/// How a [`StreamedBurst`] was terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurstEnd {
+    /// The envelope dropped below the gate for longer than the hang time.
+    Gap,
+    /// The burst exceeded the stream's `max_burst` cap and was split.
+    Overlong,
+    /// [`EnergyStream::finish`] closed it at end of stream.
+    EndOfStream,
+}
+
+/// A burst found by [`EnergyStream`], with how it ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamedBurst {
+    /// The burst, in absolute stream sample indices.
+    pub burst: Burst,
+    /// Why the burst closed.
+    pub end_reason: BurstEnd,
+}
+
+impl StreamedBurst {
+    /// True when the burst did not end cleanly on an idle gap — its tail
+    /// (or the next burst's head) may be missing.
+    pub fn truncated(&self) -> bool {
+        self.end_reason != BurstEnd::Gap
+    }
+}
+
+/// EWMA weight for the noise-floor tracker: long enough to ride out
+/// fades, short enough to re-converge within a typical inter-frame gap.
+const FLOOR_ALPHA: f64 = 1.0 / 64.0;
+
+impl EnergyStream {
+    /// Fresh session for the given detector configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.window == 0`.
+    pub fn new(config: EnergyDetector) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        EnergyStream {
+            config,
+            max_burst: usize::MAX,
+            ring: Vec::with_capacity(config.window),
+            acc: 0.0,
+            total: 0,
+            floor: None,
+            start: None,
+            last_active: 0,
+        }
+    }
+
+    /// Caps burst length; longer transmissions are split into consecutive
+    /// bursts flagged [`BurstEnd::Overlong`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max < config.min_len`.
+    pub fn with_max_burst(mut self, max: usize) -> Self {
+        assert!(
+            max >= self.config.min_len,
+            "max_burst must not be below min_len"
+        );
+        self.max_burst = max;
+        self
+    }
+
+    /// The configuration this session was built from.
+    pub fn config(&self) -> &EnergyDetector {
+        &self.config
+    }
+
+    /// Total samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.total
+    }
+
+    /// Current noise-floor estimate (`None` before the first full window).
+    pub fn noise_floor(&self) -> Option<f64> {
+        self.floor
+    }
+
+    /// Start index of the currently open (unfinished) burst, if any.
+    pub fn open_burst_start(&self) -> Option<usize> {
+        self.start
+    }
+
+    /// Consumes one sample; returns a burst if this sample closed one.
+    pub fn push_sample(&mut self, x: Complex) -> Option<StreamedBurst> {
+        let w = self.config.window;
+        let norm = x.norm_sqr();
+        if self.ring.len() < w {
+            self.ring.push(norm);
+            self.acc += norm;
+            self.total += 1;
+            if self.ring.len() < w {
+                return None;
+            }
+            // First full window: power index 0.
+            return self.on_power(0, self.acc / w as f64);
+        }
+        let slot = self.total % w;
+        self.acc += norm - self.ring[slot];
+        self.ring[slot] = norm;
+        self.total += 1;
+        let i = self.total - w; // power index of the window just completed
+        self.on_power(i, self.acc / w as f64)
+    }
+
+    /// Consumes a chunk; returns the bursts completed inside it, in order.
+    pub fn push(&mut self, chunk: &[Complex]) -> Vec<StreamedBurst> {
+        chunk.iter().filter_map(|&x| self.push_sample(x)).collect()
+    }
+
+    /// Ends the stream: closes any open burst ([`BurstEnd::EndOfStream`])
+    /// and resets the session for reuse.
+    pub fn finish(&mut self) -> Option<StreamedBurst> {
+        let out = self.start.take().and_then(|s| {
+            let end = (self.last_active + self.config.window).min(self.total);
+            (end - s >= self.config.min_len).then_some(StreamedBurst {
+                burst: Burst { start: s, end },
+                end_reason: BurstEnd::EndOfStream,
+            })
+        });
+        *self = EnergyStream::new(self.config).with_max_burst(self.max_burst);
+        out
+    }
+
+    /// The detection state machine, mirroring [`EnergyDetector::detect`]'s
+    /// hang/min-len semantics on one windowed-power value.
+    fn on_power(&mut self, i: usize, p: f64) -> Option<StreamedBurst> {
+        let floor = match self.floor {
+            None => {
+                // First observation seeds the floor and is judged idle.
+                self.floor = Some(p.max(1e-12));
+                return None;
+            }
+            Some(f) => f,
+        };
+        let gate = floor * self.config.threshold;
+        if p > gate {
+            if self.start.is_none() {
+                self.start = Some(i);
+            }
+            self.last_active = i;
+            let s = self.start.expect("just set");
+            if i + self.config.window - s >= self.max_burst {
+                // Force-close: bound downstream buffering on continuous
+                // transmissions. The follow-on burst opens immediately.
+                let end = i + self.config.window;
+                self.start = None;
+                return Some(StreamedBurst {
+                    burst: Burst { start: s, end },
+                    end_reason: BurstEnd::Overlong,
+                });
+            }
+        } else {
+            // Idle: track the floor (frames never drag it up).
+            self.floor = Some((floor + FLOOR_ALPHA * (p - floor)).max(1e-12));
+            if let Some(s) = self.start {
+                if i > self.last_active + self.config.hang {
+                    let end = self.last_active + self.config.window;
+                    self.start = None;
+                    if end - s >= self.config.min_len {
+                        return Some(StreamedBurst {
+                            burst: Burst { start: s, end },
+                            end_reason: BurstEnd::Gap,
+                        });
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -253,5 +488,109 @@ mod tests {
         let b = Burst { start: 10, end: 20 };
         assert_eq!(b.len(), 10);
         assert!(!b.is_empty());
+    }
+
+    /// Streaming detection is invariant to how the stream is chunked.
+    #[test]
+    fn stream_chunking_invariance() {
+        let (stream, _, _) = stream_with_frame(500, 15.0, 11);
+        let det = EnergyDetector::default();
+        let reference = {
+            let mut s = det.stream();
+            let mut bursts = s.push(&stream);
+            bursts.extend(s.finish());
+            bursts
+        };
+        assert_eq!(reference.len(), 1, "reference: {reference:?}");
+        for chunk in [1usize, 7, 50, 333, 1024, stream.len()] {
+            let mut s = det.stream();
+            let mut bursts = Vec::new();
+            for c in stream.chunks(chunk) {
+                bursts.extend(s.push(c));
+            }
+            bursts.extend(s.finish());
+            assert_eq!(bursts, reference, "chunk size {chunk}");
+        }
+    }
+
+    /// The causal floor finds roughly the same burst as the batch
+    /// (whole-recording quartile) detector on a well-margined recording.
+    #[test]
+    fn stream_agrees_with_batch_on_clean_recording() {
+        let (stream, start, end) = stream_with_frame(600, 15.0, 12);
+        let det = EnergyDetector::default();
+        let mut s = det.stream();
+        let mut bursts = s.push(&stream);
+        bursts.extend(s.finish());
+        assert_eq!(bursts.len(), 1, "bursts: {bursts:?}");
+        let b = bursts[0];
+        assert_eq!(b.end_reason, BurstEnd::Gap);
+        assert!(!b.truncated());
+        assert!((b.burst.start as i64 - start as i64).unsigned_abs() < 32);
+        assert!((b.burst.end as i64 - end as i64).unsigned_abs() < 64);
+    }
+
+    #[test]
+    fn stream_noise_only_finds_nothing() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let det = EnergyDetector::default();
+        let mut s = det.stream();
+        for _ in 0..40 {
+            let chunk: Vec<Complex> = (0..100).map(|_| complex_gaussian(&mut rng, 0.01)).collect();
+            assert!(s.push(&chunk).is_empty());
+        }
+        assert!(s.finish().is_none());
+        assert!(s.samples_seen() == 0, "finish resets the session");
+    }
+
+    #[test]
+    fn stream_end_of_stream_truncates_open_burst() {
+        let (stream, start, _) = stream_with_frame(500, 15.0, 14);
+        let det = EnergyDetector::default();
+        let mut s = det.stream();
+        // Cut the stream in the middle of the frame.
+        let cut = start + 400;
+        let mut bursts = s.push(&stream[..cut]);
+        assert!(bursts.is_empty(), "burst still open at the cut");
+        bursts.extend(s.finish());
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].end_reason, BurstEnd::EndOfStream);
+        assert!(bursts[0].truncated());
+        assert!(bursts[0].burst.end <= cut);
+    }
+
+    #[test]
+    fn overlong_burst_is_split_by_cap() {
+        let det = EnergyDetector::default();
+        let mut s = det.stream().with_max_burst(256);
+        let quiet = vec![Complex::new(1e-3, 0.0); 300];
+        let loud = vec![Complex::ONE; 1000];
+        let mut bursts = s.push(&quiet);
+        bursts.extend(s.push(&loud));
+        bursts.extend(s.push(&quiet));
+        bursts.extend(s.finish());
+        assert!(bursts.len() >= 3, "split into >= 3 pieces: {bursts:?}");
+        for b in &bursts[..bursts.len() - 1] {
+            assert_eq!(b.end_reason, BurstEnd::Overlong);
+            assert!(b.burst.len() <= 256);
+        }
+        // Pieces tile the transmission without gaps.
+        for pair in bursts.windows(2) {
+            assert!(pair[1].burst.start <= pair[0].burst.end);
+        }
+    }
+
+    #[test]
+    fn floor_tracks_noise_between_frames() {
+        let (stream, _, _) = stream_with_frame(800, 20.0, 15);
+        let det = EnergyDetector::default();
+        let mut s = det.stream();
+        s.push(&stream);
+        let floor = s.noise_floor().expect("floor estimated");
+        let sigma2 = 10f64.powf(-20.0 / 10.0);
+        assert!(
+            floor > sigma2 / 4.0 && floor < sigma2 * 4.0,
+            "floor {floor:.3e} vs noise {sigma2:.3e}"
+        );
     }
 }

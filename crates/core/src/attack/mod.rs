@@ -10,5 +10,7 @@ pub mod spectrum;
 pub use emulator::{kept_subcarrier_indices, Emulation, Emulator, SpectralMode, SynthesisMode};
 pub use evasion::{LeastSquaresEmulation, LeastSquaresEmulator};
 pub use fullframe::{FullFrameAttack, FullFrameEmulation};
-pub use listener::{clear_channel_assessment, Burst, EnergyDetector};
+pub use listener::{
+    clear_channel_assessment, Burst, BurstEnd, EnergyDetector, EnergyStream, StreamedBurst,
+};
 pub use quantizer::{quantize_points, quantize_points_fixed, QuantizedPoints};

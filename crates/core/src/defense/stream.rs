@@ -4,11 +4,27 @@
 //! This is the form a defending ZigBee gateway would actually run: the
 //! hypothesis test of Sec. VI-B3 applied per received frame, on top of
 //! energy-based frame detection.
+//!
+//! The module is split into resumable stages so a real gateway can spread
+//! them across threads:
+//!
+//! - [`BurstSplitter`] — ingest side: feeds chunks to an [`EnergyStream`]
+//!   and carves out each
+//!   completed burst's samples (plus a decode margin), carrying detector
+//!   and buffer state across chunk boundaries. O(burst length) memory.
+//! - [`FrameProcessor`] — worker side: decodes one captured burst with the
+//!   stock 802.15.4 receiver and classifies it with the cumulant detector.
+//! - [`StreamMonitor`] — both stages inline: `push` chunks, get events.
+//!   [`StreamMonitor::scan`] (one-shot, whole recording) is a thin wrapper
+//!   over `push` + `finish`, so the two paths cannot drift: any chunking
+//!   of a stream yields exactly the events `scan` yields on the whole
+//!   buffer.
 
-use crate::attack::listener::{Burst, EnergyDetector};
+use crate::attack::listener::{Burst, BurstEnd, EnergyDetector, EnergyStream};
 use crate::defense::detector::{Detector, Verdict};
 use ctc_dsp::Complex;
 use ctc_zigbee::{Receiver, Reception};
+use std::collections::VecDeque;
 
 /// One frame-shaped event found in the stream.
 #[derive(Debug, Clone)]
@@ -21,6 +37,9 @@ pub struct StreamEvent {
     pub verdict: Option<Verdict>,
     /// Full reception diagnostics.
     pub reception: Reception,
+    /// True when the burst did not end on a clean idle gap (cut by end of
+    /// stream or by the splitter's burst-length cap).
+    pub truncated: bool,
 }
 
 impl StreamEvent {
@@ -32,54 +51,284 @@ impl StreamEvent {
     }
 }
 
-/// A configured stream monitor.
+/// A completed burst cut out of the stream with its decode margin: the
+/// unit of work handed from the ingest stage to a decode worker.
 #[derive(Debug, Clone)]
-pub struct StreamMonitor {
-    energy: EnergyDetector,
+pub struct BurstCapture {
+    /// The burst, in absolute stream sample indices.
+    pub burst: Burst,
+    /// Absolute stream index of `samples[0]` (burst start minus margin).
+    pub capture_start: usize,
+    /// The burst's samples plus margin on both sides.
+    pub samples: Vec<Complex>,
+    /// True when the burst was cut (end of stream / burst-length cap).
+    pub truncated: bool,
+}
+
+/// Ingest stage: resumable burst extraction over an unbounded stream.
+///
+/// Wraps an [`EnergyStream`] and buffers just enough sample history to
+/// hand each completed burst onward with `margin` guard samples on both
+/// sides (so detector latency never clips a preamble). A capture is
+/// emitted only once its trailing margin has arrived, or at [`finish`],
+/// whichever comes first — exactly the margins the one-shot scan applies.
+///
+/// [`finish`]: BurstSplitter::finish
+#[derive(Debug, Clone)]
+pub struct BurstSplitter {
+    stream: EnergyStream,
+    margin: usize,
+    /// Sample history; `history[0]` is absolute stream index `base`.
+    history: VecDeque<Complex>,
+    base: usize,
+    /// Completed bursts whose trailing margin has not fully arrived yet.
+    pending: VecDeque<(Burst, BurstEnd)>,
+}
+
+impl BurstSplitter {
+    /// Splitter with the standard decode margin of two detection windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `energy.window == 0`.
+    pub fn new(energy: EnergyDetector) -> Self {
+        BurstSplitter {
+            stream: energy.stream(),
+            margin: 2 * energy.window,
+            history: VecDeque::new(),
+            base: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Caps burst length (see
+    /// [`EnergyStream::with_max_burst`](crate::attack::EnergyStream::with_max_burst)),
+    /// bounding this splitter's buffering on continuous transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max` is below the detector's `min_len`.
+    pub fn with_max_burst(mut self, max: usize) -> Self {
+        self.stream = self.stream.clone().with_max_burst(max);
+        self
+    }
+
+    /// The energy-detector configuration in use.
+    pub fn energy(&self) -> &EnergyDetector {
+        self.stream.config()
+    }
+
+    /// Total samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.stream.samples_seen()
+    }
+
+    /// Consumes a chunk, returning every capture completed by it.
+    pub fn push(&mut self, chunk: &[Complex]) -> Vec<BurstCapture> {
+        self.history.extend(chunk.iter().copied());
+        for sb in self.stream.push(chunk) {
+            self.pending.push_back((sb.burst, sb.end_reason));
+        }
+        let mut out = Vec::new();
+        self.flush_ready(&mut out);
+        self.trim_history();
+        out
+    }
+
+    /// Ends the stream: emits every remaining capture (any still-open
+    /// burst is closed and marked truncated) and resets the splitter.
+    pub fn finish(&mut self) -> Vec<BurstCapture> {
+        if let Some(sb) = self.stream.finish() {
+            self.pending.push_back((sb.burst, sb.end_reason));
+        }
+        let total = self.base + self.history.len();
+        let mut out = Vec::new();
+        while let Some((burst, reason)) = self.pending.pop_front() {
+            out.push(self.capture(burst, reason, total));
+        }
+        self.history.clear();
+        self.base = 0;
+        out
+    }
+
+    /// Emits pending captures whose trailing margin has fully arrived.
+    fn flush_ready(&mut self, out: &mut Vec<BurstCapture>) {
+        let total = self.base + self.history.len();
+        while let Some(&(burst, reason)) = self.pending.front() {
+            if burst.end + self.margin > total {
+                break;
+            }
+            self.pending.pop_front();
+            out.push(self.capture(burst, reason, total));
+        }
+    }
+
+    /// Cuts one capture out of the history buffer.
+    fn capture(&self, burst: Burst, reason: BurstEnd, total: usize) -> BurstCapture {
+        let capture_start = burst.start.saturating_sub(self.margin);
+        let capture_end = (burst.end + self.margin).min(total);
+        debug_assert!(capture_start >= self.base, "history trimmed too far");
+        let samples = self
+            .history
+            .iter()
+            .copied()
+            .skip(capture_start - self.base)
+            .take(capture_end - capture_start)
+            .collect();
+        BurstCapture {
+            burst,
+            capture_start,
+            samples,
+            truncated: reason != BurstEnd::Gap,
+        }
+    }
+
+    /// Drops history no capture can reach any more: everything before the
+    /// oldest of (pending captures, the open burst, the margin horizon
+    /// behind the read position).
+    fn trim_history(&mut self) {
+        let total = self.base + self.history.len();
+        let horizon = total.saturating_sub(self.margin + self.energy().window + self.energy().hang);
+        let mut keep_from = horizon;
+        if let Some(&(burst, _)) = self.pending.front() {
+            keep_from = keep_from.min(burst.start.saturating_sub(self.margin));
+        }
+        if let Some(open) = self.stream.open_burst_start() {
+            keep_from = keep_from.min(open.saturating_sub(self.margin));
+        }
+        while self.base < keep_from {
+            self.history.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// Worker stage: decode + classify one captured burst.
+#[derive(Debug, Clone)]
+pub struct FrameProcessor {
     receiver: Receiver,
     detector: Detector,
+}
+
+impl FrameProcessor {
+    /// Builds the stage from its receiver and detector.
+    pub fn new(receiver: Receiver, detector: Detector) -> Self {
+        FrameProcessor { receiver, detector }
+    }
+
+    /// Runs the stock receiver and the cumulant detector on one capture.
+    pub fn process(&self, capture: &BurstCapture) -> StreamEvent {
+        let reception = self.decode(capture);
+        self.classify(capture, reception)
+    }
+
+    /// Stage 1: the stock 802.15.4 receiver over the capture. Split from
+    /// [`classify`](Self::classify) so a pipeline can time each stage.
+    pub fn decode(&self, capture: &BurstCapture) -> Reception {
+        self.receiver.receive(&capture.samples)
+    }
+
+    /// Stage 2: the hypothesis test, folded into the final event.
+    pub fn classify(&self, capture: &BurstCapture, reception: Reception) -> StreamEvent {
+        let payload = reception.payload().map(<[u8]>::to_vec);
+        let verdict = self.detector.detect(&reception).ok();
+        StreamEvent {
+            burst: capture.burst,
+            payload,
+            verdict,
+            reception,
+            truncated: capture.truncated,
+        }
+    }
+
+    /// The receiver this stage decodes with.
+    pub fn receiver(&self) -> &Receiver {
+        &self.receiver
+    }
+
+    /// The detector this stage classifies with.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+}
+
+/// A configured stream monitor: burst splitting plus decode/classify, in
+/// one resumable object.
+#[derive(Debug, Clone)]
+pub struct StreamMonitor {
+    splitter: BurstSplitter,
+    processor: FrameProcessor,
 }
 
 impl StreamMonitor {
     /// Builds a monitor from its three stages.
     pub fn new(energy: EnergyDetector, receiver: Receiver, detector: Detector) -> Self {
         StreamMonitor {
-            energy,
-            receiver,
-            detector,
+            splitter: BurstSplitter::new(energy),
+            processor: FrameProcessor::new(receiver, detector),
         }
     }
 
     /// Defaults: standard energy detector, hard-decision receiver with a
     /// 96-sample timing search, the given detector.
     pub fn with_detector(detector: Detector) -> Self {
-        StreamMonitor {
-            energy: EnergyDetector::default(),
-            receiver: Receiver::usrp().with_sync_search(96),
+        StreamMonitor::new(
+            EnergyDetector::default(),
+            Receiver::usrp().with_sync_search(96),
             detector,
-        }
+        )
     }
 
-    /// Scans a recording, returning one event per detected burst.
-    pub fn scan(&self, stream: &[Complex]) -> Vec<StreamEvent> {
-        let margin = 2 * self.energy.window;
-        self.energy
-            .detect(stream)
-            .into_iter()
-            .map(|burst| {
-                let start = burst.start.saturating_sub(margin);
-                let end = (burst.end + margin).min(stream.len());
-                let reception = self.receiver.receive(&stream[start..end]);
-                let payload = reception.payload().map(<[u8]>::to_vec);
-                let verdict = self.detector.detect(&reception).ok();
-                StreamEvent {
-                    burst,
-                    payload,
-                    verdict,
-                    reception,
-                }
-            })
+    /// The ingest-side stage (for running the stages on separate threads,
+    /// clone this before any `push`).
+    pub fn splitter(&self) -> &BurstSplitter {
+        &self.splitter
+    }
+
+    /// The worker-side stage.
+    pub fn processor(&self) -> &FrameProcessor {
+        &self.processor
+    }
+
+    /// Total samples consumed since construction or the last `finish`.
+    pub fn samples_seen(&self) -> usize {
+        self.splitter.samples_seen()
+    }
+
+    /// Consumes the next chunk of the stream, returning one event per
+    /// burst completed inside it. State (detector floor, open bursts,
+    /// margin buffering) carries across calls: a frame split over any
+    /// number of chunks decodes exactly as if the stream arrived at once.
+    pub fn push(&mut self, chunk: &[Complex]) -> Vec<StreamEvent> {
+        self.splitter
+            .push(chunk)
+            .iter()
+            .map(|c| self.processor.process(c))
             .collect()
+    }
+
+    /// Ends the stream: flushes any open burst (marked truncated) and
+    /// resets the monitor for a new stream.
+    pub fn finish(&mut self) -> Vec<StreamEvent> {
+        self.splitter
+            .finish()
+            .iter()
+            .map(|c| self.processor.process(c))
+            .collect()
+    }
+
+    /// Scans a whole recording, returning one event per detected burst.
+    ///
+    /// Thin wrapper over [`push`](Self::push) + [`finish`](Self::finish)
+    /// on a fresh session — byte-for-byte the streaming code path.
+    pub fn scan(&self, stream: &[Complex]) -> Vec<StreamEvent> {
+        let mut session = StreamMonitor {
+            splitter: BurstSplitter::new(*self.splitter.energy()),
+            processor: self.processor.clone(),
+        };
+        let mut events = session.push(stream);
+        events.extend(session.finish());
+        events
     }
 }
 
@@ -117,6 +366,41 @@ mod tests {
         (stream, forged_at)
     }
 
+    fn assert_events_equal(a: &[StreamEvent], b: &[StreamEvent], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: event count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.burst, y.burst, "{context}: burst");
+            assert_eq!(x.payload, y.payload, "{context}: payload");
+            assert_eq!(x.truncated, y.truncated, "{context}: truncated");
+            match (x.verdict, y.verdict) {
+                (Some(vx), Some(vy)) => {
+                    assert_eq!(vx.is_attack, vy.is_attack, "{context}: verdict");
+                    assert_eq!(vx.de_squared, vy.de_squared, "{context}: DE²");
+                }
+                (None, None) => {}
+                other => panic!("{context}: verdict presence differs: {other:?}"),
+            }
+        }
+    }
+
+    /// Pushing a stream in chunks of any size yields exactly the events of
+    /// a whole-buffer scan — the gateway's correctness property.
+    #[test]
+    fn push_is_chunking_invariant() {
+        let (stream, _) = build_stream(1);
+        let reference = monitor().scan(&stream);
+        assert_eq!(reference.len(), 2);
+        for chunk_size in [1usize, 63, 256, 1000, 4096, stream.len()] {
+            let mut m = monitor();
+            let mut events = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                events.extend(m.push(chunk));
+            }
+            events.extend(m.finish());
+            assert_events_equal(&events, &reference, &format!("chunk size {chunk_size}"));
+        }
+    }
+
     #[test]
     fn finds_and_classifies_both_frames() {
         let (stream, forged_at) = build_stream(1);
@@ -144,5 +428,128 @@ mod tests {
             .map(|_| complex_gaussian(&mut rng, 1e-3))
             .collect();
         assert!(monitor().scan(&noise).is_empty());
+    }
+
+    /// A frame split exactly at a chunk boundary still decodes.
+    #[test]
+    fn frame_split_at_chunk_boundary_decodes() {
+        let (stream, forged_at) = build_stream(3);
+        let reference = monitor().scan(&stream);
+        assert_eq!(reference.len(), 2);
+        // Boundaries inside the first frame, at the forged frame's first
+        // sample, and inside the forged frame.
+        for boundary in [900usize, forged_at, forged_at + 500] {
+            let mut m = monitor();
+            let mut events = m.push(&stream[..boundary]);
+            events.extend(m.push(&stream[boundary..]));
+            events.extend(m.finish());
+            assert_events_equal(&events, &reference, &format!("boundary {boundary}"));
+            assert_eq!(events[0].payload.as_deref(), Some(&b"00000"[..]));
+            assert_eq!(events[1].payload.as_deref(), Some(&b"00000"[..]));
+        }
+    }
+
+    /// Two frames closer together than the decode margin: both bursts are
+    /// found, their (overlapping) captures both decode, and the streaming
+    /// path agrees with the one-shot scan.
+    #[test]
+    fn back_to_back_frames_with_overlapping_margins() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sigma2 = 1e-3;
+        let frame = Transmitter::new().transmit_payload(b"00000").unwrap();
+        // Default window 16 => margin 32. A 30-sample gap is closer than
+        // the margin, but wide enough (with hang 8) to split the bursts.
+        let energy = EnergyDetector {
+            hang: 8,
+            ..EnergyDetector::default()
+        };
+        let gap = 30usize;
+        let mut stream: Vec<Complex> = (0..600)
+            .map(|_| complex_gaussian(&mut rng, sigma2))
+            .collect();
+        stream.extend_from_slice(&frame);
+        stream.extend((0..gap).map(|_| complex_gaussian(&mut rng, sigma2)));
+        stream.extend_from_slice(&frame);
+        stream.extend((0..600).map(|_| complex_gaussian(&mut rng, sigma2)));
+
+        let m = StreamMonitor::new(
+            energy,
+            Receiver::usrp().with_sync_search(96),
+            Detector::new(ChannelAssumption::Ideal).with_threshold(0.25),
+        );
+        let reference = m.scan(&stream);
+        assert_eq!(reference.len(), 2, "both bursts found: {reference:?}");
+        for e in &reference {
+            assert_eq!(e.payload.as_deref(), Some(&b"00000"[..]));
+            assert!(!e.verdict.unwrap().is_attack);
+        }
+        let gap_between = reference[1].burst.start - reference[0].burst.end;
+        assert!(
+            gap_between < 2 * 2 * energy.window,
+            "captures overlap (gap {gap_between})"
+        );
+        for chunk_size in [17usize, 256, 2048] {
+            let mut session = m.clone();
+            let mut events = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                events.extend(session.push(chunk));
+            }
+            events.extend(session.finish());
+            assert_events_equal(&events, &reference, &format!("chunk size {chunk_size}"));
+        }
+    }
+
+    /// A burst cut off by end-of-stream is still reported, marked
+    /// truncated, identically for scan and push.
+    #[test]
+    fn burst_truncated_by_end_of_stream() {
+        let (stream, forged_at) = build_stream(5);
+        let cut = forged_at + 400; // mid-frame
+        let reference = monitor().scan(&stream[..cut]);
+        assert_eq!(reference.len(), 2, "events: {reference:?}");
+        assert!(!reference[0].truncated);
+        assert!(reference[1].truncated, "cut burst marked truncated");
+        assert!(reference[1].burst.end <= cut);
+        assert_eq!(reference[1].payload, None, "a partial frame cannot parse");
+
+        let mut m = monitor();
+        let mut events = Vec::new();
+        for chunk in stream[..cut].chunks(97) {
+            events.extend(m.push(chunk));
+        }
+        events.extend(m.finish());
+        assert_events_equal(&events, &reference, "truncated stream");
+    }
+
+    /// finish() resets the monitor: a second stream through the same
+    /// monitor sees none of the first stream's state.
+    #[test]
+    fn finish_resets_for_reuse() {
+        let (stream, _) = build_stream(6);
+        let mut m = monitor();
+        let mut first = m.push(&stream);
+        first.extend(m.finish());
+        let mut second = m.push(&stream);
+        second.extend(m.finish());
+        assert_events_equal(&first, &second, "reused monitor");
+    }
+
+    /// The splitter alone: captures carry the margin and absolute offsets.
+    #[test]
+    fn splitter_capture_geometry() {
+        let (stream, _) = build_stream(7);
+        let mut splitter = BurstSplitter::new(EnergyDetector::default());
+        let mut captures = splitter.push(&stream);
+        captures.extend(splitter.finish());
+        assert_eq!(captures.len(), 2);
+        let margin = 2 * EnergyDetector::default().window;
+        for c in &captures {
+            assert_eq!(c.capture_start, c.burst.start - margin);
+            assert_eq!(c.samples.len(), c.burst.len() + 2 * margin);
+            assert!(!c.truncated);
+            // The capture really is that slice of the stream.
+            let expected = &stream[c.capture_start..c.capture_start + c.samples.len()];
+            assert_eq!(c.samples, expected);
+        }
     }
 }

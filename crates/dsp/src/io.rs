@@ -9,7 +9,137 @@
 use crate::complex::Complex;
 use std::io::{self, Read, Write};
 
+/// Default [`Cf32Reader`] chunk size in samples (512 KiB of cf32).
+pub const DEFAULT_CHUNK_SAMPLES: usize = 65_536;
+
+/// Incremental cf32 reader: pulls fixed-size chunks of samples from any
+/// byte stream (file, stdin, TCP socket) without slurping it into memory.
+///
+/// A sample may straddle two underlying `read` calls — the reader carries
+/// the partial bytes across calls, so any byte-level chunking of the
+/// source yields the same samples. Only a partial sample at end-of-stream
+/// is an error.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_dsp::io::{write_cf32, Cf32Reader};
+/// use ctc_dsp::Complex;
+///
+/// let samples: Vec<Complex> = (0..100).map(|i| Complex::new(i as f64, 0.0)).collect();
+/// let mut bytes = Vec::new();
+/// write_cf32(&mut bytes, &samples)?;
+///
+/// let mut reader = Cf32Reader::new(&bytes[..]).with_chunk_samples(32);
+/// let mut back = Vec::new();
+/// let mut chunk = Vec::new();
+/// while reader.read_chunk(&mut chunk)? > 0 {
+///     assert!(chunk.len() <= 32);
+///     back.extend_from_slice(&chunk);
+/// }
+/// assert_eq!(back, samples);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Cf32Reader<R> {
+    inner: R,
+    chunk_samples: usize,
+    /// Bytes of an incomplete trailing sample from the previous read.
+    carry: [u8; 8],
+    carry_len: usize,
+    samples_read: u64,
+}
+
+impl<R: Read> Cf32Reader<R> {
+    /// Wraps a byte stream with the default chunk size
+    /// ([`DEFAULT_CHUNK_SAMPLES`]).
+    pub fn new(inner: R) -> Self {
+        Cf32Reader {
+            inner,
+            chunk_samples: DEFAULT_CHUNK_SAMPLES,
+            carry: [0; 8],
+            carry_len: 0,
+            samples_read: 0,
+        }
+    }
+
+    /// Sets the chunk size in samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_chunk_samples(mut self, n: usize) -> Self {
+        assert!(n > 0, "chunk size must be positive");
+        self.chunk_samples = n;
+        self
+    }
+
+    /// Total samples produced so far.
+    pub fn samples_read(&self) -> u64 {
+        self.samples_read
+    }
+
+    /// Reads the next chunk into `out` (cleared first), returning the
+    /// number of samples read; `0` means end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; end-of-stream inside a sample (a byte count
+    /// not divisible by 8) is an `InvalidData` error.
+    pub fn read_chunk(&mut self, out: &mut Vec<Complex>) -> io::Result<usize> {
+        out.clear();
+        let mut buf = vec![0u8; self.carry_len + self.chunk_samples * 8];
+        buf[..self.carry_len].copy_from_slice(&self.carry[..self.carry_len]);
+        let mut filled = self.carry_len;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let whole = filled / 8 * 8;
+        self.carry_len = filled - whole;
+        self.carry[..self.carry_len].copy_from_slice(&buf[whole..filled]);
+        if whole == 0 && self.carry_len != 0 {
+            return Err(partial_sample_error(self.carry_len));
+        }
+        out.extend(buf[..whole].chunks_exact(8).map(|c| {
+            let re = f32::from_le_bytes(c[..4].try_into().expect("4 bytes"));
+            let im = f32::from_le_bytes(c[4..].try_into().expect("4 bytes"));
+            Complex::new(re as f64, im as f64)
+        }));
+        self.samples_read += out.len() as u64;
+        Ok(out.len())
+    }
+}
+
+/// Iterating yields owned chunks; the final chunk may be short.
+impl<R: Read> Iterator for Cf32Reader<R> {
+    type Item = io::Result<Vec<Complex>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut chunk = Vec::new();
+        match self.read_chunk(&mut chunk) {
+            Ok(0) => None,
+            Ok(_) => Some(Ok(chunk)),
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+fn partial_sample_error(extra: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("cf32 stream ends inside a sample ({extra} trailing bytes; samples are 8 bytes)"),
+    )
+}
+
 /// Reads cf32 samples from any reader until EOF.
+///
+/// Streams through [`Cf32Reader`] chunks, so peak memory is the sample
+/// vector itself rather than samples plus a full byte copy.
 ///
 /// # Errors
 ///
@@ -29,26 +159,14 @@ use std::io::{self, Read, Write};
 /// assert_eq!(back, samples);
 /// # Ok::<(), std::io::Error>(())
 /// ```
-pub fn read_cf32<R: Read>(mut reader: R) -> io::Result<Vec<Complex>> {
-    let mut bytes = Vec::new();
-    reader.read_to_end(&mut bytes)?;
-    if bytes.len() % 8 != 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "cf32 stream length {} is not a multiple of 8 bytes",
-                bytes.len()
-            ),
-        ));
+pub fn read_cf32<R: Read>(reader: R) -> io::Result<Vec<Complex>> {
+    let mut reader = Cf32Reader::new(reader);
+    let mut all = Vec::new();
+    let mut chunk = Vec::new();
+    while reader.read_chunk(&mut chunk)? > 0 {
+        all.extend_from_slice(&chunk);
     }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| {
-            let re = f32::from_le_bytes(c[..4].try_into().expect("4 bytes"));
-            let im = f32::from_le_bytes(c[4..].try_into().expect("4 bytes"));
-            Complex::new(re as f64, im as f64)
-        })
-        .collect())
+    Ok(all)
 }
 
 /// Writes samples as cf32 to any writer.
@@ -129,6 +247,87 @@ mod tests {
         write_cf32_file(&path, &samples).unwrap();
         assert_eq!(read_cf32_file(&path).unwrap(), samples);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn chunked_reader_matches_slurp_for_any_chunk_size() {
+        let samples: Vec<Complex> = (0..1000)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut bytes = Vec::new();
+        write_cf32(&mut bytes, &samples).unwrap();
+        let samples = read_cf32(&bytes[..]).unwrap(); // f32-rounded reference
+        for chunk_size in [1usize, 3, 64, 333, 1000, 4096] {
+            let mut reader = Cf32Reader::new(&bytes[..]).with_chunk_samples(chunk_size);
+            let mut back = Vec::new();
+            let mut chunk = Vec::new();
+            loop {
+                let n = reader.read_chunk(&mut chunk).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= chunk_size);
+                back.extend_from_slice(&chunk);
+            }
+            assert_eq!(back, samples, "chunk size {chunk_size}");
+            assert_eq!(reader.samples_read(), samples.len() as u64);
+        }
+    }
+
+    /// A reader that dribbles bytes out in awkward sizes, splitting samples
+    /// across `read` calls.
+    struct Dribble<'a>(&'a [u8], usize);
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.1.min(self.0.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            self.1 = self.1 % 7 + 1; // cycle 1..=7, never sample-aligned
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn chunked_reader_survives_partial_reads() {
+        let samples: Vec<Complex> = (0..257).map(|i| Complex::new(i as f64, -1.0)).collect();
+        let mut bytes = Vec::new();
+        write_cf32(&mut bytes, &samples).unwrap();
+        let reader = Cf32Reader::new(Dribble(&bytes, 3)).with_chunk_samples(100);
+        let back: Vec<Complex> = reader.flat_map(|c| c.unwrap()).collect();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn chunked_reader_rejects_trailing_partial_sample() {
+        let mut bytes = Vec::new();
+        write_cf32(&mut bytes, &[Complex::ONE; 10]).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]); // 3 stray bytes
+        let mut reader = Cf32Reader::new(&bytes[..]).with_chunk_samples(4);
+        let mut chunk = Vec::new();
+        let err = loop {
+            match reader.read_chunk(&mut chunk) {
+                Ok(0) => panic!("partial trailing sample must error"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn iterator_yields_owned_chunks() {
+        let samples = vec![Complex::new(2.0, 3.0); 10];
+        let mut bytes = Vec::new();
+        write_cf32(&mut bytes, &samples).unwrap();
+        let chunks: Vec<Vec<Complex>> = Cf32Reader::new(&bytes[..])
+            .with_chunk_samples(4)
+            .map(|c| c.unwrap())
+            .collect();
+        assert_eq!(
+            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
     }
 
     #[test]

@@ -46,4 +46,5 @@ pub mod spectrogram;
 pub use complex::Complex;
 pub use cumulants::{Cumulants, Modulation};
 pub use fft::{fft64, ifft64};
+pub use io::Cf32Reader;
 pub use kmeans::{kmeans, Clustering};

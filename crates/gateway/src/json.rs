@@ -1,0 +1,176 @@
+//! Minimal JSON-lines encoding for gateway events.
+//!
+//! The workspace is dependency-free by construction (no crates.io), so
+//! this is a tiny hand-rolled encoder covering exactly what the event
+//! schema needs: objects of string/number/bool/null fields. Output is a
+//! single line, RFC 8259-escaped, stable field order.
+
+use std::fmt::Write as _;
+
+/// Builder for one JSON object rendered onto a single line.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        push_json_string(&mut self.buf, key);
+        self.buf.push(':');
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        let buf = self.key(key);
+        push_json_string(buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Self {
+        let _ = write!(self.key(key), "{value}");
+        self
+    }
+
+    /// Adds a float field (finite values only; NaN/inf render as null,
+    /// which JSON cannot represent as numbers).
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        let buf = self.key(key);
+        if value.is_finite() {
+            let _ = write!(buf, "{value}");
+        } else {
+            buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key).push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an explicit null field.
+    pub fn null(mut self, key: &str) -> Self {
+        self.key(key).push_str("null");
+        self
+    }
+
+    /// Adds an optional field: `Some` via `f`, `None` as null.
+    pub fn opt<T>(
+        self,
+        key: &str,
+        value: Option<T>,
+        f: impl FnOnce(Self, &str, T) -> Self,
+    ) -> Self {
+        match value {
+            Some(v) => f(self, key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Adds a pre-rendered JSON value (e.g. a nested object) verbatim.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key).push_str(json);
+        self
+    }
+
+    /// Renders the object (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Lowercase hex encoding (for payload bytes).
+pub fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stable_field_order() {
+        let line = JsonObject::new()
+            .string("type", "frame")
+            .uint("seq", 7)
+            .float("de2", 0.25)
+            .bool("attack", true)
+            .null("missing")
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"type":"frame","seq":7,"de2":0.25,"attack":true,"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let line = JsonObject::new().string("s", "a\"b\\c\nd\u{1}").finish();
+        assert_eq!(line, "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+
+    #[test]
+    fn optional_fields() {
+        let some = JsonObject::new()
+            .opt("x", Some(3u64), JsonObject::uint)
+            .finish();
+        assert_eq!(some, r#"{"x":3}"#);
+        let none = JsonObject::new()
+            .opt("x", None::<u64>, JsonObject::uint)
+            .finish();
+        assert_eq!(none, r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let line = JsonObject::new().float("x", f64::NAN).finish();
+        assert_eq!(line, r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn nested_raw_objects() {
+        let inner = JsonObject::new().uint("a", 1).finish();
+        let line = JsonObject::new().raw("inner", &inner).finish();
+        assert_eq!(line, r#"{"inner":{"a":1}}"#);
+    }
+
+    #[test]
+    fn hex_encodes_lowercase() {
+        assert_eq!(hex(&[0x00, 0xff, 0x30]), "00ff30");
+        assert_eq!(hex(&[]), "");
+    }
+}

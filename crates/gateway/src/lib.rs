@@ -1,0 +1,44 @@
+//! # ctc-gateway
+//!
+//! The defense of *Hide and Seek* deployed as a long-running service: a
+//! real-time streaming detection gateway that watches a continuous IQ
+//! stream and emits one JSON-lines event per decoded frame, flagging
+//! waveform-emulation forgeries as they arrive.
+//!
+//! Where [`ctc_core::defense::StreamMonitor`] processes bursts inline,
+//! this crate puts the same two stages on opposite sides of a bounded
+//! queue so ingest keeps pace with the sample clock no matter how slow
+//! decoding gets:
+//!
+//! - [`source::Input`] — where the bytes come from: cf32 file, stdin
+//!   (`-`), or a TCP listener (`tcp://host:port`).
+//! - [`pipeline::Gateway`] — the pipeline itself: chunked ingest with
+//!   state carried across chunk boundaries, a drop-oldest bounded queue,
+//!   a decode/classify worker pool, and an order-restoring JSONL sink.
+//! - [`metrics::Metrics`] — lock-free counters and a log-scale latency
+//!   histogram behind the periodic stats lines.
+//!
+//! ```no_run
+//! use ctc_gateway::{Gateway, GatewayConfig, Input};
+//!
+//! let input = Input::parse("-").open()?; // stdin
+//! let gateway = Gateway::new(GatewayConfig::default());
+//! let report = gateway.run(input, &mut std::io::stdout(), &mut std::io::stderr())?;
+//! if report.forgery_detected() {
+//!     eprintln!("forgeries: {}", report.metrics.forgeries);
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod pipeline;
+pub mod queue;
+pub mod source;
+
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use pipeline::{default_workers, Gateway, GatewayConfig, GatewayReport};
+pub use queue::BoundedQueue;
+pub use source::Input;

@@ -1,0 +1,179 @@
+//! Lock-free pipeline observability: monotonic counters plus a log-scale
+//! latency histogram, all plain atomics so the hot paths never contend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Histogram of pipeline latencies in microseconds, power-of-two buckets.
+///
+/// Quantiles are resolved to a bucket's upper bound — coarse (a factor of
+/// two) but allocation-free and wait-free to record, which is what a
+/// per-frame hot path wants.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, micros: u64) {
+        let bucket = (u64::BITS - micros.max(1).leading_zeros() - 1) as usize;
+        let bucket = bucket.min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The latency (µs, bucket upper bound) at quantile `q` in `[0, 1]`,
+    /// or `None` when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Counters shared by every pipeline stage.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// IQ samples ingested.
+    pub samples_in: AtomicU64,
+    /// Chunks ingested.
+    pub chunks_in: AtomicU64,
+    /// Bursts carved out of the stream.
+    pub bursts: AtomicU64,
+    /// Bursts whose frame decoded (payload passed the FCS).
+    pub frames_decoded: AtomicU64,
+    /// Decoded frames the detector attributed to the attacker.
+    pub forgeries: AtomicU64,
+    /// Bursts evicted under overload (drop-oldest policy).
+    pub bursts_dropped: AtomicU64,
+    /// Samples inside evicted bursts.
+    pub samples_dropped: AtomicU64,
+    /// End-to-end (ingest→classified) per-burst latency.
+    pub latency: LatencyHistogram,
+}
+
+/// A point-in-time copy of the counters, ready for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// IQ samples ingested.
+    pub samples_in: u64,
+    /// Chunks ingested.
+    pub chunks_in: u64,
+    /// Bursts carved out of the stream.
+    pub bursts: u64,
+    /// Bursts whose frame decoded.
+    pub frames_decoded: u64,
+    /// Decoded frames flagged as forgeries.
+    pub forgeries: u64,
+    /// Bursts evicted under overload.
+    pub bursts_dropped: u64,
+    /// Samples inside evicted bursts.
+    pub samples_dropped: u64,
+    /// Median end-to-end latency (µs), when any was recorded.
+    pub p50_us: Option<u64>,
+    /// 99th-percentile end-to-end latency (µs).
+    pub p99_us: Option<u64>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies every counter at once (individually relaxed-consistent).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            samples_in: load(&self.samples_in),
+            chunks_in: load(&self.chunks_in),
+            bursts: load(&self.bursts),
+            frames_decoded: load(&self.frames_decoded),
+            forgeries: load(&self.forgeries),
+            bursts_dropped: load(&self.bursts_dropped),
+            samples_dropped: load(&self.samples_dropped),
+            p50_us: self.latency.quantile(0.50),
+            p99_us: self.latency.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 12, 14, 100, 1000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((10..=32).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1000..=2048).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(2));
+    }
+
+    #[test]
+    fn huge_latency_saturates_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::new();
+        m.samples_in.fetch_add(100, Ordering::Relaxed);
+        m.forgeries.fetch_add(2, Ordering::Relaxed);
+        m.latency.record(50);
+        let s = m.snapshot();
+        assert_eq!(s.samples_in, 100);
+        assert_eq!(s.forgeries, 2);
+        assert!(s.p50_us.is_some());
+        assert_eq!(s.p99_us, s.p50_us);
+    }
+}

@@ -1,0 +1,403 @@
+//! The streaming pipeline: chunked ingest → burst splitting → a bounded
+//! work queue → decode/classify workers → an order-restoring JSONL sink.
+//!
+//! ```text
+//!            ┌────────────────────── ingest thread ──────────────────────┐
+//! cf32 bytes │ Cf32Reader ─ chunks ─▶ BurstSplitter ─ captures ─▶ queue │
+//!            └───────────────────────────────────────────────────┬──────┘
+//!                    bounded, drop-oldest, never blocks ingest ──┘
+//!            ┌── worker pool (N threads) ──┐   ┌──── sink thread ────┐
+//!            │ decode ▶ classify ▶ events ─┼──▶│ reorder by seq ▶ io │
+//!            └─────────────────────────────┘   └─────────────────────┘
+//! ```
+//!
+//! Ingest is the stage that must keep up with the ADC, so it does only
+//! O(1)-per-sample work (energy detection and buffer management); all
+//! frame decoding happens behind the queue. Overload sheds the *oldest*
+//! queued burst (counted, reported as a `dropped` event) rather than ever
+//! stalling the sample stream.
+
+use crate::json::{hex, JsonObject};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::BoundedQueue;
+use ctc_core::attack::EnergyDetector;
+use ctc_core::defense::{BurstCapture, BurstSplitter, Detector, FrameProcessor, StreamEvent};
+use ctc_dsp::io::{Cf32Reader, DEFAULT_CHUNK_SAMPLES};
+use ctc_zigbee::Receiver;
+use std::io::{self, Read, Write};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Gateway configuration: transport-independent pipeline knobs plus the
+/// three detection stages.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Samples per ingest chunk.
+    pub chunk_samples: usize,
+    /// Decode/classify worker threads.
+    pub workers: usize,
+    /// Bounded work-queue depth, in bursts.
+    pub queue_depth: usize,
+    /// Burst-length cap in samples (continuous transmissions are split),
+    /// bounding per-burst memory.
+    pub max_burst: usize,
+    /// Emit a stats line this often (`None`: only the final one).
+    pub stats_interval: Option<Duration>,
+    /// Energy/burst detection stage.
+    pub energy: EnergyDetector,
+    /// Frame decoding stage.
+    pub receiver: Receiver,
+    /// Classification stage.
+    pub detector: Detector,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            chunk_samples: DEFAULT_CHUNK_SAMPLES,
+            workers: default_workers(),
+            queue_depth: 64,
+            max_burst: 1 << 20,
+            stats_interval: Some(Duration::from_secs(5)),
+            energy: EnergyDetector::default(),
+            receiver: Receiver::usrp().with_sync_search(96),
+            detector: Detector::new(ctc_core::defense::ChannelAssumption::Ideal),
+        }
+    }
+}
+
+/// Default worker count: leave a core for ingest, cap the fan-out.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(2)
+        .clamp(1, 8)
+}
+
+/// Final tally of one gateway run.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayReport {
+    /// Counters at end of stream.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl GatewayReport {
+    /// Ingest rate in megasamples per second.
+    pub fn msamples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.metrics.samples_in as f64 / secs / 1e6
+    }
+
+    /// True when at least one decoded frame was attributed to the
+    /// attacker — what a shell pipeline branches on.
+    pub fn forgery_detected(&self) -> bool {
+        self.metrics.forgeries > 0
+    }
+}
+
+/// One unit of work crossing the bounded queue.
+struct WorkItem {
+    seq: u64,
+    capture: BurstCapture,
+    enqueued: Instant,
+}
+
+/// What reaches the sink: a rendered line, slotted by sequence number so
+/// output order equals burst order even with a racing worker pool.
+enum SinkMsg {
+    Line { seq: u64, line: String },
+}
+
+/// The streaming detection gateway.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ctc_gateway::{Gateway, GatewayConfig};
+/// use std::io::Write;
+///
+/// let gateway = Gateway::new(GatewayConfig::default());
+/// let input = std::fs::File::open("recording.cf32")?;
+/// let report = gateway.run(input, &mut std::io::stdout(), &mut std::io::stderr())?;
+/// writeln!(std::io::stderr(), "{:.1} Msamples/s", report.msamples_per_sec())?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gateway {
+    config: GatewayConfig,
+}
+
+impl Gateway {
+    /// Gateway with the given configuration.
+    pub fn new(config: GatewayConfig) -> Self {
+        Gateway { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline until `input` reaches end of stream: frame events
+    /// as JSON lines onto `events`, periodic + final stats lines onto
+    /// `stats`.
+    ///
+    /// # Errors
+    ///
+    /// Input read errors and event/stats write errors. Detection state is
+    /// internal; a malformed *stream* (partial trailing sample) is an
+    /// error after all complete samples were processed.
+    pub fn run<R, W, E>(&self, input: R, events: &mut W, stats: &mut E) -> io::Result<GatewayReport>
+    where
+        R: Read,
+        W: Write + Send,
+        E: Write,
+    {
+        let cfg = &self.config;
+        let queue: BoundedQueue<WorkItem> = BoundedQueue::new(cfg.queue_depth.max(1));
+        let metrics = Metrics::new();
+        let processor = FrameProcessor::new(cfg.receiver.clone(), cfg.detector);
+        let (tx, rx) = mpsc::channel::<SinkMsg>();
+        let started = Instant::now();
+
+        let mut ingest_result: io::Result<()> = Ok(());
+        let mut sink_result: io::Result<()> = Ok(());
+        std::thread::scope(|scope| {
+            let worker_handles: Vec<_> = (0..cfg.workers.max(1))
+                .map(|_| {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let metrics = &metrics;
+                    let processor = processor.clone();
+                    scope.spawn(move || worker_loop(queue, &processor, metrics, &tx))
+                })
+                .collect();
+            let sink_handle = scope.spawn(|| sink_loop(rx, events));
+
+            ingest_result = self.ingest(input, &queue, &metrics, &tx, stats, started);
+            queue.close();
+            drop(tx);
+            for handle in worker_handles {
+                handle.join().expect("worker panicked");
+            }
+            sink_result = sink_handle.join().expect("sink panicked");
+        });
+        ingest_result?;
+        sink_result?;
+
+        let report = GatewayReport {
+            metrics: metrics.snapshot(),
+            elapsed: started.elapsed(),
+        };
+        writeln!(stats, "{}", stats_line(&report.metrics, started, &queue))?;
+        stats.flush()?;
+        Ok(report)
+    }
+
+    /// The ingest loop: read chunks, advance the splitter, enqueue
+    /// captures (shedding the oldest on overflow), emit periodic stats.
+    fn ingest<R: Read, E: Write>(
+        &self,
+        input: R,
+        queue: &BoundedQueue<WorkItem>,
+        metrics: &Metrics,
+        tx: &mpsc::Sender<SinkMsg>,
+        stats: &mut E,
+        started: Instant,
+    ) -> io::Result<()> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let cfg = &self.config;
+        let mut reader = Cf32Reader::new(input).with_chunk_samples(cfg.chunk_samples.max(1));
+        let mut splitter = BurstSplitter::new(cfg.energy).with_max_burst(cfg.max_burst);
+        let mut chunk = Vec::new();
+        let mut seq = 0u64;
+        let mut last_stats = started;
+
+        let enqueue = |captures: Vec<BurstCapture>, seq: &mut u64| {
+            for capture in captures {
+                metrics.bursts.fetch_add(1, Relaxed);
+                let item = WorkItem {
+                    seq: *seq,
+                    capture,
+                    enqueued: Instant::now(),
+                };
+                *seq += 1;
+                if let Some(evicted) = queue.push_drop_oldest(item) {
+                    metrics.bursts_dropped.fetch_add(1, Relaxed);
+                    metrics
+                        .samples_dropped
+                        .fetch_add(evicted.capture.samples.len() as u64, Relaxed);
+                    // Fill the sequence hole so the sink's reordering
+                    // never waits on work that will not arrive.
+                    let _ = tx.send(SinkMsg::Line {
+                        seq: evicted.seq,
+                        line: dropped_line(&evicted.capture),
+                    });
+                }
+            }
+        };
+
+        loop {
+            let n = reader.read_chunk(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            metrics.chunks_in.fetch_add(1, Relaxed);
+            metrics.samples_in.fetch_add(n as u64, Relaxed);
+            enqueue(splitter.push(&chunk), &mut seq);
+            if let Some(interval) = cfg.stats_interval {
+                if last_stats.elapsed() >= interval {
+                    last_stats = Instant::now();
+                    writeln!(stats, "{}", stats_line(&metrics.snapshot(), started, queue))?;
+                    stats.flush()?;
+                }
+            }
+        }
+        enqueue(splitter.finish(), &mut seq);
+        Ok(())
+    }
+}
+
+/// Worker: pop, decode, classify, render, send — with per-stage timing.
+fn worker_loop(
+    queue: &BoundedQueue<WorkItem>,
+    processor: &FrameProcessor,
+    metrics: &Metrics,
+    tx: &mpsc::Sender<SinkMsg>,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+    while let Some(item) = queue.pop() {
+        let dequeued = Instant::now();
+        let queue_us = micros_between(item.enqueued, dequeued);
+        let reception = processor.decode(&item.capture);
+        let decoded = Instant::now();
+        let event = processor.classify(&item.capture, reception);
+        let done = Instant::now();
+        let total_us = micros_between(item.enqueued, done);
+        metrics.latency.record(total_us);
+        if event.payload.is_some() {
+            metrics.frames_decoded.fetch_add(1, Relaxed);
+        }
+        if event.accepted_forgery() {
+            metrics.forgeries.fetch_add(1, Relaxed);
+        }
+        let line = frame_line(
+            item.seq,
+            &event,
+            queue_us,
+            micros_between(dequeued, decoded),
+            micros_between(decoded, done),
+            total_us,
+        );
+        // A send error means the sink hit an output error and hung up;
+        // keep draining the queue so ingest accounting stays truthful.
+        let _ = tx.send(SinkMsg::Line {
+            seq: item.seq,
+            line,
+        });
+    }
+}
+
+/// Sink: restore sequence order (workers race) and write JSON lines.
+fn sink_loop<W: Write>(rx: mpsc::Receiver<SinkMsg>, events: &mut W) -> io::Result<()> {
+    let mut pending = std::collections::BTreeMap::new();
+    let mut next = 0u64;
+    while let Ok(SinkMsg::Line { seq, line }) = rx.recv() {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            writeln!(events, "{line}")?;
+            next += 1;
+        }
+        if pending.is_empty() {
+            events.flush()?;
+        }
+    }
+    // Channel closed: flush whatever is contiguous (holes can only mean a
+    // worker died, which join() will have surfaced as a panic).
+    while let Some(line) = pending.remove(&next) {
+        writeln!(events, "{line}")?;
+        next += 1;
+    }
+    events.flush()
+}
+
+fn micros_between(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
+}
+
+/// Renders one frame event as a JSON line.
+fn frame_line(
+    seq: u64,
+    event: &StreamEvent,
+    queue_us: u64,
+    decode_us: u64,
+    classify_us: u64,
+    total_us: u64,
+) -> String {
+    let latency = JsonObject::new()
+        .uint("queue_us", queue_us)
+        .uint("decode_us", decode_us)
+        .uint("classify_us", classify_us)
+        .uint("total_us", total_us)
+        .finish();
+    JsonObject::new()
+        .string("type", "frame")
+        .uint("seq", seq)
+        .uint("burst_start", event.burst.start as u64)
+        .uint("burst_end", event.burst.end as u64)
+        .bool("truncated", event.truncated)
+        .opt("payload_hex", event.payload.as_deref(), |o, k, p| {
+            o.string(k, &hex(p))
+        })
+        .opt(
+            "de2",
+            event.verdict.map(|v| v.de_squared),
+            JsonObject::float,
+        )
+        .opt("verdict", event.verdict, |o, k, v| {
+            o.string(k, if v.is_attack { "attack" } else { "authentic" })
+        })
+        .bool("accepted_forgery", event.accepted_forgery())
+        .raw("latency", &latency)
+        .finish()
+}
+
+/// Renders the event for a burst shed under overload.
+fn dropped_line(capture: &BurstCapture) -> String {
+    JsonObject::new()
+        .string("type", "dropped")
+        .uint("burst_start", capture.burst.start as u64)
+        .uint("burst_end", capture.burst.end as u64)
+        .uint("samples", capture.samples.len() as u64)
+        .finish()
+}
+
+/// Renders one stats line.
+fn stats_line(s: &MetricsSnapshot, started: Instant, queue: &BoundedQueue<WorkItem>) -> String {
+    let secs = started.elapsed().as_secs_f64();
+    let msps = if secs > 0.0 {
+        s.samples_in as f64 / secs / 1e6
+    } else {
+        0.0
+    };
+    JsonObject::new()
+        .string("type", "stats")
+        .uint("elapsed_ms", (secs * 1e3) as u64)
+        .uint("samples_in", s.samples_in)
+        .uint("chunks_in", s.chunks_in)
+        .uint("bursts", s.bursts)
+        .uint("frames_decoded", s.frames_decoded)
+        .uint("forgeries", s.forgeries)
+        .uint("bursts_dropped", s.bursts_dropped)
+        .uint("samples_dropped", s.samples_dropped)
+        .uint("queue_len", queue.len() as u64)
+        .opt("p50_us", s.p50_us, JsonObject::uint)
+        .opt("p99_us", s.p99_us, JsonObject::uint)
+        .float("msamples_per_sec", (msps * 1e3).round() / 1e3)
+        .finish()
+}

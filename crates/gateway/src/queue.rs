@@ -1,0 +1,184 @@
+//! A bounded MPMC work queue with an explicit overload policy.
+//!
+//! The ingest thread must never block — a gateway that stalls its ADC
+//! loses samples silently, which is strictly worse than dropping work it
+//! can count. [`BoundedQueue::push_drop_oldest`] therefore always
+//! succeeds: when the queue is full the *oldest* queued item is evicted
+//! and returned to the caller, who records the drop. Workers block on
+//! [`BoundedQueue::pop`] until work arrives or the queue is closed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Bounded multi-producer/multi-consumer queue (drop-oldest on overflow).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` without ever blocking. When the queue is full, the
+    /// oldest queued item is evicted and returned (the backpressure signal
+    /// the caller must count). Pushing to a closed queue returns the item
+    /// itself.
+    pub fn push_drop_oldest(&self, item: T) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Some(item);
+        }
+        let evicted = if s.items.len() == s.capacity {
+            s.items.pop_front()
+        } else {
+            None
+        };
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        evicted
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed
+    /// *and* drained, which returns `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: already-queued items still drain, new pushes are
+    /// refused, and blocked `pop`s return once the queue empties.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push_drop_oldest(i).is_none());
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn overflow_evicts_oldest() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push_drop_oldest(1).is_none());
+        assert!(q.push_drop_oldest(2).is_none());
+        assert_eq!(q.push_drop_oldest(3), Some(1), "oldest evicted");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.push_drop_oldest(7);
+        q.close();
+        assert_eq!(q.push_drop_oldest(8), Some(8), "closed queue refuses");
+        assert_eq!(q.pop(), Some(7), "queued items still drain");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_count() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let total = 4 * 1000;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    // If consumers lag, overflow evicts; count the drops so
+                    // every item is accounted for either way.
+                    (0..1000)
+                        .filter(|i| q.push_drop_oldest(p * 1000 + i).is_some())
+                        .count()
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut n = 0usize;
+                    while q.pop().is_some() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let dropped: usize = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        q.close();
+        let consumed: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(consumed + dropped, total);
+    }
+}

@@ -1,0 +1,121 @@
+//! Where the IQ stream comes from: a cf32 file, standard input, or a TCP
+//! socket — the three transports a deployed gateway actually sees (replay
+//! capture, shell pipeline, networked SDR).
+
+use std::io::{self, Read};
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+/// An IQ byte-stream source, parsed from a CLI-style spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// A cf32 file on disk.
+    File(PathBuf),
+    /// Standard input (`-`).
+    Stdin,
+    /// Listen on `addr` and stream from the first client that connects
+    /// (`tcp://addr`); e.g. GNURadio's TCP sink pointed at the gateway.
+    TcpListen(String),
+}
+
+impl Input {
+    /// Parses an input spec: `-` is stdin, `tcp://HOST:PORT` binds a
+    /// listener, anything else is a file path.
+    pub fn parse(spec: &str) -> Input {
+        if spec == "-" {
+            Input::Stdin
+        } else if let Some(addr) = spec.strip_prefix("tcp://") {
+            Input::TcpListen(addr.to_string())
+        } else {
+            Input::File(PathBuf::from(spec))
+        }
+    }
+
+    /// Opens the byte stream. For [`Input::TcpListen`] this blocks until
+    /// one client connects, then streams from that connection.
+    ///
+    /// # Errors
+    ///
+    /// File-open, bind, or accept errors.
+    pub fn open(&self) -> io::Result<Box<dyn Read + Send>> {
+        match self {
+            Input::File(path) => Ok(Box::new(std::fs::File::open(path)?)),
+            Input::Stdin => Ok(Box::new(io::stdin())),
+            Input::TcpListen(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let (conn, _peer) = listener.accept()?;
+                Ok(Box::new(conn))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Input {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Input::File(p) => write!(f, "{}", p.display()),
+            Input::Stdin => write!(f, "stdin"),
+            Input::TcpListen(a) => write!(f, "tcp://{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn parses_specs() {
+        assert_eq!(Input::parse("-"), Input::Stdin);
+        assert_eq!(
+            Input::parse("tcp://127.0.0.1:4000"),
+            Input::TcpListen("127.0.0.1:4000".into())
+        );
+        assert_eq!(Input::parse("x.cf32"), Input::File(PathBuf::from("x.cf32")));
+        assert_eq!(Input::parse("x.cf32").to_string(), "x.cf32");
+        assert_eq!(Input::parse("-").to_string(), "stdin");
+    }
+
+    #[test]
+    fn file_source_round_trips() {
+        let dir = std::env::temp_dir().join("ctc_gateway_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("in.bin");
+        std::fs::write(&path, b"hello").unwrap();
+        let mut out = Vec::new();
+        Input::parse(path.to_str().unwrap())
+            .open()
+            .unwrap()
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, b"hello");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn tcp_source_streams_from_first_client() {
+        // Bind on an OS-assigned port, then race-free connect: bind
+        // ourselves first to learn the port, accept in `open`.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+        let addr = format!("127.0.0.1:{port}");
+        let input = Input::TcpListen(addr.clone());
+        let writer = std::thread::spawn(move || {
+            // Retry until the listener is up.
+            for _ in 0..200 {
+                if let Ok(mut conn) = std::net::TcpStream::connect(addr.as_str()) {
+                    conn.write_all(b"iq-bytes").unwrap();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            panic!("could not connect to gateway listener");
+        });
+        let mut out = Vec::new();
+        input.open().unwrap().read_to_end(&mut out).unwrap();
+        writer.join().unwrap();
+        assert_eq!(out, b"iq-bytes");
+    }
+}

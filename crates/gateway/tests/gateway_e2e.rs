@@ -1,0 +1,161 @@
+//! End-to-end gateway tests: a synthetic over-the-air capture streamed
+//! through the full pipeline, checked at the JSONL boundary — the same
+//! surface the CI smoke test and shell users consume.
+
+use ctc_channel::noise::complex_gaussian;
+use ctc_core::attack::Emulator;
+use ctc_core::defense::{ChannelAssumption, Detector};
+use ctc_dsp::io::write_cf32;
+use ctc_dsp::Complex;
+use ctc_gateway::{Gateway, GatewayConfig};
+use ctc_zigbee::Transmitter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// noise | authentic frame | noise | forged frame | noise, as cf32 bytes.
+fn synthetic_capture(seed: u64) -> (Vec<u8>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma2 = 1e-3;
+    let authentic = Transmitter::new().transmit_payload(b"00000").unwrap();
+    let emulator = Emulator::new();
+    let forged = emulator.received_at_zigbee(&emulator.emulate(&authentic));
+    let mut stream: Vec<Complex> = Vec::new();
+    let mut noise = |n: usize, stream: &mut Vec<Complex>| {
+        stream.extend((0..n).map(|_| complex_gaussian(&mut rng, sigma2)));
+    };
+    noise(700, &mut stream);
+    stream.extend_from_slice(&authentic);
+    noise(700, &mut stream);
+    stream.extend_from_slice(&forged);
+    noise(700, &mut stream);
+    let total = stream.len();
+    let mut bytes = Vec::new();
+    write_cf32(&mut bytes, &stream).unwrap();
+    (bytes, total)
+}
+
+fn config() -> GatewayConfig {
+    GatewayConfig {
+        detector: Detector::new(ChannelAssumption::Ideal).with_threshold(0.25),
+        stats_interval: None,
+        ..GatewayConfig::default()
+    }
+}
+
+/// Extracts `"key":value` (raw JSON text) from a rendered line.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}"));
+    let rest = &line[at + pat.len()..];
+    let end = if let Some(inner) = rest.strip_prefix('"') {
+        inner.find('"').map(|i| i + 2).unwrap()
+    } else {
+        rest.find([',', '}']).unwrap()
+    };
+    &rest[..end]
+}
+
+#[test]
+fn gateway_flags_the_forged_frame_over_jsonl() {
+    let (bytes, total) = synthetic_capture(11);
+    let mut events = Vec::new();
+    let mut stats = Vec::new();
+    let report = Gateway::new(config())
+        .run(&bytes[..], &mut events, &mut stats)
+        .unwrap();
+
+    assert_eq!(report.metrics.samples_in as usize, total);
+    assert_eq!(report.metrics.bursts, 2);
+    assert_eq!(report.metrics.frames_decoded, 2);
+    assert_eq!(report.metrics.forgeries, 1);
+    assert_eq!(report.metrics.bursts_dropped, 0);
+    assert_eq!(report.metrics.samples_dropped, 0);
+    assert!(report.forgery_detected());
+
+    let events = String::from_utf8(events).unwrap();
+    let frames: Vec<&str> = events
+        .lines()
+        .filter(|l| l.contains("\"type\":\"frame\""))
+        .collect();
+    assert_eq!(frames.len(), 2, "events:\n{events}");
+    // In-order by sequence number despite the racing worker pool.
+    assert_eq!(field(frames[0], "seq"), "0");
+    assert_eq!(field(frames[1], "seq"), "1");
+    assert_eq!(field(frames[0], "verdict"), "\"authentic\"");
+    assert_eq!(field(frames[1], "verdict"), "\"attack\"");
+    assert_eq!(field(frames[0], "accepted_forgery"), "false");
+    assert_eq!(field(frames[1], "accepted_forgery"), "true");
+    // Payload "00000" as lowercase hex.
+    assert_eq!(field(frames[0], "payload_hex"), "\"3030303030\"");
+    assert_eq!(field(frames[1], "payload_hex"), "\"3030303030\"");
+    for f in &frames {
+        assert_eq!(field(f, "truncated"), "false");
+        assert!(f.contains("\"latency\":{\"queue_us\":"), "latency in {f}");
+    }
+
+    // The final stats line always lands on the stats writer.
+    let stats = String::from_utf8(stats).unwrap();
+    let last = stats.lines().last().unwrap();
+    assert_eq!(field(last, "type"), "\"stats\"");
+    assert_eq!(field(last, "forgeries"), "1");
+    assert_eq!(field(last, "samples_dropped"), "0");
+}
+
+/// The gateway's event content is invariant to chunk size: only latency
+/// numbers may differ between runs.
+#[test]
+fn gateway_events_are_chunking_invariant() {
+    let (bytes, _) = synthetic_capture(12);
+    let strip_latency = |events: &str| -> Vec<String> {
+        events
+            .lines()
+            .map(|l| l.split(",\"latency\"").next().unwrap().to_string())
+            .collect()
+    };
+    let mut reference = None;
+    for chunk_samples in [64usize, 1000, 65_536] {
+        let cfg = GatewayConfig {
+            chunk_samples,
+            ..config()
+        };
+        let mut events = Vec::new();
+        let report = Gateway::new(cfg)
+            .run(&bytes[..], &mut events, &mut Vec::new())
+            .unwrap();
+        assert_eq!(report.metrics.samples_dropped, 0);
+        let lines = strip_latency(&String::from_utf8(events).unwrap());
+        assert_eq!(lines.len(), 2, "chunk {chunk_samples}");
+        match &reference {
+            None => reference = Some(lines),
+            Some(r) => assert_eq!(&lines, r, "chunk {chunk_samples}"),
+        }
+    }
+}
+
+/// A worker pool must keep up with a realistic sample clock. Debug builds
+/// are an order of magnitude slower, so the floor only applies in release.
+#[cfg(not(debug_assertions))]
+#[test]
+fn gateway_sustains_4_msamples_per_sec() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let frame = Transmitter::new().transmit_payload(b"00000").unwrap();
+    // Mostly idle channel with periodic traffic: 2M samples total.
+    let mut stream: Vec<Complex> = Vec::with_capacity(2_000_000);
+    while stream.len() < 2_000_000 {
+        stream.extend((0..40_000).map(|_| complex_gaussian(&mut rng, 1e-3)));
+        stream.extend_from_slice(&frame);
+    }
+    let mut bytes = Vec::new();
+    write_cf32(&mut bytes, &stream).unwrap();
+
+    let report = Gateway::new(config())
+        .run(&bytes[..], &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+    assert_eq!(report.metrics.samples_dropped, 0);
+    assert!(report.metrics.frames_decoded >= 40);
+    assert!(
+        report.msamples_per_sec() >= 4.0,
+        "throughput {:.2} Msamples/s",
+        report.msamples_per_sec()
+    );
+}

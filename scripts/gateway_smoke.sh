@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Gateway smoke test: build a synthetic 3-frame capture with the ctc CLI
+# (authentic | forged | authentic, separated by idle gaps), stream it
+# through `ctc monitor` on stdin, and assert on the JSONL events:
+#
+#   - exactly 3 frame events, in stream order;
+#   - verdicts authentic / attack / authentic, the forgery accepted;
+#   - the final stats line reports zero dropped samples;
+#   - the process exits 3 (forgery detected).
+#
+# Run from the repo root after `cargo build --release -p ctc-cli`.
+set -euo pipefail
+
+CTC=${CTC:-target/release/ctc}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- events ---" >&2
+    cat "$workdir/events.jsonl" >&2
+    echo "--- stats ---" >&2
+    cat "$workdir/stats.jsonl" >&2
+    exit 1
+}
+
+# One authentic frame, and its emulation as the ZigBee front-end sees it.
+"$CTC" generate --payload 00000 --out "$workdir/zig.cf32" >/dev/null
+"$CTC" emulate --input "$workdir/zig.cf32" --out - 2>/dev/null \
+    | "$CTC" capture --input - --out "$workdir/forged.cf32" >/dev/null
+
+# Idle gaps are zero-power samples: 4096 complex samples = 32768 bytes.
+head -c 32768 /dev/zero > "$workdir/gap.cf32"
+
+cat "$workdir/gap.cf32" "$workdir/zig.cf32" \
+    "$workdir/gap.cf32" "$workdir/forged.cf32" \
+    "$workdir/gap.cf32" "$workdir/zig.cf32" \
+    "$workdir/gap.cf32" > "$workdir/stream.cf32"
+
+status=0
+"$CTC" monitor --input - --threshold 0.25 \
+    < "$workdir/stream.cf32" \
+    > "$workdir/events.jsonl" \
+    2> "$workdir/stats.jsonl" || status=$?
+
+[ "$status" -eq 3 ] || fail "expected exit code 3 (forgery), got $status"
+
+frames=$(grep -c '"type":"frame"' "$workdir/events.jsonl" || true)
+[ "$frames" -eq 3 ] || fail "expected 3 frame events, got $frames"
+
+mapfile -t verdicts < <(grep '"type":"frame"' "$workdir/events.jsonl" \
+    | sed 's/.*"verdict":"\([a-z]*\)".*/\1/')
+expected=(authentic attack authentic)
+for i in 0 1 2; do
+    [ "${verdicts[$i]}" = "${expected[$i]}" ] \
+        || fail "frame $i verdict ${verdicts[$i]}, expected ${expected[$i]}"
+done
+
+grep -q '"accepted_forgery":true' "$workdir/events.jsonl" \
+    || fail "no accepted forgery flagged"
+
+stats=$(grep '"type":"stats"' "$workdir/stats.jsonl" | tail -n 1)
+[ -n "$stats" ] || fail "no stats line on stderr"
+echo "$stats" | grep -q '"samples_dropped":0' \
+    || fail "samples dropped under smoke load: $stats"
+echo "$stats" | grep -q '"forgeries":1' \
+    || fail "expected exactly 1 forgery in stats: $stats"
+
+echo "gateway smoke OK: 3 frames, verdicts ${verdicts[*]}, 0 dropped, exit 3"

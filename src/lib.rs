@@ -12,6 +12,8 @@
 //! - [`wifi`] — IEEE 802.11g 64-QAM OFDM PHY
 //! - [`core`] — the paper's contribution: the waveform-emulation attack and
 //!   the cumulant-based defense
+//! - [`gateway`] — the defense as a long-running service: streaming IQ
+//!   ingest, bounded decode/classify pipeline, JSONL events and metrics
 //!
 //! Fallible operations across the workspace converge on the single
 //! [`Error`] enum (re-exported from `ctc_core`), so cross-crate pipelines
@@ -23,5 +25,6 @@ pub use ctc_channel as channel;
 pub use ctc_core as core;
 pub use ctc_core::{Error, WaveformPair};
 pub use ctc_dsp as dsp;
+pub use ctc_gateway as gateway;
 pub use ctc_wifi as wifi;
 pub use ctc_zigbee as zigbee;

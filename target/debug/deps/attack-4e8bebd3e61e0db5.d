@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack-4e8bebd3e61e0db5.d: crates/bench/benches/attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack-4e8bebd3e61e0db5.rmeta: crates/bench/benches/attack.rs Cargo.toml
+
+crates/bench/benches/attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

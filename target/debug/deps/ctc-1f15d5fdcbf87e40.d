@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctc-1f15d5fdcbf87e40.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc-1f15d5fdcbf87e40.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

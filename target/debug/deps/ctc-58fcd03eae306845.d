@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctc-58fcd03eae306845.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ctc-58fcd03eae306845: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

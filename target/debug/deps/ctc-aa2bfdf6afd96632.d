@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctc-aa2bfdf6afd96632.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/ctc-aa2bfdf6afd96632: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ctc_bench-0fa8c54662729985.d: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs
+
+/root/repo/target/debug/deps/ctc_bench-0fa8c54662729985: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/engine.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/advanced.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/protocol.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/report.rs:
+crates/bench/src/trials.rs:

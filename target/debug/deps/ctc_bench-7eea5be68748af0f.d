@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ctc_bench-7eea5be68748af0f.d: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_bench-7eea5be68748af0f.rmeta: crates/bench/src/lib.rs crates/bench/src/engine.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/advanced.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/protocol.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/trials.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/engine.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/advanced.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/protocol.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/report.rs:
+crates/bench/src/trials.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

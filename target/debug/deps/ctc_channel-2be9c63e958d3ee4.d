@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ctc_channel-2be9c63e958d3ee4.d: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+/root/repo/target/debug/deps/libctc_channel-2be9c63e958d3ee4.rmeta: crates/channel/src/lib.rs crates/channel/src/fading.rs crates/channel/src/hardware.rs crates/channel/src/impairments.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/fading.rs:
+crates/channel/src/hardware.rs:
+crates/channel/src/impairments.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ctc_dsp-da79819c260de01f.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/cumulants.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/fractional.rs crates/dsp/src/io.rs crates/dsp/src/kmeans.rs crates/dsp/src/linalg.rs crates/dsp/src/metrics.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/spectrogram.rs
+
+/root/repo/target/debug/deps/libctc_dsp-da79819c260de01f.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/cumulants.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/fractional.rs crates/dsp/src/io.rs crates/dsp/src/kmeans.rs crates/dsp/src/linalg.rs crates/dsp/src/metrics.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/spectrogram.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/cumulants.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/fractional.rs:
+crates/dsp/src/io.rs:
+crates/dsp/src/kmeans.rs:
+crates/dsp/src/linalg.rs:
+crates/dsp/src/metrics.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/spectrogram.rs:

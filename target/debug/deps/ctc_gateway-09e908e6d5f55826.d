@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ctc_gateway-09e908e6d5f55826.d: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+/root/repo/target/debug/deps/libctc_gateway-09e908e6d5f55826.rmeta: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/json.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/pipeline.rs:
+crates/gateway/src/queue.rs:
+crates/gateway/src/source.rs:

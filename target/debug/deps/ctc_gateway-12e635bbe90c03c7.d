@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ctc_gateway-12e635bbe90c03c7.d: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctc_gateway-12e635bbe90c03c7.rmeta: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs Cargo.toml
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/json.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/pipeline.rs:
+crates/gateway/src/queue.rs:
+crates/gateway/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

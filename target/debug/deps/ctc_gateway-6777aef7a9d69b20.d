@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ctc_gateway-6777aef7a9d69b20.d: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+/root/repo/target/debug/deps/ctc_gateway-6777aef7a9d69b20: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/json.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/pipeline.rs:
+crates/gateway/src/queue.rs:
+crates/gateway/src/source.rs:

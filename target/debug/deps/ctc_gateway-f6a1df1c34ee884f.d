@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ctc_gateway-f6a1df1c34ee884f.d: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+/root/repo/target/debug/deps/ctc_gateway-f6a1df1c34ee884f: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/json.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/pipeline.rs:
+crates/gateway/src/queue.rs:
+crates/gateway/src/source.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ctc_wifi-fe0608b7835d06d0.d: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+/root/repo/target/debug/deps/libctc_wifi-fe0608b7835d06d0.rmeta: crates/wifi/src/lib.rs crates/wifi/src/convolutional.rs crates/wifi/src/interleaver.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm.rs crates/wifi/src/plcp.rs crates/wifi/src/qam.rs crates/wifi/src/rx.rs crates/wifi/src/scrambler.rs crates/wifi/src/tx.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/convolutional.rs:
+crates/wifi/src/interleaver.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm.rs:
+crates/wifi/src/plcp.rs:
+crates/wifi/src/qam.rs:
+crates/wifi/src/rx.rs:
+crates/wifi/src/scrambler.rs:
+crates/wifi/src/tx.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ctc_zigbee-00b1e53a37852bfa.d: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs
+
+/root/repo/target/debug/deps/libctc_zigbee-00b1e53a37852bfa.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/app.rs crates/zigbee/src/channels.rs crates/zigbee/src/chipmap.rs crates/zigbee/src/frame.rs crates/zigbee/src/frontend.rs crates/zigbee/src/mac.rs crates/zigbee/src/modem.rs crates/zigbee/src/rx.rs crates/zigbee/src/tx.rs
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/app.rs:
+crates/zigbee/src/channels.rs:
+crates/zigbee/src/chipmap.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/frontend.rs:
+crates/zigbee/src/mac.rs:
+crates/zigbee/src/modem.rs:
+crates/zigbee/src/rx.rs:
+crates/zigbee/src/tx.rs:

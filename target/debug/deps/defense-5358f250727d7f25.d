@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense-5358f250727d7f25.d: crates/bench/benches/defense.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense-5358f250727d7f25.rmeta: crates/bench/benches/defense.rs Cargo.toml
+
+crates/bench/benches/defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-4fd3eaea36b7a91c.d: crates/bench/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-4fd3eaea36b7a91c: crates/bench/tests/determinism.rs
+
+crates/bench/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_attack-d7eda421363f7ad0.d: tests/end_to_end_attack.rs
+
+/root/repo/target/debug/deps/end_to_end_attack-d7eda421363f7ad0: tests/end_to_end_attack.rs
+
+tests/end_to_end_attack.rs:

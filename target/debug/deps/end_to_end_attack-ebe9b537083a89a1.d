@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_attack-ebe9b537083a89a1.d: tests/end_to_end_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_attack-ebe9b537083a89a1.rmeta: tests/end_to_end_attack.rs Cargo.toml
+
+tests/end_to_end_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

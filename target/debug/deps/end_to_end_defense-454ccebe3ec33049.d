@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_defense-454ccebe3ec33049.d: tests/end_to_end_defense.rs
+
+/root/repo/target/debug/deps/end_to_end_defense-454ccebe3ec33049: tests/end_to_end_defense.rs
+
+tests/end_to_end_defense.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-812e4fb4584c61d5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-812e4fb4584c61d5: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

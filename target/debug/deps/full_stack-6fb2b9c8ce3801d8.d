@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-6fb2b9c8ce3801d8.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-6fb2b9c8ce3801d8: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway-fef8be934d1f30f5.d: crates/bench/benches/gateway.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway-fef8be934d1f30f5.rmeta: crates/bench/benches/gateway.rs Cargo.toml
+
+crates/bench/benches/gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

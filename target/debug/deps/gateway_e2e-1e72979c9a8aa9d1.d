@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gateway_e2e-1e72979c9a8aa9d1.d: crates/gateway/tests/gateway_e2e.rs
+
+/root/repo/target/debug/deps/gateway_e2e-1e72979c9a8aa9d1: crates/gateway/tests/gateway_e2e.rs
+
+crates/gateway/tests/gateway_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway_e2e-c81ab16adc9ae42d.d: crates/gateway/tests/gateway_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway_e2e-c81ab16adc9ae42d.rmeta: crates/gateway/tests/gateway_e2e.rs Cargo.toml
+
+crates/gateway/tests/gateway_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

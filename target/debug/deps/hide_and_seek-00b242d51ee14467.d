@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hide_and_seek-00b242d51ee14467.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhide_and_seek-00b242d51ee14467.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hide_and_seek-3913f2a1cce493b2.d: src/lib.rs
+
+/root/repo/target/debug/deps/hide_and_seek-3913f2a1cce493b2: src/lib.rs
+
+src/lib.rs:

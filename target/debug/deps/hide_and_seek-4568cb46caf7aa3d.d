@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hide_and_seek-4568cb46caf7aa3d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhide_and_seek-4568cb46caf7aa3d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhide_and_seek-4568cb46caf7aa3d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-0c7745f569f47e6f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-0c7745f569f47e6f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy-d3642ed45016ef3e.d: crates/bench/benches/phy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy-d3642ed45016ef3e.rmeta: crates/bench/benches/phy.rs Cargo.toml
+
+crates/bench/benches/phy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_interop-d9b4532b66f785c2.d: tests/phy_interop.rs
+
+/root/repo/target/debug/deps/phy_interop-d9b4532b66f785c2: tests/phy_interop.rs
+
+tests/phy_interop.rs:

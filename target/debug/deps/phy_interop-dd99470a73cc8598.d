@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy_interop-dd99470a73cc8598.d: tests/phy_interop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy_interop-dd99470a73cc8598.rmeta: tests/phy_interop.rs Cargo.toml
+
+tests/phy_interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_gateway-5ec382e843556f60.d: tests/streaming_gateway.rs
+
+/root/repo/target/debug/deps/streaming_gateway-5ec382e843556f60: tests/streaming_gateway.rs
+
+tests/streaming_gateway.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_gateway-76665bd723f8e074.d: tests/streaming_gateway.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_gateway-76665bd723f8e074.rmeta: tests/streaming_gateway.rs Cargo.toml
+
+tests/streaming_gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

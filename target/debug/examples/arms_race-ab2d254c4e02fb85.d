@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arms_race-ab2d254c4e02fb85.d: examples/arms_race.rs
+
+/root/repo/target/debug/examples/arms_race-ab2d254c4e02fb85: examples/arms_race.rs
+
+examples/arms_race.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/arms_race-e8dbc736ef77ec47.d: examples/arms_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarms_race-e8dbc736ef77ec47.rmeta: examples/arms_race.rs Cargo.toml
+
+examples/arms_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dual_protocol_frame-26e44b9df6aeb367.d: examples/dual_protocol_frame.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdual_protocol_frame-26e44b9df6aeb367.rmeta: examples/dual_protocol_frame.rs Cargo.toml
+
+examples/dual_protocol_frame.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dual_protocol_frame-a4734d48ef661f4f.d: examples/dual_protocol_frame.rs
+
+/root/repo/target/debug/examples/dual_protocol_frame-a4734d48ef661f4f: examples/dual_protocol_frame.rs
+
+examples/dual_protocol_frame.rs:

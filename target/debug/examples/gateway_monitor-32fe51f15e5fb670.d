@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gateway_monitor-32fe51f15e5fb670.d: examples/gateway_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgateway_monitor-32fe51f15e5fb670.rmeta: examples/gateway_monitor.rs Cargo.toml
+
+examples/gateway_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

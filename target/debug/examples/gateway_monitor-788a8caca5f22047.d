@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gateway_monitor-788a8caca5f22047.d: examples/gateway_monitor.rs
+
+/root/repo/target/debug/examples/gateway_monitor-788a8caca5f22047: examples/gateway_monitor.rs
+
+examples/gateway_monitor.rs:

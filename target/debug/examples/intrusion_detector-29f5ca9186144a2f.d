@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intrusion_detector-29f5ca9186144a2f.d: examples/intrusion_detector.rs
+
+/root/repo/target/debug/examples/intrusion_detector-29f5ca9186144a2f: examples/intrusion_detector.rs
+
+examples/intrusion_detector.rs:

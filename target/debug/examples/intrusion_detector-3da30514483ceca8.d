@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intrusion_detector-3da30514483ceca8.d: examples/intrusion_detector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintrusion_detector-3da30514483ceca8.rmeta: examples/intrusion_detector.rs Cargo.toml
+
+examples/intrusion_detector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

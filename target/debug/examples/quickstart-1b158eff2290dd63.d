@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1b158eff2290dd63.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1b158eff2290dd63: examples/quickstart.rs
+
+examples/quickstart.rs:

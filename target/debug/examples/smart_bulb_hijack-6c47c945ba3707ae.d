@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_bulb_hijack-6c47c945ba3707ae.d: examples/smart_bulb_hijack.rs
+
+/root/repo/target/debug/examples/smart_bulb_hijack-6c47c945ba3707ae: examples/smart_bulb_hijack.rs
+
+examples/smart_bulb_hijack.rs:

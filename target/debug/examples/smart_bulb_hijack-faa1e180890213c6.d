@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_bulb_hijack-faa1e180890213c6.d: examples/smart_bulb_hijack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_bulb_hijack-faa1e180890213c6.rmeta: examples/smart_bulb_hijack.rs Cargo.toml
+
+examples/smart_bulb_hijack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spectrum_anatomy-9086e801ec0921c7.d: examples/spectrum_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspectrum_anatomy-9086e801ec0921c7.rmeta: examples/spectrum_anatomy.rs Cargo.toml
+
+examples/spectrum_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_anatomy-9c2a2d57a9c97744.d: examples/spectrum_anatomy.rs
+
+/root/repo/target/debug/examples/spectrum_anatomy-9c2a2d57a9c97744: examples/spectrum_anatomy.rs
+
+examples/spectrum_anatomy.rs:

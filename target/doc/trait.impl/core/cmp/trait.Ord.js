@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ctc_zigbee",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ctc_zigbee/channels/struct.WifiChannel.html\" title=\"struct ctc_zigbee::channels::WifiChannel\">WifiChannel</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"ctc_zigbee/channels/struct.ZigbeeChannel.html\" title=\"struct ctc_zigbee::channels::ZigbeeChannel\">ZigbeeChannel</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[580]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ctc_dsp",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Add.html\" title=\"trait core::ops::arith::Add\">Add</a> for <a class=\"struct\" href=\"ctc_dsp/complex/struct.Complex.html\" title=\"struct ctc_dsp::complex::Complex\">Complex</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[285]}

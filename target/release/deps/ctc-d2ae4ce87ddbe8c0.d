@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ctc-d2ae4ce87ddbe8c0.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/ctc-d2ae4ce87ddbe8c0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ctc_gateway-cf281f300ccd9336.d: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+/root/repo/target/release/deps/ctc_gateway-cf281f300ccd9336: crates/gateway/src/lib.rs crates/gateway/src/json.rs crates/gateway/src/metrics.rs crates/gateway/src/pipeline.rs crates/gateway/src/queue.rs crates/gateway/src/source.rs
+
+crates/gateway/src/lib.rs:
+crates/gateway/src/json.rs:
+crates/gateway/src/metrics.rs:
+crates/gateway/src/pipeline.rs:
+crates/gateway/src/queue.rs:
+crates/gateway/src/source.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gateway-db8cb4da3f95efb9.d: crates/bench/benches/gateway.rs
+
+/root/repo/target/release/deps/gateway-db8cb4da3f95efb9: crates/bench/benches/gateway.rs
+
+crates/bench/benches/gateway.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gateway_e2e-b9791afb4ff05b06.d: crates/gateway/tests/gateway_e2e.rs
+
+/root/repo/target/release/deps/gateway_e2e-b9791afb4ff05b06: crates/gateway/tests/gateway_e2e.rs
+
+crates/gateway/tests/gateway_e2e.rs:

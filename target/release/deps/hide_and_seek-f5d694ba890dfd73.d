@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hide_and_seek-f5d694ba890dfd73.d: src/lib.rs
+
+/root/repo/target/release/deps/libhide_and_seek-f5d694ba890dfd73.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhide_and_seek-f5d694ba890dfd73.rmeta: src/lib.rs
+
+src/lib.rs:

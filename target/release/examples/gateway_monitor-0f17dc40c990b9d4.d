@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gateway_monitor-0f17dc40c990b9d4.d: examples/gateway_monitor.rs
+
+/root/repo/target/release/examples/gateway_monitor-0f17dc40c990b9d4: examples/gateway_monitor.rs
+
+examples/gateway_monitor.rs:

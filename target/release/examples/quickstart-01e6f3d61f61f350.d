@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01e6f3d61f61f350.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01e6f3d61f61f350: examples/quickstart.rs
+
+examples/quickstart.rs:
