@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/ctc_core-8a3e8f0264d26162.d: crates/core/src/lib.rs crates/core/src/attack/mod.rs crates/core/src/attack/emulator.rs crates/core/src/attack/evasion.rs crates/core/src/attack/fullframe.rs crates/core/src/attack/listener.rs crates/core/src/attack/quantizer.rs crates/core/src/attack/spectrum.rs crates/core/src/defense/mod.rs crates/core/src/defense/alternatives.rs crates/core/src/defense/detector.rs crates/core/src/defense/features.rs crates/core/src/defense/naive.rs crates/core/src/defense/stream.rs crates/core/src/error.rs crates/core/src/scenario.rs crates/core/src/waveform.rs
+
+/root/repo/target/release/deps/ctc_core-8a3e8f0264d26162: crates/core/src/lib.rs crates/core/src/attack/mod.rs crates/core/src/attack/emulator.rs crates/core/src/attack/evasion.rs crates/core/src/attack/fullframe.rs crates/core/src/attack/listener.rs crates/core/src/attack/quantizer.rs crates/core/src/attack/spectrum.rs crates/core/src/defense/mod.rs crates/core/src/defense/alternatives.rs crates/core/src/defense/detector.rs crates/core/src/defense/features.rs crates/core/src/defense/naive.rs crates/core/src/defense/stream.rs crates/core/src/error.rs crates/core/src/scenario.rs crates/core/src/waveform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attack/mod.rs:
+crates/core/src/attack/emulator.rs:
+crates/core/src/attack/evasion.rs:
+crates/core/src/attack/fullframe.rs:
+crates/core/src/attack/listener.rs:
+crates/core/src/attack/quantizer.rs:
+crates/core/src/attack/spectrum.rs:
+crates/core/src/defense/mod.rs:
+crates/core/src/defense/alternatives.rs:
+crates/core/src/defense/detector.rs:
+crates/core/src/defense/features.rs:
+crates/core/src/defense/naive.rs:
+crates/core/src/defense/stream.rs:
+crates/core/src/error.rs:
+crates/core/src/scenario.rs:
+crates/core/src/waveform.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ctc_dsp-45cc7ca4e7875ec7.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/cumulants.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/fractional.rs crates/dsp/src/io.rs crates/dsp/src/kmeans.rs crates/dsp/src/linalg.rs crates/dsp/src/metrics.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/spectrogram.rs
+
+/root/repo/target/release/deps/ctc_dsp-45cc7ca4e7875ec7: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/cumulants.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/fractional.rs crates/dsp/src/io.rs crates/dsp/src/kmeans.rs crates/dsp/src/linalg.rs crates/dsp/src/metrics.rs crates/dsp/src/psd.rs crates/dsp/src/resample.rs crates/dsp/src/spectrogram.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/cumulants.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/fractional.rs:
+crates/dsp/src/io.rs:
+crates/dsp/src/kmeans.rs:
+crates/dsp/src/linalg.rs:
+crates/dsp/src/metrics.rs:
+crates/dsp/src/psd.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/spectrogram.rs:
