@@ -13,14 +13,14 @@
 
 use crate::attack::quantizer::{quantize_points, quantize_points_fixed, QuantizedPoints};
 use crate::attack::spectrum::{block_spectra, select_subcarriers};
-use ctc_dsp::resample::interpolate;
-use ctc_dsp::Complex;
+use ctc_dsp::resample::{interpolate, Decimator};
+use ctc_dsp::{Complex, SampleBuf};
 use ctc_wifi::ofdm::{
-    bin_to_subcarrier, data_subcarrier_indices, synthesize_symbol, FFT_SIZE, SYMBOL_LEN,
+    bin_to_subcarrier, data_subcarrier_indices, synthesize_symbol_into, FFT_SIZE, SYMBOL_LEN,
 };
 use ctc_wifi::qam::NORM_64QAM;
 use ctc_wifi::WifiTransmitter;
-use ctc_zigbee::frontend::{capture, embed};
+use ctc_zigbee::frontend::{capture_into, embed};
 
 /// Where in the WiFi spectrum the ZigBee band is emulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,11 +173,20 @@ impl Emulator {
     /// Runs the attack on a waveform already expressed at the WiFi rate
     /// (20 MHz) with the ZigBee band at its configured spectral position.
     pub fn emulate_wideband(&self, observed_20mhz: &[Complex]) -> Emulation {
-        let mut wide = observed_20mhz.to_vec();
-        while !wide.len().is_multiple_of(SYMBOL_LEN) {
-            wide.push(Complex::ZERO);
-        }
-        let spectra = block_spectra(&wide);
+        // Pad to whole WiFi-symbol blocks; borrow directly when already
+        // aligned instead of copying the full waveform.
+        let padded;
+        let wide: &[Complex] = if observed_20mhz.len().is_multiple_of(SYMBOL_LEN) {
+            observed_20mhz
+        } else {
+            let target = (observed_20mhz.len() / SYMBOL_LEN + 1) * SYMBOL_LEN;
+            let mut v = Vec::with_capacity(target);
+            v.extend_from_slice(observed_20mhz);
+            v.resize(target, Complex::ZERO);
+            padded = v;
+            &padded
+        };
+        let spectra = block_spectra(wide);
         let kept_bins = select_subcarriers(&spectra, self.coarse_threshold, self.kept_subcarriers);
 
         // Gather the chosen components of every block and quantize them with
@@ -215,16 +224,18 @@ impl Emulator {
         kept_bins: &[usize],
         quantized: &QuantizedPoints,
     ) -> Emulation {
-        let mut wave = Vec::with_capacity(spectra.len() * SYMBOL_LEN);
+        let mut wave = SampleBuf::detached(spectra.len() * SYMBOL_LEN);
+        let mut spectrum = [Complex::ZERO; FFT_SIZE];
+        let mut scratch = SampleBuf::detached(FFT_SIZE);
         for (b, _) in spectra.iter().enumerate() {
-            let mut spectrum = vec![Complex::ZERO; FFT_SIZE];
+            spectrum.fill(Complex::ZERO);
             for (j, &bin) in kept_bins.iter().enumerate() {
                 spectrum[bin] = quantized.points[b * kept_bins.len() + j];
             }
-            wave.extend(synthesize_symbol(&spectrum));
+            synthesize_symbol_into(&spectrum, &mut scratch, &mut wave);
         }
         Emulation {
-            waveform_20mhz: wave,
+            waveform_20mhz: wave.into_vec(),
             kept_bins: kept_bins.to_vec(),
             alpha: quantized.alpha,
             quantization_error: quantized.error,
@@ -271,20 +282,38 @@ impl Emulator {
     /// What the ZigBee receiver's 2 MHz front-end captures of the emulated
     /// transmission, back at 4 MHz.
     pub fn received_at_zigbee(&self, emulation: &Emulation) -> Vec<Complex> {
+        let mut scratch = SampleBuf::detached(0);
+        let mut out = SampleBuf::detached(emulation.waveform_20mhz.len() / 5 + 1);
+        self.received_at_zigbee_into(emulation, &mut scratch, &mut out);
+        out.into_vec()
+    }
+
+    /// [`Emulator::received_at_zigbee`] writing into a caller-supplied
+    /// buffer (cleared first); `shift_scratch` is only touched in
+    /// carrier-allocated mode, where the band must be moved to DC first.
+    pub fn received_at_zigbee_into(
+        &self,
+        emulation: &Emulation,
+        shift_scratch: &mut SampleBuf,
+        out: &mut SampleBuf,
+    ) {
         let (in_center, out_center) = match emulation.spectral_mode {
             SpectralMode::BasebandAligned => (self.zigbee_center_hz, self.zigbee_center_hz),
             SpectralMode::CarrierAllocated => {
                 (self.wifi.center_frequency_hz(), self.zigbee_center_hz)
             }
         };
-        capture(
+        let factor = (self.wifi.sample_rate_hz() / self.zigbee_rate_hz).round() as usize;
+        let mut decimator = Decimator::new(factor).expect("factor 5 is nonzero");
+        capture_into(
             &emulation.waveform_20mhz,
             in_center,
             self.wifi.sample_rate_hz(),
             out_center,
-            self.zigbee_rate_hz,
-        )
-        .expect("factor 5 is nonzero")
+            &mut decimator,
+            shift_scratch,
+            out,
+        );
     }
 }
 

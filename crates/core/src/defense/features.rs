@@ -91,12 +91,7 @@ impl Features {
         for s in 0..LINE_SEARCH_STEPS {
             let nu = -LINE_SEARCH_MAX
                 + 2.0 * LINE_SEARCH_MAX * s as f64 / (LINE_SEARCH_STEPS - 1) as f64;
-            let acc: Complex = z
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| v * Complex::cis(-nu * i as f64))
-                .sum();
-            let mag = acc.norm() / d;
+            let mag = dtft_magnitude(&z, nu) / d;
             if mag > best_mag {
                 best_mag = mag;
                 best_nu = nu;
@@ -131,6 +126,51 @@ impl Features {
     pub fn de_squared_real(&self) -> f64 {
         (self.c40_magnitude - QPSK_C40).powi(2) + (self.c42 - QPSK_C42).powi(2)
     }
+}
+
+/// `|sum_i z[i] e^{-j nu i}|`, evaluated as the polynomial `p(w)` at
+/// `w = e^{-j nu}` by block Horner.
+///
+/// This is the line search's inner loop: the naive form costs one `sin`/`cos`
+/// pair per sample *per frequency step* and dominated the gateway's classify
+/// time. Horner needs a single `cis` per step and one complex multiply per
+/// sample; four-sample blocks keep the serial dependency chain short, so the
+/// evaluation pipelines well.
+fn dtft_magnitude(z: &[Complex], nu: f64) -> f64 {
+    let w = Complex::cis(-nu);
+    let w2 = w * w;
+    let w3 = w2 * w;
+    let w4 = w2 * w2;
+    let block = |c: &[Complex]| -> Complex {
+        let mut b = c[0];
+        if c.len() > 1 {
+            b += c[1] * w;
+        }
+        if c.len() > 2 {
+            b += c[2] * w2;
+        }
+        if c.len() > 3 {
+            b += c[3] * w3;
+        }
+        b
+    };
+    // rchunks walks from the tail (highest powers first); only the final,
+    // lowest-index chunk can be partial, and its length sets the last shift.
+    let mut chunks = z.rchunks(4);
+    let mut acc = match chunks.next() {
+        Some(c) => block(c),
+        None => return 0.0,
+    };
+    for c in chunks {
+        let shift = match c.len() {
+            4 => w4,
+            3 => w3,
+            2 => w2,
+            _ => w,
+        };
+        acc = acc * shift + block(c);
+    }
+    acc.norm()
 }
 
 /// One-call feature extraction from a reception.
@@ -242,5 +282,29 @@ mod tests {
     #[test]
     fn empty_points_error() {
         assert!(Features::estimate(&[]).is_err());
+    }
+
+    #[test]
+    fn horner_dtft_matches_naive_sum() {
+        // Lengths exercising every partial-block case (len % 4 = 0..=3).
+        for n in [1usize, 2, 3, 4, 5, 96, 97, 98, 99] {
+            let z: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            for &nu in &[-0.3, -0.1234, 0.0, 0.077, 0.3] {
+                let naive: Complex = z
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| v * Complex::cis(-nu * i as f64))
+                    .sum();
+                let fast = dtft_magnitude(&z, nu);
+                assert!(
+                    (fast - naive.norm()).abs() < 1e-9,
+                    "n={n} nu={nu}: {fast} vs {}",
+                    naive.norm()
+                );
+            }
+        }
+        assert_eq!(dtft_magnitude(&[], 0.1), 0.0);
     }
 }

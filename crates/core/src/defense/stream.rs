@@ -22,7 +22,7 @@
 
 use crate::attack::listener::{Burst, BurstEnd, EnergyDetector, EnergyStream};
 use crate::defense::detector::{Detector, Verdict};
-use ctc_dsp::Complex;
+use ctc_dsp::{BufferPool, Complex, SampleBuf};
 use ctc_zigbee::{Receiver, Reception};
 use std::collections::VecDeque;
 
@@ -59,8 +59,9 @@ pub struct BurstCapture {
     pub burst: Burst,
     /// Absolute stream index of `samples[0]` (burst start minus margin).
     pub capture_start: usize,
-    /// The burst's samples plus margin on both sides.
-    pub samples: Vec<Complex>,
+    /// The burst's samples plus margin on both sides. Drawn from the
+    /// splitter's [`BufferPool`]; dropping the capture recycles the buffer.
+    pub samples: SampleBuf,
     /// True when the burst was cut (end of stream / burst-length cap).
     pub truncated: bool,
 }
@@ -83,6 +84,8 @@ pub struct BurstSplitter {
     base: usize,
     /// Completed bursts whose trailing margin has not fully arrived yet.
     pending: VecDeque<(Burst, BurstEnd)>,
+    /// Capture buffers come from here (and return on drop downstream).
+    pool: BufferPool,
 }
 
 impl BurstSplitter {
@@ -98,7 +101,21 @@ impl BurstSplitter {
             history: VecDeque::new(),
             base: 0,
             pending: VecDeque::new(),
+            pool: BufferPool::new(),
         }
+    }
+
+    /// Draws capture buffers from `pool` instead of a private one — share
+    /// the pool with the consuming side so buffers dropped by workers are
+    /// reused for the next captures.
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The pool capture buffers are drawn from.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Caps burst length (see
@@ -125,30 +142,44 @@ impl BurstSplitter {
 
     /// Consumes a chunk, returning every capture completed by it.
     pub fn push(&mut self, chunk: &[Complex]) -> Vec<BurstCapture> {
-        self.history.extend(chunk.iter().copied());
-        for sb in self.stream.push(chunk) {
-            self.pending.push_back((sb.burst, sb.end_reason));
-        }
         let mut out = Vec::new();
-        self.flush_ready(&mut out);
-        self.trim_history();
+        self.push_into(chunk, &mut out);
         out
+    }
+
+    /// [`push`](Self::push) appending captures to a caller-owned vector —
+    /// the streaming form: an ingest loop clears and reuses one vector, so
+    /// a quiet chunk costs zero allocations.
+    pub fn push_into(&mut self, chunk: &[Complex], out: &mut Vec<BurstCapture>) {
+        self.history.extend(chunk.iter().copied());
+        for &x in chunk {
+            if let Some(sb) = self.stream.push_sample(x) {
+                self.pending.push_back((sb.burst, sb.end_reason));
+            }
+        }
+        self.flush_ready(out);
+        self.trim_history();
     }
 
     /// Ends the stream: emits every remaining capture (any still-open
     /// burst is closed and marked truncated) and resets the splitter.
     pub fn finish(&mut self) -> Vec<BurstCapture> {
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// [`finish`](Self::finish) appending captures to a caller-owned vector.
+    pub fn finish_into(&mut self, out: &mut Vec<BurstCapture>) {
         if let Some(sb) = self.stream.finish() {
             self.pending.push_back((sb.burst, sb.end_reason));
         }
         let total = self.base + self.history.len();
-        let mut out = Vec::new();
         while let Some((burst, reason)) = self.pending.pop_front() {
             out.push(self.capture(burst, reason, total));
         }
         self.history.clear();
         self.base = 0;
-        out
     }
 
     /// Emits pending captures whose trailing margin has fully arrived.
@@ -163,18 +194,21 @@ impl BurstSplitter {
         }
     }
 
-    /// Cuts one capture out of the history buffer.
+    /// Cuts one capture out of the history buffer, into a pooled buffer.
     fn capture(&self, burst: Burst, reason: BurstEnd, total: usize) -> BurstCapture {
         let capture_start = burst.start.saturating_sub(self.margin);
         let capture_end = (burst.end + self.margin).min(total);
         debug_assert!(capture_start >= self.base, "history trimmed too far");
-        let samples = self
-            .history
-            .iter()
-            .copied()
-            .skip(capture_start - self.base)
-            .take(capture_end - capture_start)
-            .collect();
+        let lo = capture_start - self.base;
+        let hi = lo + (capture_end - capture_start);
+        let mut samples = self.pool.checkout(hi - lo);
+        let (front, back) = self.history.as_slices();
+        if lo < front.len() {
+            samples.extend_from_slice(&front[lo..hi.min(front.len())]);
+        }
+        if hi > front.len() {
+            samples.extend_from_slice(&back[lo.saturating_sub(front.len())..hi - front.len()]);
+        }
         BurstCapture {
             burst,
             capture_start,
@@ -549,7 +583,29 @@ mod tests {
             assert!(!c.truncated);
             // The capture really is that slice of the stream.
             let expected = &stream[c.capture_start..c.capture_start + c.samples.len()];
-            assert_eq!(c.samples, expected);
+            assert_eq!(&c.samples[..], expected);
         }
+    }
+
+    /// Capture buffers recycle through a shared pool: once the first
+    /// stream's captures are dropped, a second stream's captures are all
+    /// pool hits (no fresh allocations).
+    #[test]
+    fn splitter_captures_recycle_through_shared_pool() {
+        let (stream, _) = build_stream(8);
+        let pool = ctc_dsp::BufferPool::new();
+        let mut captures = Vec::new();
+        let mut splitter = BurstSplitter::new(EnergyDetector::default()).with_pool(pool.clone());
+        splitter.push_into(&stream, &mut captures);
+        splitter.finish_into(&mut captures);
+        assert_eq!(captures.len(), 2);
+        let misses_first = pool.misses();
+        assert!(misses_first > 0, "first pass allocates");
+        captures.clear(); // drop -> buffers return to the pool
+        splitter.push_into(&stream, &mut captures);
+        splitter.finish_into(&mut captures);
+        assert_eq!(captures.len(), 2);
+        assert_eq!(pool.misses(), misses_first, "second pass is all hits");
+        assert!(pool.hits() >= 2);
     }
 }

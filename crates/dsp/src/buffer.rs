@@ -1,0 +1,450 @@
+//! Reusable sample buffers and the in-place [`Stage`] processing API.
+//!
+//! Every hop of the TX → channel → RX → detector path works on blocks of
+//! complex baseband samples. Allocating a fresh `Vec<Complex>` per hop puts
+//! the allocator — not the math — on the critical path of the streaming
+//! gateway. This module provides the ownership model that removes it:
+//!
+//! * [`BufferPool`] — a thread-safe free-list of `Vec<Complex>` capacity.
+//!   Checking out is a mutex-protected pop (a *hit*) or a fresh allocation
+//!   (a *miss*); steady-state pipelines converge to all-hits.
+//! * [`SampleBuf`] — an owned sample buffer that returns its capacity to the
+//!   pool it came from on drop. Detached buffers (no pool) behave like a
+//!   plain `Vec` and are always valid, so APIs taking `&mut SampleBuf` work
+//!   with or without pooling.
+//! * [`Stage`] — the processing contract: `process(input, out)` writes the
+//!   result into a caller-supplied buffer, and `process_in_place(buf)` is a
+//!   fast path for stages that preserve length (filters, impairments) or
+//!   that can reuse the buffer through a pooled scratch swap.
+//!
+//! Ownership rule of thumb: *whoever checks a buffer out lets it drop* —
+//! return-to-pool is automatic, never manual. Producers that hand samples
+//! across threads move the `SampleBuf` itself (it is `Send`), and the
+//! consumer's drop returns the capacity to the shared pool.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::complex::Complex;
+
+/// Default cap on idle vectors retained by a [`BufferPool`].
+const DEFAULT_MAX_IDLE: usize = 64;
+
+#[derive(Debug)]
+struct PoolInner {
+    free: Mutex<Vec<Vec<Complex>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    max_idle: usize,
+}
+
+/// A thread-safe pool of reusable `Vec<Complex>` capacity.
+///
+/// Cloning a `BufferPool` is cheap (an `Arc` bump) and all clones share the
+/// same free-list, so a pool can be handed to every worker in a pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use ctc_dsp::buffer::BufferPool;
+///
+/// let pool = BufferPool::new();
+/// let mut buf = pool.checkout(1024);
+/// buf.extend_from_slice(&[ctc_dsp::Complex::ONE; 8]);
+/// let cap = buf.capacity();
+/// drop(buf); // capacity returns to the pool
+/// let again = pool.checkout(16);
+/// assert!(again.capacity() >= cap); // reused, not reallocated
+/// assert_eq!(pool.hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// Creates an empty pool with the default idle-buffer cap.
+    pub fn new() -> Self {
+        Self::with_max_idle(DEFAULT_MAX_IDLE)
+    }
+
+    /// Creates an empty pool that retains at most `max_idle` returned buffers;
+    /// further returns are simply freed.
+    pub fn with_max_idle(max_idle: usize) -> Self {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                max_idle,
+            }),
+        }
+    }
+
+    /// Checks out an empty buffer with at least `capacity` reserved.
+    ///
+    /// Prefers the largest idle buffer (growing it if needed); allocates
+    /// fresh on a pool miss. The returned [`SampleBuf`] gives its capacity
+    /// back to this pool when dropped.
+    pub fn checkout(&self, capacity: usize) -> SampleBuf {
+        let recycled = {
+            let mut free = self.inner.free.lock().expect("buffer pool poisoned");
+            free.pop()
+        };
+        let data = match recycled {
+            Some(mut v) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                if v.capacity() < capacity {
+                    v.reserve(capacity - v.len());
+                }
+                v
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        };
+        SampleBuf {
+            data,
+            pool: Some(self.clone()),
+        }
+    }
+
+    /// Number of checkouts served from the free-list.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of checkouts that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().expect("buffer pool poisoned").len()
+    }
+
+    fn give_back(&self, v: Vec<Complex>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let mut free = self.inner.free.lock().expect("buffer pool poisoned");
+        if free.len() < self.inner.max_idle {
+            free.push(v);
+        }
+    }
+}
+
+/// An owned block of complex samples whose capacity is recycled on drop.
+///
+/// Dereferences to `[Complex]`; grow with [`push`](SampleBuf::push),
+/// [`extend_from_slice`](SampleBuf::extend_from_slice) or
+/// [`resize`](SampleBuf::resize). A buffer checked out of a [`BufferPool`]
+/// returns there on drop; a [detached](SampleBuf::detached) buffer frees
+/// normally, so all APIs work identically either way.
+#[derive(Debug)]
+pub struct SampleBuf {
+    data: Vec<Complex>,
+    pool: Option<BufferPool>,
+}
+
+impl SampleBuf {
+    /// Creates a pool-less buffer with the given capacity reserved.
+    pub fn detached(capacity: usize) -> Self {
+        SampleBuf {
+            data: Vec::with_capacity(capacity),
+            pool: None,
+        }
+    }
+
+    /// Wraps an existing vector as a detached buffer.
+    pub fn from_vec(data: Vec<Complex>) -> Self {
+        SampleBuf { data, pool: None }
+    }
+
+    /// Empties the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, v: Complex) {
+        self.data.push(v);
+    }
+
+    /// Appends a slice of samples.
+    pub fn extend_from_slice(&mut self, s: &[Complex]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Resizes to `len`, filling new slots with `value`.
+    pub fn resize(&mut self, len: usize, value: Complex) {
+        self.data.resize(len, value);
+    }
+
+    /// Reserves room for at least `additional` more samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Current capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Direct access to the backing vector (for `extend`/`truncate`-style
+    /// call sites). The vector still returns to the pool on drop.
+    pub fn as_vec_mut(&mut self) -> &mut Vec<Complex> {
+        &mut self.data
+    }
+
+    /// Checks out an empty sibling buffer: same pool if pooled, detached
+    /// otherwise. Used by scratch-swap in-place fallbacks.
+    pub fn sibling(&self, capacity: usize) -> SampleBuf {
+        match &self.pool {
+            Some(pool) => pool.checkout(capacity),
+            None => SampleBuf::detached(capacity),
+        }
+    }
+
+    /// Swaps contents (and pool affiliation stays with each buffer).
+    pub fn swap_data(&mut self, other: &mut SampleBuf) {
+        std::mem::swap(&mut self.data, &mut other.data);
+    }
+
+    /// Detaches the backing vector; the capacity is *not* returned to the
+    /// pool. Use at the pipeline boundary where a plain `Vec` must escape.
+    pub fn into_vec(mut self) -> Vec<Complex> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl Clone for SampleBuf {
+    /// Clones the samples; the copy draws from (and returns to) the same
+    /// pool when the original is pooled.
+    fn clone(&self) -> Self {
+        match &self.pool {
+            Some(pool) => {
+                let mut b = pool.checkout(self.data.len());
+                b.extend_from_slice(&self.data);
+                b
+            }
+            None => SampleBuf {
+                data: self.data.clone(),
+                pool: None,
+            },
+        }
+    }
+}
+
+impl Deref for SampleBuf {
+    type Target = [Complex];
+
+    fn deref(&self) -> &[Complex] {
+        &self.data
+    }
+}
+
+impl DerefMut for SampleBuf {
+    fn deref_mut(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+}
+
+impl Drop for SampleBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.give_back(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+impl Extend<Complex> for SampleBuf {
+    fn extend<T: IntoIterator<Item = Complex>>(&mut self, iter: T) {
+        self.data.extend(iter);
+    }
+}
+
+/// A sample-block processing stage with an explicit-output API and an
+/// in-place fast path.
+///
+/// Implementors must make `process` write the full result into `out`
+/// (clearing it first); stages whose output length equals their input length
+/// should also override [`process_in_place`](Stage::process_in_place) to skip
+/// the copy entirely. The default `process_in_place` is a scratch-swap: it
+/// checks a sibling buffer out of the same pool, processes into it, and swaps
+/// — still allocation-free in steady state.
+pub trait Stage {
+    /// Processes `input`, replacing the contents of `out` with the result.
+    fn process(&mut self, input: &[Complex], out: &mut SampleBuf);
+
+    /// Processes `buf`'s contents in place.
+    ///
+    /// Override when the stage can mutate samples directly (length-preserving
+    /// filters, impairments); the default routes through a pooled scratch
+    /// buffer and swaps.
+    fn process_in_place(&mut self, buf: &mut SampleBuf) {
+        let mut scratch = buf.sibling(buf.len());
+        let data = std::mem::take(&mut buf.data);
+        self.process(&data, &mut scratch);
+        buf.data = data;
+        buf.swap_data(&mut scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn checkout_miss_then_hit() {
+        let pool = BufferPool::new();
+        let b = pool.checkout(32);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 0);
+        drop(b);
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.checkout(8);
+        assert_eq!(pool.hits(), 1);
+        assert!(b2.capacity() >= 32, "recycled capacity is kept");
+    }
+
+    #[test]
+    fn into_vec_does_not_return_to_pool() {
+        let pool = BufferPool::new();
+        let mut b = pool.checkout(16);
+        b.push(Complex::ONE);
+        let v = b.into_vec();
+        assert_eq!(v.len(), 1);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn max_idle_caps_retention() {
+        let pool = BufferPool::with_max_idle(2);
+        let bufs: Vec<SampleBuf> = (0..4).map(|_| pool.checkout(8)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn detached_buf_is_plain_vec() {
+        let mut b = SampleBuf::detached(4);
+        b.extend_from_slice(&[Complex::I; 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.into_vec(), vec![Complex::I; 3]);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_not_pooled() {
+        let pool = BufferPool::new();
+        let b = pool.checkout(0);
+        drop(b);
+        assert_eq!(pool.idle(), 0, "empty vecs are not worth retaining");
+    }
+
+    struct Doubler;
+    impl Stage for Doubler {
+        fn process(&mut self, input: &[Complex], out: &mut SampleBuf) {
+            out.clear();
+            out.extend(input.iter().map(|&v| v * 2.0));
+        }
+    }
+
+    #[test]
+    fn stage_default_in_place_swaps_through_pool() {
+        let pool = BufferPool::new();
+        let mut buf = pool.checkout(4);
+        buf.extend_from_slice(&[Complex::ONE; 4]);
+        Doubler.process_in_place(&mut buf);
+        assert!(buf
+            .iter()
+            .all(|&v| (v - Complex::new(2.0, 0.0)).norm() < 1e-12));
+        drop(buf);
+        // Both the original and the scratch buffer made it back.
+        assert_eq!(pool.idle(), 2);
+    }
+
+    proptest! {
+        // Checkout/return round-trips never lose capacity: a buffer grown
+        // to `n` samples comes back from the pool with at least that
+        // capacity.
+        #[test]
+        fn roundtrip_preserves_capacity(n in 1usize..4096) {
+            let pool = BufferPool::new();
+            let mut b = pool.checkout(0);
+            b.resize(n, Complex::ZERO);
+            let grown = b.capacity();
+            prop_assert!(grown >= n);
+            drop(b);
+            let b2 = pool.checkout(0);
+            prop_assert!(b2.capacity() >= grown);
+            prop_assert_eq!(b2.len(), 0, "recycled buffers come back empty");
+        }
+
+        // Pool misses fall back to fresh allocation with the full requested
+        // capacity, and hits+misses always equals total checkouts.
+        #[test]
+        fn misses_allocate_requested_capacity(caps in proptest::collection::vec(1usize..2048, 1..8)) {
+            let pool = BufferPool::new();
+            let bufs: Vec<SampleBuf> = caps.iter().map(|&c| pool.checkout(c)).collect();
+            for (b, &c) in bufs.iter().zip(&caps) {
+                prop_assert!(b.capacity() >= c);
+            }
+            prop_assert_eq!(pool.misses(), caps.len() as u64, "all live at once: every checkout is a miss");
+            prop_assert_eq!(pool.hits(), 0);
+        }
+    }
+
+    /// Under concurrent checkout/return, no two live buffers ever alias the
+    /// same backing storage.
+    #[test]
+    fn concurrent_checkouts_never_alias() {
+        let pool = BufferPool::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = pool.clone();
+                thread::spawn(move || {
+                    let mut ptrs = Vec::new();
+                    for i in 0..200 {
+                        let mut a = pool.checkout(64);
+                        let mut b = pool.checkout(64);
+                        a.resize(1, Complex::new(t as f64, i as f64));
+                        b.resize(1, Complex::new(-(t as f64), i as f64));
+                        let pa = a.as_ptr() as usize;
+                        let pb = b.as_ptr() as usize;
+                        assert_ne!(pa, pb, "two live buffers share storage");
+                        // Writes through one handle are invisible to the other.
+                        assert_eq!(a[0], Complex::new(t as f64, i as f64));
+                        assert_eq!(b[0], Complex::new(-(t as f64), i as f64));
+                        ptrs.push((pa, pb));
+                    }
+                    ptrs
+                })
+            })
+            .collect();
+        let mut live_pairs = 0usize;
+        let mut seen = HashSet::new();
+        for h in handles {
+            for (pa, pb) in h.join().unwrap() {
+                live_pairs += 1;
+                seen.insert(pa);
+                seen.insert(pb);
+            }
+        }
+        assert_eq!(live_pairs, 800);
+        assert!(!seen.is_empty());
+    }
+}

@@ -11,6 +11,7 @@
 //! `fft(ifft(x)) == x` and Parseval's theorem holds as
 //! `sum |x(n)|^2 == (1/N) sum |X(k)|^2`.
 
+use crate::buffer::SampleBuf;
 use crate::complex::Complex;
 
 /// Error produced when a transform is requested for an unsupported length.
@@ -94,10 +95,33 @@ fn transform_in_place(buf: &mut [Complex], sign: f64) {
 /// # Ok::<(), ctc_dsp::fft::FftLenError>(())
 /// ```
 pub fn fft(x: &[Complex]) -> Result<Vec<Complex>, FftLenError> {
-    check_len(x.len())?;
     let mut buf = x.to_vec();
-    transform_in_place(&mut buf, -1.0);
+    fft_in_place(&mut buf)?;
     Ok(buf)
+}
+
+/// Forward FFT transforming the buffer in place (no allocation).
+///
+/// # Errors
+///
+/// Returns [`FftLenError`] unless `buf.len()` is a nonzero power of two.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), FftLenError> {
+    check_len(buf.len())?;
+    transform_in_place(buf, -1.0);
+    Ok(())
+}
+
+/// Forward FFT writing into a caller-supplied buffer (cleared first).
+///
+/// # Errors
+///
+/// Returns [`FftLenError`] unless `x.len()` is a nonzero power of two.
+pub fn fft_into(x: &[Complex], out: &mut SampleBuf) -> Result<(), FftLenError> {
+    check_len(x.len())?;
+    out.clear();
+    out.extend_from_slice(x);
+    transform_in_place(out, -1.0);
+    Ok(())
 }
 
 /// Inverse FFT: `x(n) = (1/N) sum_k X(k) e^{+j 2 pi k n / N}`.
@@ -106,14 +130,37 @@ pub fn fft(x: &[Complex]) -> Result<Vec<Complex>, FftLenError> {
 ///
 /// Returns [`FftLenError`] unless `spectrum.len()` is a nonzero power of two.
 pub fn ifft(spectrum: &[Complex]) -> Result<Vec<Complex>, FftLenError> {
-    check_len(spectrum.len())?;
     let mut buf = spectrum.to_vec();
-    transform_in_place(&mut buf, 1.0);
+    ifft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// Inverse FFT transforming the buffer in place (no allocation).
+///
+/// # Errors
+///
+/// Returns [`FftLenError`] unless `buf.len()` is a nonzero power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), FftLenError> {
+    check_len(buf.len())?;
+    transform_in_place(buf, 1.0);
     let n = buf.len() as f64;
-    for v in &mut buf {
+    for v in buf.iter_mut() {
         *v /= n;
     }
-    Ok(buf)
+    Ok(())
+}
+
+/// Inverse FFT writing into a caller-supplied buffer (cleared first).
+///
+/// # Errors
+///
+/// Returns [`FftLenError`] unless `spectrum.len()` is a nonzero power of two.
+pub fn ifft_into(spectrum: &[Complex], out: &mut SampleBuf) -> Result<(), FftLenError> {
+    check_len(spectrum.len())?;
+    out.clear();
+    out.extend_from_slice(spectrum);
+    ifft_in_place(out).expect("length already checked");
+    Ok(())
 }
 
 /// Forward FFT of exactly 64 samples, the size used throughout the paper.

@@ -7,6 +7,7 @@
 //! phase, Hamming window — because the paper's effects come from *bandwidth*,
 //! not filter family.
 
+use crate::buffer::{SampleBuf, Stage};
 use crate::complex::Complex;
 
 /// A finite-impulse-response filter with real taps.
@@ -111,9 +112,35 @@ impl Fir {
     /// This keeps waveform timing aligned so block boundaries (WiFi symbols,
     /// ZigBee chips) stay where the transmit chain put them.
     pub fn filter(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = SampleBuf::detached(x.len());
+        self.filter_into(x, &mut out);
+        out.into_vec()
+    }
+
+    /// [`Fir::filter`] writing into a caller-supplied buffer.
+    ///
+    /// Computes only the `x.len()` delay-compensated output samples directly
+    /// (no full-convolution temporary), so the hot path performs zero
+    /// allocations when `out` has capacity.
+    pub fn filter_into(&self, x: &[Complex], out: &mut SampleBuf) {
+        out.clear();
+        if x.is_empty() {
+            return;
+        }
         let delay = self.group_delay();
-        let full = self.convolve(x);
-        full.into_iter().skip(delay).take(x.len()).collect()
+        let t = self.taps.len();
+        out.reserve(x.len());
+        for k in 0..x.len() {
+            // y[k] = full[k + delay] = sum_j taps[j] * x[k + delay - j]
+            let i = k + delay;
+            let j_lo = (i + 1).saturating_sub(x.len());
+            let j_hi = i.min(t - 1);
+            let mut acc = Complex::ZERO;
+            for j in j_lo..=j_hi {
+                acc += x[i - j] * self.taps[j];
+            }
+            out.push(acc);
+        }
     }
 
     /// Full convolution (length `x.len() + taps.len() - 1`).
@@ -156,16 +183,53 @@ impl Fir {
 /// assert!((y[1] - Complex::I).norm() < 1e-12);
 /// ```
 pub fn frequency_shift(x: &[Complex], f_offset: f64) -> Vec<Complex> {
-    x.iter()
-        .enumerate()
-        .map(|(n, &v)| v * Complex::cis(2.0 * std::f64::consts::PI * f_offset * n as f64))
-        .collect()
+    let mut out = x.to_vec();
+    frequency_shift_in_place(&mut out, f_offset);
+    out
+}
+
+/// [`frequency_shift`] mutating the waveform in place.
+///
+/// Uses an incrementally rotated phasor (one complex multiply per sample)
+/// with a periodic exact resync, instead of a `sin`/`cos` pair per sample.
+pub fn frequency_shift_in_place(x: &mut [Complex], f_offset: f64) {
+    // Resync the phasor from sin/cos often enough that the accumulated
+    // rounding error stays far below waveform tolerances (~1e-13).
+    const RESYNC: usize = 1024;
+    let w = 2.0 * std::f64::consts::PI * f_offset;
+    let rot = Complex::cis(w);
+    let mut phase = Complex::ONE;
+    for (n, v) in x.iter_mut().enumerate() {
+        if n % RESYNC == 0 {
+            phase = Complex::cis(w * n as f64);
+        }
+        *v *= phase;
+        phase *= rot;
+    }
 }
 
 /// Applies a constant phase rotation `e^{j theta}` to every sample.
 pub fn phase_rotate(x: &[Complex], theta: f64) -> Vec<Complex> {
+    let mut out = x.to_vec();
+    phase_rotate_in_place(&mut out, theta);
+    out
+}
+
+/// [`phase_rotate`] mutating the waveform in place.
+pub fn phase_rotate_in_place(x: &mut [Complex], theta: f64) {
     let r = Complex::cis(theta);
-    x.iter().map(|&v| v * r).collect()
+    for v in x.iter_mut() {
+        *v *= r;
+    }
+}
+
+/// [`Fir`] as a [`Stage`]: `process` is delay-compensated filtering into the
+/// output buffer; the in-place path routes through a pooled scratch swap
+/// (the convolution cannot safely overwrite its own history).
+impl Stage for Fir {
+    fn process(&mut self, input: &[Complex], out: &mut SampleBuf) {
+        self.filter_into(input, out);
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +313,36 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn filter_into_matches_convolve_path() {
+        let f = Fir::low_pass(0.2, 31);
+        let x: Vec<Complex> = (0..100)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let direct = f.filter(&x);
+        let expected: Vec<Complex> = f
+            .convolve(&x)
+            .into_iter()
+            .skip(f.group_delay())
+            .take(x.len())
+            .collect();
+        assert_eq!(direct.len(), expected.len());
+        for (a, b) in direct.iter().zip(&expected) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incremental_shift_matches_per_sample_cis() {
+        let n = 5000; // spans several phasor resync periods
+        let x = vec![Complex::ONE; n];
+        let y = frequency_shift(&x, 0.01937);
+        for (i, v) in y.iter().enumerate() {
+            let exact = Complex::cis(2.0 * std::f64::consts::PI * 0.01937 * i as f64);
+            assert!((*v - exact).norm() < 1e-11, "sample {i} drifted");
+        }
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub const DEFAULT_CHUNK_SAMPLES: usize = 65_536;
 pub struct Cf32Reader<R> {
     inner: R,
     chunk_samples: usize,
+    /// Reusable byte scratch, grown once to chunk size and never shrunk, so
+    /// steady-state reads perform zero allocations.
+    buf: Vec<u8>,
     /// Bytes of an incomplete trailing sample from the previous read.
     carry: [u8; 8],
     carry_len: usize,
@@ -57,6 +60,7 @@ impl<R: Read> Cf32Reader<R> {
         Cf32Reader {
             inner,
             chunk_samples: DEFAULT_CHUNK_SAMPLES,
+            buf: Vec::new(),
             carry: [0; 8],
             carry_len: 0,
             samples_read: 0,
@@ -88,7 +92,13 @@ impl<R: Read> Cf32Reader<R> {
     /// not divisible by 8) is an `InvalidData` error.
     pub fn read_chunk(&mut self, out: &mut Vec<Complex>) -> io::Result<usize> {
         out.clear();
-        let mut buf = vec![0u8; self.carry_len + self.chunk_samples * 8];
+        let want = self.carry_len + self.chunk_samples * 8;
+        if self.buf.len() < want {
+            // One-time grow (and zero-fill); steady-state calls reuse it and
+            // only ever touch bytes that a `read` filled this call.
+            self.buf.resize(want, 0);
+        }
+        let buf = &mut self.buf[..want];
         buf[..self.carry_len].copy_from_slice(&self.carry[..self.carry_len]);
         let mut filled = self.carry_len;
         while filled < buf.len() {

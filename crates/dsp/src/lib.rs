@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod buffer;
 pub mod complex;
 pub mod cumulants;
 pub mod fft;
@@ -43,6 +44,7 @@ pub mod psd;
 pub mod resample;
 pub mod spectrogram;
 
+pub use buffer::{BufferPool, SampleBuf, Stage};
 pub use complex::Complex;
 pub use cumulants::{Cumulants, Modulation};
 pub use fft::{fft64, ifft64};

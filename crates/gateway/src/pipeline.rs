@@ -23,6 +23,7 @@ use crate::queue::BoundedQueue;
 use ctc_core::attack::EnergyDetector;
 use ctc_core::defense::{BurstCapture, BurstSplitter, Detector, FrameProcessor, StreamEvent};
 use ctc_dsp::io::{Cf32Reader, DEFAULT_CHUNK_SAMPLES};
+use ctc_dsp::BufferPool;
 use ctc_zigbee::Receiver;
 use std::io::{self, Read, Write};
 use std::sync::mpsc;
@@ -213,13 +214,20 @@ impl Gateway {
         use std::sync::atomic::Ordering::Relaxed;
         let cfg = &self.config;
         let mut reader = Cf32Reader::new(input).with_chunk_samples(cfg.chunk_samples.max(1));
-        let mut splitter = BurstSplitter::new(cfg.energy).with_max_burst(cfg.max_burst);
+        // The pool is shared with the workers implicitly: every capture's
+        // buffer returns here when the worker drops it, so after warm-up a
+        // burst costs a free-list pop, not an allocation.
+        let pool = BufferPool::new();
+        let mut splitter = BurstSplitter::new(cfg.energy)
+            .with_max_burst(cfg.max_burst)
+            .with_pool(pool);
         let mut chunk = Vec::new();
+        let mut captures: Vec<BurstCapture> = Vec::new();
         let mut seq = 0u64;
         let mut last_stats = started;
 
-        let enqueue = |captures: Vec<BurstCapture>, seq: &mut u64| {
-            for capture in captures {
+        let enqueue = |captures: &mut Vec<BurstCapture>, seq: &mut u64| {
+            for capture in captures.drain(..) {
                 metrics.bursts.fetch_add(1, Relaxed);
                 let item = WorkItem {
                     seq: *seq,
@@ -249,7 +257,8 @@ impl Gateway {
             }
             metrics.chunks_in.fetch_add(1, Relaxed);
             metrics.samples_in.fetch_add(n as u64, Relaxed);
-            enqueue(splitter.push(&chunk), &mut seq);
+            splitter.push_into(&chunk, &mut captures);
+            enqueue(&mut captures, &mut seq);
             if let Some(interval) = cfg.stats_interval {
                 if last_stats.elapsed() >= interval {
                     last_stats = Instant::now();
@@ -258,7 +267,8 @@ impl Gateway {
                 }
             }
         }
-        enqueue(splitter.finish(), &mut seq);
+        splitter.finish_into(&mut captures);
+        enqueue(&mut captures, &mut seq);
         Ok(())
     }
 }

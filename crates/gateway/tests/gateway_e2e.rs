@@ -132,11 +132,14 @@ fn gateway_events_are_chunking_invariant() {
     }
 }
 
-/// A worker pool must keep up with a realistic sample clock. Debug builds
-/// are an order of magnitude slower, so the floor only applies in release.
+/// A worker pool must keep up with a realistic sample clock — with the
+/// pooled, allocation-free sample path the bench sits near 40 Msamples/s,
+/// so 10 is a conservative floor with headroom for slow CI machines. Debug
+/// builds are an order of magnitude slower, so the floor only applies in
+/// release.
 #[cfg(not(debug_assertions))]
 #[test]
-fn gateway_sustains_4_msamples_per_sec() {
+fn gateway_sustains_10_msamples_per_sec() {
     let mut rng = StdRng::seed_from_u64(13);
     let frame = Transmitter::new().transmit_payload(b"00000").unwrap();
     // Mostly idle channel with periodic traffic: 2M samples total.
@@ -154,7 +157,7 @@ fn gateway_sustains_4_msamples_per_sec() {
     assert_eq!(report.metrics.samples_dropped, 0);
     assert!(report.metrics.frames_decoded >= 40);
     assert!(
-        report.msamples_per_sec() >= 4.0,
+        report.msamples_per_sec() >= 10.0,
         "throughput {:.2} Msamples/s",
         report.msamples_per_sec()
     );

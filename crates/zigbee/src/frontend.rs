@@ -7,8 +7,9 @@
 //! the information loss at the heart of the paper's Sec. V-A1 "FFT"
 //! challenge.
 
-use ctc_dsp::filter::frequency_shift;
-use ctc_dsp::resample::{decimate, ZeroFactorError};
+use ctc_dsp::buffer::SampleBuf;
+use ctc_dsp::filter::frequency_shift_in_place;
+use ctc_dsp::resample::{decimate, Decimator, ZeroFactorError};
 use ctc_dsp::Complex;
 
 /// Converts a wideband waveform (sample rate `in_rate_hz`, centred at
@@ -51,14 +52,51 @@ pub fn capture(
         "sample-rate ratio must be an integer, got {ratio}"
     );
     // Shift the target channel to DC: a signal at (out_center - in_center)
-    // relative to the wideband centre must move down by that amount.
+    // relative to the wideband centre must move down by that amount. When
+    // the centres already coincide (baseband-aligned capture) decimate the
+    // input directly — no full-waveform copy.
     let offset_hz = out_center_hz - in_center_hz;
-    let shifted = if offset_hz != 0.0 {
-        frequency_shift(wave, -offset_hz / in_rate_hz)
-    } else {
-        wave.to_vec()
-    };
+    if offset_hz == 0.0 {
+        return decimate(wave, factor);
+    }
+    let mut shifted = wave.to_vec();
+    frequency_shift_in_place(&mut shifted, -offset_hz / in_rate_hz);
     decimate(&shifted, factor)
+}
+
+/// Streaming form of [`capture`]: the anti-alias decimator is designed once
+/// and output goes to a caller-supplied buffer.
+///
+/// `shift_scratch` holds the frequency-shifted copy when the centres differ;
+/// it is unused (and untouched) in the baseband-aligned case.
+///
+/// # Panics
+///
+/// Panics if `in_rate_hz / out_rate_hz` does not match `decimator.factor()`.
+pub fn capture_into(
+    wave: &[Complex],
+    in_center_hz: f64,
+    in_rate_hz: f64,
+    out_center_hz: f64,
+    decimator: &mut Decimator,
+    shift_scratch: &mut SampleBuf,
+    out: &mut SampleBuf,
+) {
+    let out_rate_hz = in_rate_hz / decimator.factor() as f64;
+    let ratio = in_rate_hz / out_rate_hz;
+    assert!(
+        (ratio - decimator.factor() as f64).abs() < 1e-9,
+        "sample-rate ratio must match the decimator factor, got {ratio}"
+    );
+    let offset_hz = out_center_hz - in_center_hz;
+    if offset_hz == 0.0 {
+        decimator.decimate_into(wave, out);
+        return;
+    }
+    shift_scratch.clear();
+    shift_scratch.extend_from_slice(wave);
+    frequency_shift_in_place(shift_scratch, -offset_hz / in_rate_hz);
+    decimator.decimate_into(shift_scratch, out);
 }
 
 /// The reverse of [`capture`] for the attacker side: express a narrowband
@@ -86,13 +124,12 @@ pub fn embed(
         (ratio - factor as f64).abs() < 1e-9,
         "sample-rate ratio must be an integer, got {ratio}"
     );
-    let up = ctc_dsp::resample::interpolate(wave, factor)?;
+    let mut up = ctc_dsp::resample::interpolate(wave, factor)?;
     let offset_hz = in_center_hz - out_center_hz;
-    Ok(if offset_hz != 0.0 {
-        frequency_shift(&up, offset_hz / out_rate_hz)
-    } else {
-        up
-    })
+    if offset_hz != 0.0 {
+        frequency_shift_in_place(&mut up, offset_hz / out_rate_hz);
+    }
+    Ok(up)
 }
 
 #[cfg(test)]

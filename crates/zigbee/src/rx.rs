@@ -187,19 +187,34 @@ impl Receiver {
     }
 
     /// The reference waveform of one preamble symbol (32 chips of symbol 0).
-    fn preamble_template() -> Vec<Complex> {
-        modulate_chips(&spread(0))
+    ///
+    /// Modulated once per process: every burst the streaming gateway decodes
+    /// runs synchronization, so rebuilding the template per call would put a
+    /// fixed waveform synthesis on the hot path.
+    fn preamble_template() -> &'static [Complex] {
+        static TEMPLATE: std::sync::OnceLock<Vec<Complex>> = std::sync::OnceLock::new();
+        TEMPLATE.get_or_init(|| modulate_chips(&spread(0)))
+    }
+
+    /// Two preamble symbols back to back — the timing-search template.
+    fn sync_template() -> &'static [Complex] {
+        static TEMPLATE: std::sync::OnceLock<Vec<Complex>> = std::sync::OnceLock::new();
+        TEMPLATE.get_or_init(|| {
+            let one = Self::preamble_template();
+            let sym_len = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP;
+            let mut template = Vec::with_capacity(sym_len * 2);
+            template.extend_from_slice(&one[..sym_len]);
+            template.extend_from_slice(&one[..sym_len]);
+            template
+        })
     }
 
     /// Correlates the known preamble against the waveform to estimate
     /// timing, phase and CFO.
     fn synchronize(&self, wave: &[Complex]) -> SyncResult {
         // Template: two preamble symbols for timing, full four for CFO.
-        let one = Self::preamble_template();
+        let template = Self::sync_template();
         let sym_len = CHIPS_PER_SYMBOL * SAMPLES_PER_CHIP;
-        let mut template = Vec::with_capacity(sym_len * 2);
-        template.extend_from_slice(&one[..sym_len]);
-        template.extend_from_slice(&one[..sym_len]);
 
         // Too little signal to correlate against the template: report a
         // null sync instead of slicing out of range.
@@ -221,7 +236,7 @@ impl Receiver {
         let mut best_score = f64::NEG_INFINITY;
         for off in 0..=search {
             let seg = &wave[off..off + template.len()];
-            let corr: Complex = seg.iter().zip(&template).map(|(r, t)| *r * t.conj()).sum();
+            let corr: Complex = seg.iter().zip(template).map(|(r, t)| *r * t.conj()).sum();
             let r_energy: f64 = seg.iter().map(|v| v.norm_sqr()).sum();
             let score = if r_energy > 0.0 {
                 corr.norm_sqr() / (r_energy * t_energy)
@@ -263,7 +278,7 @@ impl Receiver {
             let corr: Complex = wave[best_off..seg_end]
                 .iter()
                 .enumerate()
-                .zip(&template)
+                .zip(template)
                 .map(|((n, r), t)| *r * Complex::cis(-cfo * n as f64) * t.conj())
                 .sum();
             if corr.norm() > 0.0 {
@@ -330,21 +345,16 @@ impl Receiver {
 
         // CFO-corrected copy (clock recovery), then the fully corrected copy
         // for decoding.
-        let cfo_corrected: Vec<Complex> = if self.correct_cfo {
-            aligned
-                .iter()
-                .enumerate()
-                .map(|(n, &v)| v * Complex::cis(-sync.cfo_per_sample * n as f64))
-                .collect()
-        } else {
-            aligned.to_vec()
-        };
-        let corrected: Vec<Complex> = if self.correct_phase {
-            let r = Complex::cis(-sync.phase);
-            cfo_corrected.iter().map(|&v| v * r).collect()
-        } else {
-            cfo_corrected.clone()
-        };
+        let mut cfo_corrected = aligned.to_vec();
+        if self.correct_cfo {
+            for (n, v) in cfo_corrected.iter_mut().enumerate() {
+                *v *= Complex::cis(-sync.cfo_per_sample * n as f64);
+            }
+        }
+        let mut corrected = cfo_corrected.clone();
+        if self.correct_phase {
+            ctc_dsp::filter::phase_rotate_in_place(&mut corrected, -sync.phase);
+        }
 
         let num_chips = (aligned.len() / SAMPLES_PER_CHIP) & !1usize;
         let raw_chip_samples = demodulate_chips(aligned, num_chips);

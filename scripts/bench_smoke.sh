@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Release-mode bench smoke: run the gateway bench once and render the
+# results as JSON so CI can archive a BENCH_<sha>.json trajectory point.
+#
+# The vendored criterion stub prints one line per bench:
+#   <name>: <ns> ns/iter  (<rate> M/s)
+# This script turns those lines into a JSON object keyed by bench name.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(git rev-parse --short HEAD 2>/dev/null || echo local).json}"
+
+raw="$(cargo bench -p ctc-bench --bench gateway 2>/dev/null | grep 'ns/iter')"
+test -n "$raw" || { echo "no bench output captured" >&2; exit 1; }
+
+{
+  echo '{'
+  echo '  "bench": "gateway",'
+  echo '  "results": {'
+  first=1
+  while IFS= read -r line; do
+    name="${line%%:*}"
+    ns="$(echo "$line" | sed -n 's/.*: *\([0-9.]*\) ns\/iter.*/\1/p')"
+    rate="$(echo "$line" | sed -n 's/.*(\([0-9.]*\) M\/s).*/\1/p')"
+    [ "$first" -eq 1 ] && first=0 || echo ','
+    printf '    "%s": {"ns_per_iter": %s, "msamples_per_sec": %s}' \
+      "$name" "${ns:-0}" "${rate:-0}"
+  done <<< "$raw"
+  echo ''
+  echo '  }'
+  echo '}'
+} > "$out"
+
+echo "wrote $out"
+cat "$out"

@@ -25,6 +25,7 @@ pub use ctc_channel as channel;
 pub use ctc_core as core;
 pub use ctc_core::{Error, WaveformPair};
 pub use ctc_dsp as dsp;
+pub use ctc_dsp::{BufferPool, Complex, SampleBuf, Stage};
 pub use ctc_gateway as gateway;
 pub use ctc_wifi as wifi;
 pub use ctc_zigbee as zigbee;
