@@ -204,6 +204,13 @@ pub const DEFAULT_BASE_SEED: u64 = 0x1DC5_1EE6;
 /// `seed ^ i` is too weak: for nearby base seeds the xor merely permutes a
 /// contiguous trial-index range onto itself, so order-independent reduces
 /// would see the identical seed set.
+///
+/// Public so deterministic harnesses outside the engine (the golden-vector
+/// corpus generator) derive per-stage seeds exactly the way trials do.
+pub fn splitmix(seed: u64, i: u64) -> u64 {
+    mix(seed, i)
+}
+
 fn mix(seed: u64, i: u64) -> u64 {
     let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -65,6 +65,12 @@ COMMANDS
             periodic stats on stderr. Exits 3 when a forgery was accepted.
   spectrum  --input <file> [--segment N]
             Welch PSD of a waveform, printed as text.
+  vectors   <generate|check|diff> [--dir DIR] [--seed N]
+            Golden-vector regression corpus (default DIR: vectors).
+            generate: run the pipeline, write corpus + manifest.
+            check: replay through the live code; exits 1 at the first
+            out-of-tolerance divergence (stage, index, magnitude).
+            diff: per-stage max deviation report, even when passing.
 
   <src> is a cf32 file path, `-` for stdin, or `tcp://host:port` to accept
   one connection and stream from it.
@@ -447,11 +453,89 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_vectors(argv: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = argv.split_first() else {
+        return Err("vectors needs an action: generate, check, or diff".into());
+    };
+    let args = Args::parse(rest)?;
+    let dir = Path::new(args.get("dir").unwrap_or("vectors")).to_path_buf();
+    match action.as_str() {
+        "generate" => {
+            let mut spec = ctc_vectors::CorpusSpec::default();
+            if let Some(seed) = args.parse_num::<u64>("seed")? {
+                spec.seed = seed;
+            }
+            let vectors =
+                ctc_vectors::generate(&spec).map_err(|e| format!("generation failed: {e}"))?;
+            ctc_vectors::write_corpus(&dir, &spec, &vectors)
+                .map_err(|e| format!("writing {}: {e}", dir.display()))?;
+            println!(
+                "wrote {} vectors + manifest to {} (seed {})",
+                vectors.len(),
+                dir.display(),
+                spec.seed
+            );
+            for v in &vectors {
+                println!(
+                    "  {:<18} {:>8} {:<8} [{}]",
+                    v.name,
+                    v.payload.len(),
+                    v.payload.kind().name(),
+                    v.tolerance.describe()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => match ctc_vectors::check_corpus(&dir) {
+            Ok(reports) => {
+                for r in &reports {
+                    println!("ok  {r}");
+                }
+                println!("{} stages within tolerance", reports.len());
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => Err(format!("golden-vector check FAILED: {e}")),
+        },
+        "diff" => {
+            let diffs = ctc_vectors::diff_corpus(&dir).map_err(|e| format!("diff failed: {e}"))?;
+            let mut diverged = 0usize;
+            for d in &diffs {
+                match (&d.report, &d.first_divergence) {
+                    (Some(r), None) => println!("ok    {r}"),
+                    (Some(r), Some(first)) => {
+                        diverged += 1;
+                        println!("DIFF  {r}");
+                        println!("      {first}");
+                    }
+                    (None, Some(first)) => {
+                        diverged += 1;
+                        println!("DIFF  {first}");
+                    }
+                    (None, None) => unreachable!("deviation yields a report or a divergence"),
+                }
+            }
+            if diverged == 0 {
+                println!("{} stages bit-compatible or within tolerance", diffs.len());
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        other => Err(format!(
+            "unknown vectors action {other:?} (expected generate, check, or diff)"
+        )),
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(USAGE.into());
     };
+    // `vectors` takes a positional action, so it parses its own tail.
+    if cmd == "vectors" {
+        return cmd_vectors(rest);
+    }
     let args = Args::parse(rest)?;
     let ok = |()| ExitCode::SUCCESS;
     match cmd.as_str() {

@@ -112,6 +112,33 @@ pub fn cp_self_similarity(symbol: &[Complex], cp_len: usize) -> f64 {
     correlation(head, tail)
 }
 
+/// Distance between two `f64` values in units in the last place: the
+/// number of representable doubles strictly between them (0 for equal
+/// values, including `-0.0` vs `0.0`).
+///
+/// Monotone total-order mapping: the bit pattern is flipped so negative
+/// floats sort below positives, then distance is the integer gap. `NaN`
+/// anywhere yields `u64::MAX` (never "close" to anything). This is the
+/// float-band primitive behind the golden-vector comparator: a tolerance
+/// in ULPs is scale-free, so it works identically for waveform samples
+/// near 1.0 and near 1e-6.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Sign-magnitude bits -> monotone signed key. Both zeros map to 0, so
+    // the negative ray is the exact mirror of the positive one.
+    fn total_order_key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    total_order_key(a).abs_diff(total_order_key(b))
+}
+
 /// Linear SNR (`1/sigma^2` with unit signal power) to dB.
 pub fn snr_to_db(snr_linear: f64) -> f64 {
     10.0 * snr_linear.log10()
@@ -154,6 +181,25 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn rms_error_length_mismatch_panics() {
         let _ = rms_error(&[Complex::ONE], &[Complex::ONE; 2]);
+    }
+
+    #[test]
+    fn ulp_distance_counts_representable_gaps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance(-1.0, f64::from_bits((-1.0f64).to_bits() + 1)),
+            1
+        );
+        // Straddling zero: distance through both subnormal ranges.
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+        // Symmetric and monotone in magnitude.
+        assert_eq!(ulp_distance(3.5, 3.75), ulp_distance(3.75, 3.5));
+        assert!(ulp_distance(1.0, 2.0) < ulp_distance(1.0, 4.0));
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! Minimal JSON-lines encoding for gateway events.
+//! Minimal JSON-lines encoding and decoding for gateway events.
 //!
 //! The workspace is dependency-free by construction (no crates.io), so
 //! this is a tiny hand-rolled encoder covering exactly what the event
 //! schema needs: objects of string/number/bool/null fields. Output is a
 //! single line, RFC 8259-escaped, stable field order.
+//!
+//! The matching [`parse`] decoder turns a rendered line back into a
+//! [`JsonValue`] tree (objects preserve field order), so tests and the
+//! golden-vector comparator can inspect event streams field by field
+//! instead of matching on raw text.
 
 use std::fmt::Write as _;
 
@@ -118,6 +123,310 @@ pub fn hex(bytes: &[u8]) -> String {
     s
 }
 
+/// Decodes a lowercase/uppercase hex string back into bytes.
+///
+/// # Errors
+///
+/// Returns `None` for odd-length input or non-hex characters.
+pub fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+/// A parsed JSON value. Objects keep their field order so a re-render of
+/// an untouched tree is byte-identical to the encoder's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source field order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object; `None` for other variants or missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The fields, when this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an `Array`.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one complete JSON value (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// Returns [`JsonParseError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are outside the event schema;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonParseError {
+                offset: start,
+                message: format!("invalid number {text:?}"),
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +481,87 @@ mod tests {
     fn hex_encodes_lowercase() {
         assert_eq!(hex(&[0x00, 0xff, 0x30]), "00ff30");
         assert_eq!(hex(&[]), "");
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let bytes = [0x00u8, 0x7f, 0x80, 0xff, 0x30];
+        assert_eq!(unhex(&hex(&bytes)).unwrap(), bytes);
+        assert_eq!(unhex(""), Some(Vec::new()));
+        assert_eq!(unhex("abc"), None, "odd length");
+        assert_eq!(unhex("zz"), None, "non-hex");
+    }
+
+    #[test]
+    fn parses_encoder_output() {
+        let line = JsonObject::new()
+            .string("type", "frame")
+            .uint("seq", 7)
+            .float("de2", 0.25)
+            .bool("attack", true)
+            .null("missing")
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("frame"));
+        assert_eq!(v.get("seq").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("de2").unwrap().as_f64(), Some(0.25));
+        assert_eq!(v.get("attack").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), Some(&JsonValue::Null));
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn object_preserves_field_order() {
+        let v = parse(r#"{"b":1,"a":2}"#).unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v =
+            parse(r#"{"latency":{"queue_us":3},"bins":[1,-2.5,3e2],"empty":[],"eo":{}}"#).unwrap();
+        assert_eq!(
+            v.get("latency").unwrap().get("queue_us").unwrap().as_f64(),
+            Some(3.0)
+        );
+        let bins = v.get("bins").unwrap().as_array().unwrap();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[1].as_f64(), Some(-2.5));
+        assert_eq!(bins[2].as_f64(), Some(300.0));
+        assert!(v.get("empty").unwrap().as_array().unwrap().is_empty());
+        assert!(v.get("eo").unwrap().as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        let line = JsonObject::new().string("s", "a\"b\\c\nd\u{1}").finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\nd\u{1}"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{\"a\":1} extra",
+            "\"unterminated",
+            "nul",
+            "1.2.3",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "offset in bounds for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
     }
 }

@@ -38,6 +38,7 @@ pub mod pipeline;
 pub mod queue;
 pub mod source;
 
+pub use json::{JsonParseError, JsonValue};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pipeline::{default_workers, Gateway, GatewayConfig, GatewayReport};
 pub use queue::BoundedQueue;

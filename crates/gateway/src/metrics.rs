@@ -165,6 +165,42 @@ mod tests {
     }
 
     #[test]
+    fn extreme_quantiles_hit_first_and_last_observation() {
+        let h = LatencyHistogram::new();
+        h.record(1); // bucket 0: [1, 2)
+        h.record(1000); // bucket 9: [512, 1024)
+                        // q = 0 clamps to rank 1: the smallest observation's bucket bound.
+        assert_eq!(h.quantile(0.0), Some(2));
+        // q = 1 is the largest observation's bucket bound.
+        assert_eq!(h.quantile(1.0), Some(1024));
+        // Out-of-range q clamps rather than panics or skips buckets.
+        assert_eq!(h.quantile(-3.0), Some(2));
+        assert_eq!(h.quantile(7.5), Some(1024));
+    }
+
+    #[test]
+    fn open_ended_top_bucket_collects_everything_past_2_pow_31_us() {
+        let h = LatencyHistogram::new();
+        // Largest value that still maps onto its exact power-of-two bucket,
+        // and two that can only land in the open-ended last bucket.
+        h.record(1u64 << (LATENCY_BUCKETS - 1));
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        // Both saturate to bucket 31, whose reported bound is 2^32.
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+        assert_eq!(h.quantile(1.0), Some(1u64 << LATENCY_BUCKETS));
+    }
+
+    #[test]
+    fn single_observation_is_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record(100); // bucket 6: [64, 128) -> bound 128
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(128), "q = {q}");
+        }
+    }
+
+    #[test]
     fn snapshot_copies_counters() {
         let m = Metrics::new();
         m.samples_in.fetch_add(100, Ordering::Relaxed);

@@ -132,6 +132,46 @@ fn gateway_events_are_chunking_invariant() {
     }
 }
 
+/// The JSONL event stream must be invariant under worker-pool size: the
+/// sink reorders by sequence number, so 1, 2, or 4 racing workers must
+/// emit identical events (only the wall-clock `latency` object may vary).
+#[test]
+fn gateway_events_are_worker_pool_invariant() {
+    let (bytes, _) = synthetic_capture(14);
+    let normalize = |events: &str| -> Vec<ctc_gateway::JsonValue> {
+        events
+            .lines()
+            .map(|l| {
+                let parsed = ctc_gateway::json::parse(l).unwrap_or_else(|e| panic!("{l}: {e}"));
+                match parsed {
+                    ctc_gateway::JsonValue::Object(fields) => ctc_gateway::JsonValue::Object(
+                        fields.into_iter().filter(|(k, _)| k != "latency").collect(),
+                    ),
+                    other => other,
+                }
+            })
+            .collect()
+    };
+    let mut reference = None;
+    for workers in [1usize, 2, 4] {
+        let cfg = GatewayConfig {
+            workers,
+            ..config()
+        };
+        let mut events = Vec::new();
+        let report = Gateway::new(cfg)
+            .run(&bytes[..], &mut events, &mut Vec::new())
+            .unwrap();
+        assert_eq!(report.metrics.samples_dropped, 0, "workers {workers}");
+        let lines = normalize(&String::from_utf8(events).unwrap());
+        assert_eq!(lines.len(), 2, "workers {workers}");
+        match &reference {
+            None => reference = Some(lines),
+            Some(r) => assert_eq!(&lines, r, "workers {workers}"),
+        }
+    }
+}
+
 /// A worker pool must keep up with a realistic sample clock — with the
 /// pooled, allocation-free sample path the bench sits near 40 Msamples/s,
 /// so 10 is a conservative floor with headroom for slow CI machines. Debug

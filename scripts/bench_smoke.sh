@@ -1,16 +1,49 @@
 #!/usr/bin/env bash
 # Release-mode bench smoke: run the gateway bench once and render the
-# results as JSON so CI can archive a BENCH_<sha>.json trajectory point.
+# results as JSON, optionally gating against a committed baseline.
+#
+# Usage:
+#   ./scripts/bench_smoke.sh [OUT.json] [--check BASELINE.json]
+#
+#   OUT.json              where to write this run's results
+#                         (default: BENCH_<short-sha>.json)
+#   --check BASELINE.json fail (exit 1) when any bench's msamples_per_sec
+#                         drops more than 15% below the baseline's
+#
+# Refreshing the committed baseline after an intentional perf change is one
+# command — run it on a quiet machine and commit the result:
+#
+#   ./scripts/bench_smoke.sh BENCH_baseline.json
 #
 # The vendored criterion stub prints one line per bench:
 #   <name>: <ns> ns/iter  (<rate> M/s)
-# This script turns those lines into a JSON object keyed by bench name.
+# which this script turns into a JSON object keyed by bench name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_$(git rev-parse --short HEAD 2>/dev/null || echo local).json}"
+# Locale-proof number formatting/parsing: decimal points, never commas.
+export LC_ALL=C
 
-raw="$(cargo bench -p ctc-bench --bench gateway 2>/dev/null | grep 'ns/iter')"
+out=""
+baseline=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --check)
+      baseline="${2:?--check needs a baseline file}"
+      shift 2
+      ;;
+    *)
+      out="$1"
+      shift
+      ;;
+  esac
+done
+[ -n "$out" ] || out="BENCH_$(git rev-parse --short HEAD 2>/dev/null || echo local).json"
+
+# Keep stderr attached to the terminal: a compile error or bench panic must
+# show up in the CI log, so only stdout is captured and filtered.
+bench_stdout="$(cargo bench -p ctc-bench --bench gateway)"
+raw="$(grep 'ns/iter' <<<"$bench_stdout" || true)"
 test -n "$raw" || { echo "no bench output captured" >&2; exit 1; }
 
 {
@@ -33,3 +66,39 @@ test -n "$raw" || { echo "no bench output captured" >&2; exit 1; }
 
 echo "wrote $out"
 cat "$out"
+
+[ -n "$baseline" ] || exit 0
+
+# --check: every baseline bench must still run within 15% of its recorded
+# throughput. New benches (in $out but not the baseline) pass silently;
+# a bench that disappeared is a failure.
+test -f "$baseline" || { echo "baseline $baseline not found" >&2; exit 1; }
+
+# "name rate" pairs from one of our result files.
+rates() {
+  sed -n 's/^ *"\([^"]*\)": {"ns_per_iter": [0-9.]*, "msamples_per_sec": \([0-9.]*\)}.*$/\1 \2/p' "$1"
+}
+
+fail=0
+while read -r name base_rate; do
+  new_rate="$(rates "$out" | awk -v n="$name" '$1 == n { print $2 }')"
+  if [ -z "$new_rate" ]; then
+    echo "FAIL $name: present in $baseline but missing from this run" >&2
+    fail=1
+    continue
+  fi
+  if awk -v new="$new_rate" -v base="$base_rate" \
+      'BEGIN { exit !(new < 0.85 * base) }'; then
+    echo "FAIL $name: ${new_rate} Msamples/s is >15% below baseline ${base_rate}" >&2
+    fail=1
+  else
+    echo "ok   $name: ${new_rate} Msamples/s (baseline ${base_rate})"
+  fi
+done < <(rates "$baseline")
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench regression gate failed against $baseline" >&2
+  echo "(intentional? refresh with: ./scripts/bench_smoke.sh $baseline && git add $baseline)" >&2
+  exit 1
+fi
+echo "bench regression gate passed against $baseline"

@@ -14,6 +14,8 @@
 //!   the cumulant-based defense
 //! - [`gateway`] — the defense as a long-running service: streaming IQ
 //!   ingest, bounded decode/classify pipeline, JSONL events and metrics
+//! - [`vectors`] — the golden-vector regression corpus: deterministic
+//!   per-stage artifacts with tolerance-aware comparison
 //!
 //! Fallible operations across the workspace converge on the single
 //! [`Error`] enum (re-exported from `ctc_core`), so cross-crate pipelines
@@ -27,5 +29,6 @@ pub use ctc_core::{Error, WaveformPair};
 pub use ctc_dsp as dsp;
 pub use ctc_dsp::{BufferPool, Complex, SampleBuf, Stage};
 pub use ctc_gateway as gateway;
+pub use ctc_vectors as vectors;
 pub use ctc_wifi as wifi;
 pub use ctc_zigbee as zigbee;

@@ -1,0 +1,146 @@
+//! The golden-vector regression gate, plus the self-tests that prove the
+//! gate actually gates: a corpus with a single flipped sample (or chip, or
+//! JSON field) must fail the check *and* name the right stage.
+
+use hide_and_seek::vectors::{
+    check_corpus, compare, generate, read_corpus, write_corpus, CheckError, CorpusSpec, Payload,
+    Vector, STAGE_NAMES,
+};
+use std::path::{Path, PathBuf};
+
+/// The committed corpus at the repository root.
+fn committed_corpus() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("vectors")
+}
+
+/// Self-cleaning scratch directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("golden-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The regression gate itself: the committed corpus must replay through the
+/// live pipeline within every stage's tolerance. A failure here means a
+/// code change altered an artifact the paper's pipeline is specified by —
+/// either fix the regression or regenerate the corpus (`ctc vectors
+/// generate`) and justify the new goldens in review.
+#[test]
+fn committed_corpus_replays_within_tolerance() {
+    let reports = check_corpus(&committed_corpus()).unwrap_or_else(|e| {
+        panic!("committed golden vectors diverged from the live pipeline:\n  {e}")
+    });
+    assert_eq!(reports.len(), STAGE_NAMES.len());
+    let names: Vec<&str> = reports.iter().map(|r| r.stage.as_str()).collect();
+    assert_eq!(names, STAGE_NAMES);
+}
+
+/// The committed corpus must be the default-spec corpus — otherwise
+/// `ctc vectors generate` would silently produce a different one.
+#[test]
+fn committed_corpus_uses_the_default_spec() {
+    let (spec, vectors) = read_corpus(&committed_corpus()).unwrap();
+    assert_eq!(spec, CorpusSpec::default());
+    assert_eq!(vectors.len(), STAGE_NAMES.len());
+}
+
+/// Rewrites one stage of a fresh corpus and returns the check error.
+fn perturbed(tag: &str, mutate: impl FnOnce(&mut Vec<Vector>)) -> CheckError {
+    let tmp = TempDir::new(tag);
+    let spec = CorpusSpec::default();
+    let mut vectors = generate(&spec).unwrap();
+    mutate(&mut vectors);
+    write_corpus(&tmp.0, &spec, &vectors).unwrap();
+    check_corpus(&tmp.0).expect_err("perturbed corpus must fail the check")
+}
+
+/// Flipping a single float sample beyond tolerance must fail, naming the
+/// perturbed stage and the exact sample index.
+#[test]
+fn single_sample_flip_fails_naming_stage_and_index() {
+    let err = perturbed("sample", |vectors| {
+        let v = vectors
+            .iter_mut()
+            .find(|v| v.name == "captured_4mhz")
+            .unwrap();
+        let Payload::Samples(s) = &mut v.payload else {
+            panic!("captured_4mhz should be samples")
+        };
+        s[1234].re += 1e-3;
+    });
+    let CheckError::Diverged(d) = err else {
+        panic!("expected a divergence, got {err}")
+    };
+    assert_eq!(d.stage, "captured_4mhz");
+    assert_eq!(d.index, 1234);
+    assert!(d.location.contains("sample 1234"), "{}", d.location);
+    assert!(
+        (d.magnitude - 1e-3).abs() < 1e-9,
+        "magnitude {}",
+        d.magnitude
+    );
+}
+
+/// Digital stages are bit-exact: even a one-bit chip flip fails.
+#[test]
+fn single_chip_flip_fails_bit_exactly() {
+    let err = perturbed("chip", |vectors| {
+        let Payload::Bytes(chips) = &mut vectors[0].payload else {
+            panic!("stage 0 should be chip bytes")
+        };
+        chips[77] ^= 1;
+    });
+    let CheckError::Diverged(d) = err else {
+        panic!("expected a divergence, got {err}")
+    };
+    assert_eq!(d.stage, "zigbee_chips");
+    assert_eq!(d.index, 77);
+}
+
+/// A changed JSONL field in the gateway event stream is pinpointed down to
+/// the line and field.
+#[test]
+fn gateway_event_field_change_fails_naming_the_field() {
+    let err = perturbed("event", |vectors| {
+        let v = vectors
+            .iter_mut()
+            .find(|v| v.name == "gateway_events")
+            .unwrap();
+        let Payload::Text(text) = &mut v.payload else {
+            panic!("gateway_events should be text")
+        };
+        let flipped = text.replacen("\"verdict\":\"attack\"", "\"verdict\":\"authentic\"", 1);
+        assert_ne!(&flipped, text, "corpus should contain an attack verdict");
+        *text = flipped;
+    });
+    let CheckError::Diverged(d) = err else {
+        panic!("expected a divergence, got {err}")
+    };
+    assert_eq!(d.stage, "gateway_events");
+    assert!(d.location.contains("verdict"), "{}", d.location);
+}
+
+/// Generation is a pure function of the spec: two runs agree bit-for-bit,
+/// so any `check` failure is attributable to a code change, not noise.
+#[test]
+fn regeneration_is_bit_identical() {
+    let spec = CorpusSpec::default();
+    let a = generate(&spec).unwrap();
+    let b = generate(&spec).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.checksum(), y.checksum(), "{}", x.name);
+        let report = compare(x, y).unwrap();
+        assert_eq!(report.max_ulps, 0, "{}", x.name);
+    }
+}
