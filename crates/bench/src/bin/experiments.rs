@@ -1,7 +1,8 @@
 //! Experiment harness regenerating every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--results <dir>] [--quick] [--jobs N] [--seed S] <id>...
+//! experiments [--results <dir>] [--quick] [--jobs N] [--seed S]
+//!             [--obs-dump] <id>...
 //! ids: table1 table2 table3 table4 table5 phy fig5 fig6 fig7 fig8 fig9
 //!      fig10 fig11 fig12 fig14 roc ablation-subcarriers ablation-alpha
 //!      bitchain cfo gap arms-race spectral coexistence fullframe
@@ -13,7 +14,9 @@
 //! paper's counts where feasible. `--jobs N` sets the worker-thread count
 //! (default: available parallelism); results are byte-identical for any
 //! value. Reports go to stdout; timing goes to stderr so redirected output
-//! is reproducible.
+//! is reproducible. `--obs-dump` prints the engine's stage-timing metrics
+//! (Prometheus text, from the global [`ctc_obs::Registry`]) to stderr
+//! after the run.
 
 use ctc_bench::engine::{available_jobs, Artifacts, TrialRunner, DEFAULT_BASE_SEED};
 use ctc_bench::experiments::{build, ALL};
@@ -25,6 +28,7 @@ struct Config {
     quick: bool,
     jobs: usize,
     seed: u64,
+    obs_dump: bool,
 }
 
 fn parse_args() -> Result<(Config, Vec<String>), String> {
@@ -33,6 +37,7 @@ fn parse_args() -> Result<(Config, Vec<String>), String> {
         quick: false,
         jobs: available_jobs(),
         seed: DEFAULT_BASE_SEED,
+        obs_dump: false,
     };
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -58,9 +63,10 @@ fn parse_args() -> Result<(Config, Vec<String>), String> {
                     .ok_or("--seed needs an unsigned integer")?;
             }
             "--quick" => cfg.quick = true,
+            "--obs-dump" => cfg.obs_dump = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--results <dir>] [--quick] [--jobs N] [--seed S] <id>...\nids: {} all",
+                    "usage: experiments [--results <dir>] [--quick] [--jobs N] [--seed S] [--obs-dump] <id>...\nids: {} all",
                     ALL.join(" ")
                 );
                 std::process::exit(0);
@@ -128,5 +134,10 @@ fn main() -> ExitCode {
         "[experiments] total wall clock: {:.2}s",
         total.elapsed().as_secs_f64()
     );
+    if cfg.obs_dump {
+        // Stage timings recorded by TrialRunner::run for every experiment
+        // above; stderr, like all timing, so stdout stays reproducible.
+        eprint!("{}", ctc_obs::Registry::global().render());
+    }
     ExitCode::SUCCESS
 }

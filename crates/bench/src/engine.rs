@@ -264,6 +264,12 @@ impl TrialRunner {
     /// Runs the experiment: parallel trial phase, then single-threaded
     /// reduce, returning the rendered report with timing.
     ///
+    /// Per-experiment stage timings land in the global
+    /// [`ctc_obs::Registry`]: `ctc_bench_trials_total{experiment=...}`
+    /// counts trials and `ctc_bench_stage_duration_us{experiment=...,
+    /// stage="trials"|"reduce"}` histograms the two phases, so
+    /// `experiments --obs-dump` shows where a sweep's wall-clock went.
+    ///
     /// # Errors
     ///
     /// Returns the error of the lowest-numbered failing trial, or the
@@ -272,12 +278,40 @@ impl TrialRunner {
         let n = experiment.trials();
         let start = Instant::now();
         let outcomes = self.fan_out(experiment, artifacts, n)?;
+        let trials_done = start.elapsed();
         let text = experiment.reduce(artifacts, outcomes)?;
+        let elapsed = start.elapsed();
+
+        let registry = ctc_obs::Registry::global();
+        let name = experiment.name();
+        registry
+            .counter_with(
+                "ctc_bench_trials_total",
+                "Monte-Carlo trials executed, by experiment.",
+                &[("experiment", name)],
+            )
+            .add(n);
+        let stage_help = "Wall-clock time of one engine phase, in microseconds.";
+        registry
+            .histogram_with(
+                "ctc_bench_stage_duration_us",
+                stage_help,
+                &[("experiment", name), ("stage", "trials")],
+            )
+            .record(trials_done.as_micros() as u64);
+        registry
+            .histogram_with(
+                "ctc_bench_stage_duration_us",
+                stage_help,
+                &[("experiment", name), ("stage", "reduce")],
+            )
+            .record((elapsed - trials_done).as_micros() as u64);
+
         Ok(Report {
-            name: experiment.name().to_string(),
+            name: name.to_string(),
             text,
             trials: n,
-            elapsed: start.elapsed(),
+            elapsed,
             jobs: self.jobs,
         })
     }

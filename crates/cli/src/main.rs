@@ -27,10 +27,12 @@ use ctc_dsp::io::{write_cf32_file, Cf32Reader};
 use ctc_dsp::psd::{welch_psd, Window};
 use ctc_dsp::Complex;
 use ctc_gateway::{Gateway, GatewayConfig, Input};
+use ctc_obs::{Registry, TraceSink};
 use ctc_zigbee::{Receiver, Transmitter};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Exit code when a decoded frame was attributed to the attacker, so shell
@@ -61,10 +63,18 @@ COMMANDS
             memory; bursts print as they complete).
   monitor   --input <src> [--real] [--threshold Q] [--workers N]
             [--chunk N] [--queue N] [--stats SECS] [--max-burst N]
+            [--metrics-addr HOST:PORT] [--trace-out FILE]
             Streaming detection gateway: JSONL frame events on stdout,
             periodic stats on stderr. Exits 3 when a forgery was accepted.
+            --metrics-addr serves Prometheus text at /metrics for the run
+            (port 0 picks a free port; the bound address prints on stderr);
+            --trace-out writes one JSONL span record per pipeline stage.
   spectrum  --input <file> [--segment N]
             Welch PSD of a waveform, printed as text.
+  obs       dump [--addr HOST:PORT]
+            One-shot metrics snapshot. With --addr, scrapes a running
+            monitor's endpoint; without, prints the canonical gateway
+            metric schema at zero.
   vectors   <generate|check|diff> [--dir DIR] [--seed N]
             Golden-vector regression corpus (default DIR: vectors).
             generate: run the pipeline, write corpus + manifest.
@@ -426,10 +436,46 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
             None
         };
     }
+    let registry = Arc::new(Registry::new());
+    let mut gateway = Gateway::new(config).with_registry(Arc::clone(&registry));
+
+    // Serve the run's registry for the lifetime of the process. The
+    // handle must stay bound (not `_`-dropped) so the listener is
+    // reachable for as long as the monitor runs.
+    let _metrics_server = match args.get("metrics-addr") {
+        Some(addr) => {
+            let server = ctc_obs::http::serve(addr, Arc::clone(&registry))
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            eprintln!("metrics: serving http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let trace = match args.get("trace-out") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("creating trace log {path}: {e}"))?;
+            let sink = Arc::new(TraceSink::new(Box::new(std::io::BufWriter::new(file))));
+            gateway = gateway.with_trace_sink(Arc::clone(&sink));
+            Some(sink)
+        }
+        None => None,
+    };
+
     let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
-    let report = Gateway::new(config)
+    let report = gateway
         .run(reader, &mut std::io::stdout(), &mut std::io::stderr())
         .map_err(|e| format!("gateway on {input}: {e}"))?;
+
+    // Exit-code path audit: the forgery exit (code 3) must never race the
+    // telemetry buffers. `run()` has joined every pipeline thread by now,
+    // and the span log is flushed *here*, before the ExitCode is even
+    // constructed — not left to drop order on the way out of `main` (and
+    // never skipped the way a `process::exit` would skip it). The sink
+    // also flushes on drop, so the non-forgery path is covered twice.
+    if let Some(trace) = &trace {
+        trace.flush();
+    }
     Ok(if report.forgery_detected() {
         ExitCode::from(EXIT_FORGERY)
     } else {
@@ -451,6 +497,39 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         println!("{f:>8.3} | {level:>7.1} dB | {bar}");
     }
     Ok(())
+}
+
+fn cmd_obs(argv: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = argv.split_first() else {
+        return Err("obs needs an action: dump".into());
+    };
+    let args = Args::parse(rest)?;
+    match action.as_str() {
+        "dump" => {
+            match args.get("addr") {
+                // Scrape a live monitor and relay its exposition verbatim.
+                Some(addr) => {
+                    let text = ctc_obs::http::fetch_text(addr)
+                        .map_err(|e| format!("scraping {addr}: {e}"))?;
+                    print!("{text}");
+                }
+                // No endpoint: print the canonical gateway schema (every
+                // metric name, help string and type) at zero — what a
+                // scrape of an idle run would return.
+                None => {
+                    let registry = Registry::new();
+                    ctc_gateway::obs::register_run(
+                        &registry,
+                        &ctc_gateway::Metrics::new(),
+                        &ctc_dsp::BufferPool::new(),
+                    );
+                    print!("{}", registry.render());
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown obs action {other:?} (expected dump)")),
+    }
 }
 
 fn cmd_vectors(argv: &[String]) -> Result<ExitCode, String> {
@@ -532,9 +611,13 @@ fn run() -> Result<ExitCode, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(USAGE.into());
     };
-    // `vectors` takes a positional action, so it parses its own tail.
+    // `vectors` and `obs` take a positional action, so they parse their
+    // own tails.
     if cmd == "vectors" {
         return cmd_vectors(rest);
+    }
+    if cmd == "obs" {
+        return cmd_obs(rest);
     }
     let args = Args::parse(rest)?;
     let ok = |()| ExitCode::SUCCESS;

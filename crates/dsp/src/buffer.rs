@@ -284,6 +284,13 @@ impl Extend<Complex> for SampleBuf {
 /// checks a sibling buffer out of the same pool, processes into it, and swaps
 /// — still allocation-free in steady state.
 pub trait Stage {
+    /// A short static name for telemetry (the `stage` label a profiler
+    /// attaches to this stage's duration histogram). Defaults to `"stage"`;
+    /// override to make instrumented pipelines readable.
+    fn name(&self) -> &'static str {
+        "stage"
+    }
+
     /// Processes `input`, replacing the contents of `out` with the result.
     fn process(&mut self, input: &[Complex], out: &mut SampleBuf);
 

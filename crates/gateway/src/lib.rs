@@ -17,6 +17,11 @@
 //!   a decode/classify worker pool, and an order-restoring JSONL sink.
 //! - [`metrics::Metrics`] — lock-free counters and a log-scale latency
 //!   histogram behind the periodic stats lines.
+//! - [`obs`] (feature `telemetry`, default-on) — publishes a run's
+//!   counters into a [`ctc_obs::Registry`] under canonical `ctc_*` names
+//!   and records per-stage trace spans into a
+//!   [`ctc_obs::TraceSink`]; see [`Gateway::with_registry`] and
+//!   [`Gateway::with_trace_sink`].
 //!
 //! ```no_run
 //! use ctc_gateway::{Gateway, GatewayConfig, Input};
@@ -34,12 +39,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod queue;
 pub mod source;
 
 pub use json::{JsonParseError, JsonValue};
-pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use metrics::{LatencyHistogram, Metrics, MetricsCore, MetricsSnapshot};
 pub use pipeline::{default_workers, Gateway, GatewayConfig, GatewayReport};
 pub use queue::BoundedQueue;
 pub use source::Input;

@@ -1,67 +1,31 @@
 //! Lock-free pipeline observability: monotonic counters plus a log-scale
 //! latency histogram, all plain atomics so the hot paths never contend.
+//!
+//! The histogram itself now lives in [`ctc_obs`] (the workspace telemetry
+//! layer); this module keeps the gateway-flavoured names and the snapshot
+//! type the stats lines are built from. [`Metrics`] is a cheap-to-clone
+//! `Arc` handle so a run's counters can also be captured by `'static`
+//! registry collectors (see [`crate::obs`]) and scraped after the
+//! pipeline threads have joined.
 
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of power-of-two latency buckets (bucket `i` covers
 /// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended).
-pub const LATENCY_BUCKETS: usize = 32;
+pub const LATENCY_BUCKETS: usize = ctc_obs::HISTOGRAM_BUCKETS;
 
 /// Histogram of pipeline latencies in microseconds, power-of-two buckets.
 ///
-/// Quantiles are resolved to a bucket's upper bound — coarse (a factor of
-/// two) but allocation-free and wait-free to record, which is what a
-/// per-frame hot path wants.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency observation.
-    pub fn record(&self, micros: u64) {
-        let bucket = (u64::BITS - micros.max(1).leading_zeros() - 1) as usize;
-        let bucket = bucket.min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The latency (µs, bucket upper bound) at quantile `q` in `[0, 1]`,
-    /// or `None` when nothing was recorded.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(1u64 << (i + 1).min(63));
-            }
-        }
-        Some(u64::MAX)
-    }
-}
+/// Recording is wait-free; quantiles are linearly interpolated inside the
+/// selected bucket (see [`ctc_obs::Histogram::quantile`]), so a
+/// well-populated bucket resolves finer than a factor of two.
+pub type LatencyHistogram = ctc_obs::Histogram;
 
 /// Counters shared by every pipeline stage.
 #[derive(Debug, Default)]
-pub struct Metrics {
+pub struct MetricsCore {
     /// IQ samples ingested.
     pub samples_in: AtomicU64,
     /// Chunks ingested.
@@ -78,6 +42,24 @@ pub struct Metrics {
     pub samples_dropped: AtomicU64,
     /// End-to-end (ingest→classified) per-burst latency.
     pub latency: LatencyHistogram,
+}
+
+/// Shared handle to one run's [`MetricsCore`].
+///
+/// Dereferences to the core, so `metrics.samples_in.fetch_add(...)` works
+/// as it always did; cloning bumps an `Arc`, which is what lets registry
+/// collectors outlive the run that produced them.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    core: Arc<MetricsCore>,
+}
+
+impl Deref for Metrics {
+    type Target = MetricsCore;
+
+    fn deref(&self) -> &MetricsCore {
+        &self.core
+    }
 }
 
 /// A point-in-time copy of the counters, ready for reporting.
@@ -108,7 +90,9 @@ impl Metrics {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
+impl MetricsCore {
     /// Copies every counter at once (individually relaxed-consistent).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -200,6 +184,19 @@ mod tests {
         }
     }
 
+    /// The PR 5 interpolation fix: a quantile falling mid-bucket is a
+    /// linear estimate over the bucket range, not the upper edge.
+    #[test]
+    fn quantiles_interpolate_inside_a_populated_bucket() {
+        let h = LatencyHistogram::new();
+        for us in [9u64, 10, 12, 14] {
+            h.record(us); // all bucket 3 = [8, 16)
+        }
+        assert_eq!(h.quantile(0.25), Some(10));
+        assert_eq!(h.quantile(0.5), Some(12));
+        assert_eq!(h.quantile(1.0), Some(16));
+    }
+
     #[test]
     fn snapshot_copies_counters() {
         let m = Metrics::new();
@@ -211,5 +208,13 @@ mod tests {
         assert_eq!(s.forgeries, 2);
         assert!(s.p50_us.is_some());
         assert_eq!(s.p99_us, s.p50_us);
+    }
+
+    #[test]
+    fn metrics_clones_share_one_core() {
+        let m = Metrics::new();
+        let clone = m.clone();
+        m.bursts.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(clone.snapshot().bursts, 3);
     }
 }

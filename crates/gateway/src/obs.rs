@@ -1,0 +1,211 @@
+//! Wiring between one gateway run and the [`ctc_obs`] telemetry layer.
+//!
+//! Two pieces live here:
+//!
+//! * [`register_run`] — publishes a run's counters under the canonical
+//!   workspace metric names (see the README's Observability section) as
+//!   *pull-based collectors*: the registry samples the pipeline's existing
+//!   atomics at scrape time, so the hot path pays nothing and nothing is
+//!   counted twice. Starting a new run re-registers and takes the names
+//!   over.
+//! * `RunObs` — the per-run tracing handle threaded through ingest,
+//!   workers and sink. With the `telemetry` feature off it compiles to a
+//!   zero-sized no-op, so the pipeline code carries no `#[cfg]` noise and
+//!   the disabled build provably does no telemetry work.
+
+#[cfg(feature = "telemetry")]
+use crate::metrics::Metrics;
+#[cfg(feature = "telemetry")]
+use ctc_dsp::BufferPool;
+#[cfg(feature = "telemetry")]
+use ctc_obs::{Registry, TraceSink};
+use std::time::Instant;
+
+/// Per-run tracing handle: allocates span IDs and records stage intervals
+/// when a trace sink is attached, does nothing otherwise.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RunObs<'a> {
+    #[cfg(feature = "telemetry")]
+    trace: Option<&'a TraceSink>,
+    #[cfg(not(feature = "telemetry"))]
+    _lifetime: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> RunObs<'a> {
+    /// A handle that records nothing (the only kind this build has).
+    #[cfg(not(feature = "telemetry"))]
+    pub(crate) fn disabled() -> Self {
+        RunObs {
+            _lifetime: std::marker::PhantomData,
+        }
+    }
+
+    /// A handle recording into `trace` (when given).
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn new(trace: Option<&'a TraceSink>) -> Self {
+        RunObs { trace }
+    }
+
+    /// A fresh span ID for one burst, or `0` (the disabled sentinel) when
+    /// no sink is attached — recording a `0` span is a no-op everywhere.
+    pub(crate) fn next_span(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        if self.trace.is_some() {
+            return ctc_obs::next_span_id();
+        }
+        0
+    }
+
+    /// Records one stage interval for `span`.
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+    pub(crate) fn record(&self, span: u64, seq: u64, stage: &str, start: Instant, end: Instant) {
+        #[cfg(feature = "telemetry")]
+        if let Some(trace) = self.trace {
+            trace.record(span, seq, stage, start, end);
+        }
+    }
+}
+
+/// Registers one run's counters in `registry` under the canonical
+/// workspace metric names.
+///
+/// All metrics are collectors sampling the run's [`Metrics`] and
+/// [`BufferPool`] atomics, so values stay live for the whole run and
+/// remain scrapeable after the pipeline joins (the collectors keep the
+/// backing `Arc`s alive).
+#[cfg(feature = "telemetry")]
+pub fn register_run(registry: &Registry, metrics: &Metrics, pool: &BufferPool) {
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_gateway_samples_total",
+        "IQ samples ingested.",
+        &[],
+        move || m.samples_in.load(Relaxed),
+    );
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_gateway_chunks_total",
+        "Ingest chunks read from the sample stream.",
+        &[],
+        move || m.chunks_in.load(Relaxed),
+    );
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_gateway_bursts_total",
+        "Bursts carved out of the stream by energy detection.",
+        &[],
+        move || m.bursts.load(Relaxed),
+    );
+    let frames_help = "Bursts processed, by verdict: decoded frames split \
+                       authentic/attack, the rest undecoded.";
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_gateway_frames_total",
+        frames_help,
+        &[("verdict", "authentic")],
+        move || {
+            m.frames_decoded
+                .load(Relaxed)
+                .saturating_sub(m.forgeries.load(Relaxed))
+        },
+    );
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_gateway_frames_total",
+        frames_help,
+        &[("verdict", "attack")],
+        move || m.forgeries.load(Relaxed),
+    );
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_gateway_frames_total",
+        frames_help,
+        &[("verdict", "undecoded")],
+        move || {
+            m.bursts
+                .load(Relaxed)
+                .saturating_sub(m.bursts_dropped.load(Relaxed))
+                .saturating_sub(m.frames_decoded.load(Relaxed))
+        },
+    );
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_queue_dropped_total",
+        "Bursts evicted from the bounded queue under overload.",
+        &[],
+        move || m.bursts_dropped.load(Relaxed),
+    );
+    let m = metrics.clone();
+    registry.counter_fn(
+        "ctc_queue_dropped_samples_total",
+        "IQ samples inside evicted bursts.",
+        &[],
+        move || m.samples_dropped.load(Relaxed),
+    );
+    let m = metrics.clone();
+    registry.histogram_fn(
+        "ctc_gateway_latency_us",
+        "End-to-end (enqueue to classified) per-burst latency in microseconds.",
+        &[],
+        move || m.latency.snapshot(),
+    );
+    let p = pool.clone();
+    registry.counter_fn(
+        "ctc_pool_hits_total",
+        "Buffer checkouts served from the free-list.",
+        &[],
+        move || p.hits(),
+    );
+    let p = pool.clone();
+    registry.counter_fn(
+        "ctc_pool_misses_total",
+        "Buffer checkouts that had to allocate.",
+        &[],
+        move || p.misses(),
+    );
+    let p = pool.clone();
+    registry.gauge_fn(
+        "ctc_pool_idle_buffers",
+        "Idle buffers currently retained by the pool.",
+        &[],
+        move || p.idle() as u64,
+    );
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_run_exposes_canonical_names() {
+        let registry = Registry::new();
+        let metrics = Metrics::new();
+        let pool = BufferPool::new();
+        register_run(&registry, &metrics, &pool);
+
+        use std::sync::atomic::Ordering::Relaxed;
+        metrics.samples_in.fetch_add(4096, Relaxed);
+        metrics.bursts.fetch_add(3, Relaxed);
+        metrics.frames_decoded.fetch_add(2, Relaxed);
+        metrics.forgeries.fetch_add(1, Relaxed);
+        metrics.latency.record(120);
+        drop(pool.checkout(16)); // one miss, one idle buffer
+
+        let text = registry.render();
+        assert!(text.contains("ctc_gateway_samples_total 4096"), "{text}");
+        assert!(text.contains("ctc_gateway_frames_total{verdict=\"attack\"} 1"));
+        assert!(text.contains("ctc_gateway_frames_total{verdict=\"authentic\"} 1"));
+        assert!(text.contains("ctc_gateway_frames_total{verdict=\"undecoded\"} 1"));
+        assert!(text.contains("ctc_gateway_latency_us_count 1"));
+        assert!(text.contains("ctc_pool_misses_total 1"));
+        assert!(text.contains("ctc_pool_idle_buffers 1"));
+        assert!(text.contains("ctc_queue_dropped_total 0"));
+
+        // Collectors sample live values: later increments show up in the
+        // next render without re-registration.
+        metrics.samples_in.fetch_add(1, Relaxed);
+        assert!(registry.render().contains("ctc_gateway_samples_total 4097"));
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::json::{hex, JsonObject};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::obs::RunObs;
 use crate::queue::BoundedQueue;
 use ctc_core::attack::EnergyDetector;
 use ctc_core::defense::{BurstCapture, BurstSplitter, Detector, FrameProcessor, StreamEvent};
@@ -106,12 +107,21 @@ struct WorkItem {
     seq: u64,
     capture: BurstCapture,
     enqueued: Instant,
+    /// Trace span for this burst (`0` = tracing disabled).
+    span: u64,
 }
 
 /// What reaches the sink: a rendered line, slotted by sequence number so
-/// output order equals burst order even with a racing worker pool.
+/// output order equals burst order even with a racing worker pool. The
+/// span and classification instant ride along so the sink can record the
+/// `emit` stage contiguously with the worker's `classify` stage.
 enum SinkMsg {
-    Line { seq: u64, line: String },
+    Line {
+        seq: u64,
+        line: String,
+        span: u64,
+        classified: Instant,
+    },
 }
 
 /// The streaming detection gateway.
@@ -131,12 +141,41 @@ enum SinkMsg {
 #[derive(Debug, Clone, Default)]
 pub struct Gateway {
     config: GatewayConfig,
+    /// Registry the run's counters are published into (collectors are
+    /// registered at `run()` start).
+    #[cfg(feature = "telemetry")]
+    registry: Option<std::sync::Arc<ctc_obs::Registry>>,
+    /// Span log receiving per-stage trace records.
+    #[cfg(feature = "telemetry")]
+    trace: Option<std::sync::Arc<ctc_obs::TraceSink>>,
 }
 
 impl Gateway {
     /// Gateway with the given configuration.
     pub fn new(config: GatewayConfig) -> Self {
-        Gateway { config }
+        Gateway {
+            config,
+            #[cfg(feature = "telemetry")]
+            registry: None,
+            #[cfg(feature = "telemetry")]
+            trace: None,
+        }
+    }
+
+    /// Publishes this gateway's runs into `registry` under the canonical
+    /// `ctc_*` metric names (see [`crate::obs::register_run`]).
+    #[cfg(feature = "telemetry")]
+    pub fn with_registry(mut self, registry: std::sync::Arc<ctc_obs::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Records per-stage span intervals into `trace` (JSONL; see
+    /// [`ctc_obs::trace`]). Without a sink, tracing costs nothing.
+    #[cfg(feature = "telemetry")]
+    pub fn with_trace_sink(mut self, trace: std::sync::Arc<ctc_obs::TraceSink>) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// The configuration in use.
@@ -162,9 +201,22 @@ impl Gateway {
         let cfg = &self.config;
         let queue: BoundedQueue<WorkItem> = BoundedQueue::new(cfg.queue_depth.max(1));
         let metrics = Metrics::new();
+        // The pool is shared with the workers implicitly: every capture's
+        // buffer returns here when the worker drops it, so after warm-up a
+        // burst costs a free-list pop, not an allocation.
+        let pool = BufferPool::new();
         let processor = FrameProcessor::new(cfg.receiver.clone(), cfg.detector);
         let (tx, rx) = mpsc::channel::<SinkMsg>();
         let started = Instant::now();
+
+        #[cfg(feature = "telemetry")]
+        if let Some(registry) = &self.registry {
+            crate::obs::register_run(registry, &metrics, &pool);
+        }
+        #[cfg(feature = "telemetry")]
+        let obs = RunObs::new(self.trace.as_deref());
+        #[cfg(not(feature = "telemetry"))]
+        let obs = RunObs::disabled();
 
         let mut ingest_result: io::Result<()> = Ok(());
         let mut sink_result: io::Result<()> = Ok(());
@@ -175,12 +227,12 @@ impl Gateway {
                     let queue = &queue;
                     let metrics = &metrics;
                     let processor = processor.clone();
-                    scope.spawn(move || worker_loop(queue, &processor, metrics, &tx))
+                    scope.spawn(move || worker_loop(queue, &processor, metrics, &tx, obs))
                 })
                 .collect();
-            let sink_handle = scope.spawn(|| sink_loop(rx, events));
+            let sink_handle = scope.spawn(|| sink_loop(rx, events, obs));
 
-            ingest_result = self.ingest(input, &queue, &metrics, &tx, stats, started);
+            ingest_result = self.ingest(input, &queue, &metrics, &pool, &tx, stats, started, obs);
             queue.close();
             drop(tx);
             for handle in worker_handles {
@@ -190,6 +242,14 @@ impl Gateway {
         });
         ingest_result?;
         sink_result?;
+
+        // Span records buffer in the sink; push them out while the run's
+        // counters are still being finalised so nothing is lost if the
+        // caller exits right after reading the report.
+        #[cfg(feature = "telemetry")]
+        if let Some(trace) = &self.trace {
+            trace.flush();
+        }
 
         let report = GatewayReport {
             metrics: metrics.snapshot(),
@@ -202,37 +262,44 @@ impl Gateway {
 
     /// The ingest loop: read chunks, advance the splitter, enqueue
     /// captures (shedding the oldest on overflow), emit periodic stats.
+    #[allow(clippy::too_many_arguments)]
     fn ingest<R: Read, E: Write>(
         &self,
         input: R,
         queue: &BoundedQueue<WorkItem>,
         metrics: &Metrics,
+        pool: &BufferPool,
         tx: &mpsc::Sender<SinkMsg>,
         stats: &mut E,
         started: Instant,
+        obs: RunObs<'_>,
     ) -> io::Result<()> {
         use std::sync::atomic::Ordering::Relaxed;
         let cfg = &self.config;
         let mut reader = Cf32Reader::new(input).with_chunk_samples(cfg.chunk_samples.max(1));
-        // The pool is shared with the workers implicitly: every capture's
-        // buffer returns here when the worker drops it, so after warm-up a
-        // burst costs a free-list pop, not an allocation.
-        let pool = BufferPool::new();
         let mut splitter = BurstSplitter::new(cfg.energy)
             .with_max_burst(cfg.max_burst)
-            .with_pool(pool);
+            .with_pool(pool.clone());
         let mut chunk = Vec::new();
         let mut captures: Vec<BurstCapture> = Vec::new();
         let mut seq = 0u64;
         let mut last_stats = started;
 
-        let enqueue = |captures: &mut Vec<BurstCapture>, seq: &mut u64| {
+        // `ingest_start` is when the chunk that completed the burst was
+        // read; the span's `ingest` stage covers read→enqueue and hands
+        // its end instant to the `queue` stage untouched, keeping the
+        // per-frame stage chain contiguous.
+        let enqueue = |captures: &mut Vec<BurstCapture>, seq: &mut u64, ingest_start: Instant| {
             for capture in captures.drain(..) {
                 metrics.bursts.fetch_add(1, Relaxed);
+                let span = obs.next_span();
+                let enqueued = Instant::now();
+                obs.record(span, *seq, "ingest", ingest_start, enqueued);
                 let item = WorkItem {
                     seq: *seq,
                     capture,
-                    enqueued: Instant::now(),
+                    enqueued,
+                    span,
                 };
                 *seq += 1;
                 if let Some(evicted) = queue.push_drop_oldest(item) {
@@ -240,17 +307,27 @@ impl Gateway {
                     metrics
                         .samples_dropped
                         .fetch_add(evicted.capture.samples.len() as u64, Relaxed);
+                    obs.record(
+                        evicted.span,
+                        evicted.seq,
+                        "drop",
+                        evicted.enqueued,
+                        Instant::now(),
+                    );
                     // Fill the sequence hole so the sink's reordering
                     // never waits on work that will not arrive.
                     let _ = tx.send(SinkMsg::Line {
                         seq: evicted.seq,
                         line: dropped_line(&evicted.capture),
+                        span: 0,
+                        classified: enqueued,
                     });
                 }
             }
         };
 
         loop {
+            let chunk_read = Instant::now();
             let n = reader.read_chunk(&mut chunk)?;
             if n == 0 {
                 break;
@@ -258,7 +335,7 @@ impl Gateway {
             metrics.chunks_in.fetch_add(1, Relaxed);
             metrics.samples_in.fetch_add(n as u64, Relaxed);
             splitter.push_into(&chunk, &mut captures);
-            enqueue(&mut captures, &mut seq);
+            enqueue(&mut captures, &mut seq, chunk_read);
             if let Some(interval) = cfg.stats_interval {
                 if last_stats.elapsed() >= interval {
                     last_stats = Instant::now();
@@ -267,8 +344,9 @@ impl Gateway {
                 }
             }
         }
+        let finish_started = Instant::now();
         splitter.finish_into(&mut captures);
-        enqueue(&mut captures, &mut seq);
+        enqueue(&mut captures, &mut seq, finish_started);
         Ok(())
     }
 }
@@ -279,6 +357,7 @@ fn worker_loop(
     processor: &FrameProcessor,
     metrics: &Metrics,
     tx: &mpsc::Sender<SinkMsg>,
+    obs: RunObs<'_>,
 ) {
     use std::sync::atomic::Ordering::Relaxed;
     while let Some(item) = queue.pop() {
@@ -288,6 +367,9 @@ fn worker_loop(
         let decoded = Instant::now();
         let event = processor.classify(&item.capture, reception);
         let done = Instant::now();
+        obs.record(item.span, item.seq, "queue", item.enqueued, dequeued);
+        obs.record(item.span, item.seq, "decode", dequeued, decoded);
+        obs.record(item.span, item.seq, "classify", decoded, done);
         let total_us = micros_between(item.enqueued, done);
         metrics.latency.record(total_us);
         if event.payload.is_some() {
@@ -309,18 +391,31 @@ fn worker_loop(
         let _ = tx.send(SinkMsg::Line {
             seq: item.seq,
             line,
+            span: item.span,
+            classified: done,
         });
     }
 }
 
 /// Sink: restore sequence order (workers race) and write JSON lines.
-fn sink_loop<W: Write>(rx: mpsc::Receiver<SinkMsg>, events: &mut W) -> io::Result<()> {
+fn sink_loop<W: Write>(
+    rx: mpsc::Receiver<SinkMsg>,
+    events: &mut W,
+    obs: RunObs<'_>,
+) -> io::Result<()> {
     let mut pending = std::collections::BTreeMap::new();
     let mut next = 0u64;
-    while let Ok(SinkMsg::Line { seq, line }) = rx.recv() {
-        pending.insert(seq, line);
-        while let Some(line) = pending.remove(&next) {
+    while let Ok(SinkMsg::Line {
+        seq,
+        line,
+        span,
+        classified,
+    }) = rx.recv()
+    {
+        pending.insert(seq, (line, span, classified));
+        while let Some((line, span, classified)) = pending.remove(&next) {
             writeln!(events, "{line}")?;
+            obs.record(span, next, "emit", classified, Instant::now());
             next += 1;
         }
         if pending.is_empty() {
@@ -329,8 +424,9 @@ fn sink_loop<W: Write>(rx: mpsc::Receiver<SinkMsg>, events: &mut W) -> io::Resul
     }
     // Channel closed: flush whatever is contiguous (holes can only mean a
     // worker died, which join() will have surfaced as a panic).
-    while let Some(line) = pending.remove(&next) {
+    while let Some((line, span, classified)) = pending.remove(&next) {
         writeln!(events, "{line}")?;
+        obs.record(span, next, "emit", classified, Instant::now());
         next += 1;
     }
     events.flush()

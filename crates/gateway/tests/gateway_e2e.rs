@@ -172,6 +172,137 @@ fn gateway_events_are_worker_pool_invariant() {
     }
 }
 
+/// A write target shared between the trace sink and the asserting test.
+#[cfg(feature = "telemetry")]
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+#[cfg(feature = "telemetry")]
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One parsed span record from the JSONL trace log.
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone)]
+struct SpanRecord {
+    span: u64,
+    seq: u64,
+    stage: String,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[cfg(feature = "telemetry")]
+fn parse_trace(text: &str) -> Vec<SpanRecord> {
+    text.lines()
+        .map(|l| SpanRecord {
+            span: field(l, "span").parse().unwrap(),
+            seq: field(l, "seq").parse().unwrap(),
+            stage: field(l, "stage").trim_matches('"').to_string(),
+            start_us: field(l, "start_us").parse().unwrap(),
+            end_us: field(l, "end_us").parse().unwrap(),
+        })
+        .collect()
+}
+
+/// The span log must reconstruct, for every emitted frame, a contiguous
+/// stage chain ingest → queue → decode → classify → emit: each stage's
+/// `end_us` is the next stage's `start_us` (the pipeline hands the same
+/// `Instant` across every boundary), timestamps are monotonic, and the
+/// chain is invariant under worker-pool size — only the numbers may vary.
+#[cfg(feature = "telemetry")]
+#[test]
+fn trace_log_reconstructs_contiguous_stage_chains() {
+    const CHAIN: [&str; 5] = ["ingest", "queue", "decode", "classify", "emit"];
+    let (bytes, _) = synthetic_capture(11);
+    for workers in [1usize, 2, 4] {
+        let buf = SharedBuf::default();
+        let sink = std::sync::Arc::new(ctc_obs::TraceSink::new(Box::new(buf.clone())));
+        let cfg = GatewayConfig {
+            workers,
+            ..config()
+        };
+        let report = Gateway::new(cfg)
+            .with_trace_sink(sink)
+            .run(&bytes[..], &mut Vec::new(), &mut Vec::new())
+            .unwrap();
+        assert_eq!(report.metrics.frames_decoded, 2, "workers {workers}");
+        assert_eq!(report.metrics.bursts_dropped, 0, "workers {workers}");
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let records = parse_trace(&text);
+        // Exactly one full chain per burst, nothing else in the log.
+        assert_eq!(records.len(), 2 * CHAIN.len(), "workers {workers}:\n{text}");
+        for seq in [0u64, 1] {
+            let mut chain: Vec<&SpanRecord> = records.iter().filter(|r| r.seq == seq).collect();
+            // Workers race, so records may be out of order in the file;
+            // the timestamps, not file order, define the chain.
+            chain.sort_by_key(|r| (r.start_us, r.end_us));
+            let stages: Vec<&str> = chain.iter().map(|r| r.stage.as_str()).collect();
+            assert_eq!(stages, CHAIN, "workers {workers}, seq {seq}");
+            // One span per burst, never the disabled sentinel.
+            assert_ne!(chain[0].span, 0);
+            assert!(chain.iter().all(|r| r.span == chain[0].span));
+            for r in &chain {
+                assert!(r.start_us <= r.end_us, "workers {workers}: {r:?}");
+            }
+            // Contiguity: stage N ends exactly where stage N+1 starts.
+            for pair in chain.windows(2) {
+                assert_eq!(
+                    pair[0].end_us, pair[1].start_us,
+                    "workers {workers}, seq {seq}: gap between {} and {}",
+                    pair[0].stage, pair[1].stage
+                );
+            }
+        }
+        // The two bursts carry distinct spans.
+        let span_of = |seq| records.iter().find(|r| r.seq == seq).unwrap().span;
+        assert_ne!(span_of(0), span_of(1), "workers {workers}");
+    }
+}
+
+/// A run published into a registry must expose the canonical metric names
+/// with values matching the report — the contract `ctc monitor
+/// --metrics-addr` and the CI metrics smoke step scrape against.
+#[cfg(feature = "telemetry")]
+#[test]
+fn registry_exposes_canonical_names_after_a_run() {
+    let (bytes, total) = synthetic_capture(11);
+    let registry = std::sync::Arc::new(ctc_obs::Registry::new());
+    let report = Gateway::new(config())
+        .with_registry(std::sync::Arc::clone(&registry))
+        .run(&bytes[..], &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+    assert_eq!(report.metrics.forgeries, 1);
+
+    let text = registry.render();
+    for line in [
+        format!("ctc_gateway_samples_total {total}"),
+        "ctc_gateway_bursts_total 2".to_string(),
+        "ctc_gateway_frames_total{verdict=\"attack\"} 1".to_string(),
+        "ctc_gateway_frames_total{verdict=\"authentic\"} 1".to_string(),
+        "ctc_gateway_frames_total{verdict=\"undecoded\"} 0".to_string(),
+        "ctc_queue_dropped_total 0".to_string(),
+        "ctc_queue_dropped_samples_total 0".to_string(),
+        "ctc_gateway_latency_us_count 2".to_string(),
+        "ctc_pool_misses_total".to_string(),
+    ] {
+        assert!(text.contains(&line), "missing `{line}` in:\n{text}");
+    }
+    // Both decoded frames fell into some finite latency bucket.
+    assert!(
+        text.contains("ctc_gateway_latency_us_bucket{le=\"+Inf\"} 2"),
+        "{text}"
+    );
+}
+
 /// A worker pool must keep up with a realistic sample clock — with the
 /// pooled, allocation-free sample path the bench sits near 40 Msamples/s,
 /// so 10 is a conservative floor with headroom for slow CI machines. Debug

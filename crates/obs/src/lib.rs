@@ -1,0 +1,57 @@
+//! # ctc-obs
+//!
+//! Unified telemetry layer for the *Hide and Seek* (ICDCS 2019)
+//! reproduction. The defense lives or dies on timing and decision
+//! statistics, so every long-running component — the streaming gateway,
+//! the buffer pool, the Monte-Carlo bench engine — reports into one
+//! scrapeable surface instead of keeping private counters:
+//!
+//! - [`metrics`] — the wait-free primitives: [`Counter`], [`Gauge`] and a
+//!   fixed-bucket log-scale [`Histogram`]. Recording is a relaxed atomic
+//!   add; no locks ever sit on a hot path.
+//! - [`registry`] — a process-wide (or per-run) [`Registry`] of named,
+//!   labelled metric families. Registration takes a lock once (cold
+//!   path); handles are plain `Arc`s. Pull-based collectors
+//!   ([`Registry::counter_fn`] and friends) expose counters that already
+//!   exist elsewhere — the gateway's pipeline atomics, a
+//!   [`BufferPool`](ctc_dsp::BufferPool)'s hit/miss counts — without
+//!   double-counting on the hot path.
+//! - [`expo`] — Prometheus text exposition (stable name and label
+//!   ordering, histogram `_bucket`/`_sum`/`_count` triples).
+//! - [`http`] — a tiny blocking responder serving `GET /metrics`, plus a
+//!   one-shot [`http::fetch_text`] client for `ctc obs dump`.
+//! - [`trace`] — lightweight structured tracing: span IDs allocated per
+//!   burst at ingest, per-stage durations recorded as JSONL records, so a
+//!   single frame's end-to-end path is reconstructable offline.
+//! - [`stage`] — [`Profiled`], a [`Stage`](ctc_dsp::Stage) combinator
+//!   that records per-call durations of any DSP stage into a registry.
+//!
+//! ```
+//! use ctc_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let frames = registry.counter_with(
+//!     "ctc_gateway_frames_total",
+//!     "Frames decoded, by verdict.",
+//!     &[("verdict", "authentic")],
+//! );
+//! frames.inc();
+//! let text = registry.render();
+//! assert!(text.contains("ctc_gateway_frames_total{verdict=\"authentic\"} 1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod expo;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod stage;
+pub mod trace;
+
+pub use http::MetricsServer;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::Registry;
+pub use stage::Profiled;
+pub use trace::{next_span_id, TraceSink};

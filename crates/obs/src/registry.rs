@@ -1,0 +1,374 @@
+//! The metrics registry: named, labelled metric families behind cheap
+//! handles.
+//!
+//! Registration is the cold path — it takes the registry lock once and
+//! hands back an `Arc` to the metric. The hot path (incrementing through
+//! the handle) is a relaxed atomic and never touches the lock. Exposition
+//! walks the families under the lock, which is fine at scrape frequency.
+//!
+//! Two registration styles coexist:
+//!
+//! - **owned metrics** ([`counter`](Registry::counter),
+//!   [`gauge`](Registry::gauge), [`histogram`](Registry::histogram) and
+//!   their `_with` label variants) — the registry owns the metric, callers
+//!   increment through the returned handle. Registering the same
+//!   name + labels twice returns the *same* handle.
+//! - **collectors** ([`counter_fn`](Registry::counter_fn),
+//!   [`gauge_fn`](Registry::gauge_fn),
+//!   [`histogram_fn`](Registry::histogram_fn)) — the value already lives
+//!   somewhere else (a pipeline's atomics, a buffer pool's hit counter);
+//!   the registry samples it through a closure at exposition time, so the
+//!   hot path is untouched and nothing is counted twice. Re-registering a
+//!   collector replaces the previous one — a fresh gateway run takes over
+//!   the canonical names.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A sorted label set; the `BTreeMap` key, so exposition order is stable.
+pub(crate) type Labels = Vec<(String, String)>;
+
+/// What a family's children are (one kind per family, enforced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter (`_total` names by convention).
+    Counter,
+    /// A value that can move both ways.
+    Gauge,
+    /// Fixed-bucket log-scale histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+pub(crate) enum Child {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    HistogramFn(Box<dyn Fn() -> HistogramSnapshot + Send + Sync>),
+}
+
+impl Child {
+    pub(crate) fn kind(&self) -> MetricKind {
+        match self {
+            Child::Counter(_) | Child::CounterFn(_) => MetricKind::Counter,
+            Child::Gauge(_) | Child::GaugeFn(_) => MetricKind::Gauge,
+            Child::Histogram(_) | Child::HistogramFn(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+    pub(crate) children: BTreeMap<Labels, Child>,
+}
+
+/// A registry of metric families, shareable across threads.
+///
+/// See the [module docs](self) for the registration styles. Rendering
+/// ([`render`](Registry::render)) produces Prometheus text format with
+/// families sorted by name and children by label set.
+#[derive(Default)]
+pub struct Registry {
+    pub(crate) families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self
+            .families
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        f.debug_struct("Registry")
+            .field("families", &names)
+            .finish()
+    }
+}
+
+fn to_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry (for components without a natural owner,
+    /// like the bench engine). Long-running services such as the gateway
+    /// monitor prefer a registry of their own.
+    pub fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Registry::new())).clone()
+    }
+
+    fn child<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Child,
+        get: impl Fn(&Child) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind,
+            kind,
+            "metric family {name:?} already registered as a {}",
+            family.kind.as_str()
+        );
+        let child = family
+            .children
+            .entry(to_labels(labels))
+            .or_insert_with(make);
+        get(child).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {}",
+                child.kind().as_str()
+            )
+        })
+    }
+
+    /// An unlabelled counter (returns the existing handle when already
+    /// registered).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.child(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || Child::Counter(Arc::new(Counter::new())),
+            |c| match c {
+                Child::Counter(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// An unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// A labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.child(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || Child::Gauge(Arc::new(Gauge::new())),
+            |c| match c {
+                Child::Gauge(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// An unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// A labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.child(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || Child::Histogram(Arc::new(Histogram::new())),
+            |c| match c {
+                Child::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    fn collect(&self, name: &str, help: &str, labels: &[(&str, &str)], child: Child) {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let kind = child.kind();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind,
+            kind,
+            "metric family {name:?} already registered as a {}",
+            family.kind.as_str()
+        );
+        // Collectors replace: a new gateway run takes over the name.
+        family.children.insert(to_labels(labels), child);
+    }
+
+    /// Registers a pull-based counter: `f` is sampled at exposition time.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.collect(name, help, labels, Child::CounterFn(Box::new(f)));
+    }
+
+    /// Registers a pull-based gauge.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.collect(name, help, labels, Child::GaugeFn(Box::new(f)));
+    }
+
+    /// Registers a pull-based histogram: `f` snapshots the histogram at
+    /// exposition time.
+    pub fn histogram_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
+    ) {
+        self.collect(name, help, labels, Child::HistogramFn(Box::new(f)));
+    }
+
+    /// Renders the registry in Prometheus text format (see [`crate::expo`]).
+    pub fn render(&self) -> String {
+        crate::expo::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn same_name_and_labels_share_a_handle() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_are_different_children() {
+        let r = Registry::new();
+        let a = r.counter_with("y_total", "y", &[("k", "a")]);
+        let b = r.counter_with("y_total", "y", &[("k", "b")]);
+        a.inc();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter_with("z_total", "z", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("z_total", "z", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("w", "w");
+        let _ = r.gauge("w", "w");
+    }
+
+    #[test]
+    fn collector_replaces_previous_registration() {
+        let r = Registry::new();
+        r.counter_fn("c_total", "c", &[], || 1);
+        r.counter_fn("c_total", "c", &[], || 2);
+        assert!(r.render().contains("c_total 2"));
+    }
+
+    /// The satellite hammer test: concurrent increments through shared and
+    /// per-thread handles never lose an update.
+    #[test]
+    fn concurrent_increments_are_exact() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 20_000;
+        let r = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    // Each thread re-registers: all get the same child.
+                    let c = r.counter("hammer_total", "hammered");
+                    let lab = r.counter_with(
+                        "hammer_labelled_total",
+                        "hammered",
+                        &[("thread", if t % 2 == 0 { "even" } else { "odd" })],
+                    );
+                    let h = r.histogram("hammer_us", "hammered");
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        lab.inc();
+                        h.record(i % 1000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("hammer_total", "").get(), THREADS * PER_THREAD);
+        let even = r.counter_with("hammer_labelled_total", "", &[("thread", "even")]);
+        let odd = r.counter_with("hammer_labelled_total", "", &[("thread", "odd")]);
+        assert_eq!(even.get(), THREADS / 2 * PER_THREAD);
+        assert_eq!(odd.get(), THREADS / 2 * PER_THREAD);
+        let h = r.histogram("hammer_us", "");
+        assert_eq!(h.count(), THREADS * PER_THREAD);
+        let expected_sum: u64 = (0..PER_THREAD).map(|i| i % 1000).sum::<u64>() * THREADS;
+        assert_eq!(h.sum(), expected_sum);
+    }
+}

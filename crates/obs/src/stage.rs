@@ -1,0 +1,108 @@
+//! [`Profiled`]: a [`Stage`] combinator that times every call.
+//!
+//! Wrapping a DSP stage records each `process`/`process_in_place` call's
+//! wall-clock duration (microseconds) into a registry histogram named
+//! `ctc_stage_duration_us{stage="<name>"}`, where `<name>` comes from
+//! [`Stage::name`]. The wrapped stage is otherwise untouched — `Profiled`
+//! forwards both methods, so in-place fast paths stay in place.
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+use ctc_dsp::buffer::{SampleBuf, Stage};
+use ctc_dsp::Complex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Histogram family name used for all profiled stages.
+pub const STAGE_DURATION_METRIC: &str = "ctc_stage_duration_us";
+
+/// A [`Stage`] wrapper recording per-call durations into a [`Registry`].
+#[derive(Debug)]
+pub struct Profiled<S> {
+    inner: S,
+    durations: Arc<Histogram>,
+}
+
+impl<S: Stage> Profiled<S> {
+    /// Wraps `stage`, registering its duration histogram in `registry`
+    /// under the stage's [`name`](Stage::name).
+    pub fn new(stage: S, registry: &Registry) -> Self {
+        let durations = registry.histogram_with(
+            STAGE_DURATION_METRIC,
+            "Per-call processing time of instrumented DSP stages, in microseconds.",
+            &[("stage", stage.name())],
+        );
+        Profiled {
+            inner: stage,
+            durations,
+        }
+    }
+
+    /// The wrapped stage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn observe(&self, started: Instant) {
+        self.durations.record(started.elapsed().as_micros() as u64);
+    }
+}
+
+impl<S: Stage> Stage for Profiled<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn process(&mut self, input: &[Complex], out: &mut SampleBuf) {
+        let started = Instant::now();
+        self.inner.process(input, out);
+        self.observe(started);
+    }
+
+    fn process_in_place(&mut self, buf: &mut SampleBuf) {
+        let started = Instant::now();
+        self.inner.process_in_place(buf);
+        self.observe(started);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Negate;
+    impl Stage for Negate {
+        fn name(&self) -> &'static str {
+            "negate"
+        }
+        fn process(&mut self, input: &[Complex], out: &mut SampleBuf) {
+            out.clear();
+            out.extend(input.iter().map(|&v| v * -1.0));
+        }
+    }
+
+    #[test]
+    fn profiled_stage_counts_every_call() {
+        let registry = Registry::new();
+        let mut stage = Profiled::new(Negate, &registry);
+        assert_eq!(stage.name(), "negate");
+
+        let mut out = SampleBuf::detached(4);
+        stage.process(&[Complex::ONE; 4], &mut out);
+        assert_eq!(out.len(), 4);
+        assert!((out[0] + Complex::ONE).norm() < 1e-12);
+
+        let mut buf = SampleBuf::detached(2);
+        buf.extend_from_slice(&[Complex::I; 2]);
+        stage.process_in_place(&mut buf);
+        assert!((buf[0] + Complex::I).norm() < 1e-12);
+
+        let h = registry.histogram_with(STAGE_DURATION_METRIC, "", &[("stage", "negate")]);
+        assert_eq!(h.count(), 2);
+        let text = registry.render();
+        assert!(
+            text.contains("ctc_stage_duration_us_count{stage=\"negate\"} 2"),
+            "{text}"
+        );
+    }
+}

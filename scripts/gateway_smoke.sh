@@ -8,6 +8,13 @@
 #   - the final stats line reports zero dropped samples;
 #   - the process exits 3 (forgery detected).
 #
+# A second pass re-runs the same stream with telemetry on (metrics smoke):
+#
+#   - `--metrics-addr 127.0.0.1:0` binds, and `ctc obs dump --addr` scrapes
+#     the canonical `ctc_*` metric names live, mid-run;
+#   - `--trace-out` produces a span log covering every pipeline stage;
+#   - the telemetry run still exits 3.
+#
 # Run from the repo root after `cargo build --release -p ctc-cli`.
 set -euo pipefail
 
@@ -67,3 +74,65 @@ echo "$stats" | grep -q '"forgeries":1' \
     || fail "expected exactly 1 forgery in stats: $stats"
 
 echo "gateway smoke OK: 3 frames, verdicts ${verdicts[*]}, 0 dropped, exit 3"
+
+# --- metrics smoke: same stream, telemetry on, scraped while live -------
+#
+# A fifo keeps the monitor's stdin open after the capture is written, so
+# the process (and its metrics endpoint) stays up until we close fd 3 —
+# that is what lets the scrape observe a *running* gateway. The ingest
+# reader fills fixed-size chunks before processing, so the chunk must be
+# smaller than the capture (~21k samples) or nothing is classified until
+# EOF: 4096 samples means all three frames complete inside the first five
+# chunks while stdin is still open.
+mkfifo "$workdir/stream.fifo"
+mstatus=0
+"$CTC" monitor --input - --threshold 0.25 --chunk 4096 \
+    --metrics-addr 127.0.0.1:0 \
+    --trace-out "$workdir/trace.jsonl" \
+    < "$workdir/stream.fifo" \
+    > "$workdir/events2.jsonl" \
+    2> "$workdir/stats2.jsonl" &
+monitor_pid=$!
+exec 3> "$workdir/stream.fifo"
+cat "$workdir/stream.cf32" >&3
+
+# The monitor prints the bound address (port 0 = ephemeral) on stderr.
+addr=
+for _ in $(seq 100); do
+    addr=$(sed -n 's#^metrics: serving http://\([^/]*\)/metrics$#\1#p' \
+        "$workdir/stats2.jsonl" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { exec 3>&-; fail "monitor never announced a metrics address"; }
+
+# Scrape until the pipeline has classified the forged frame (retry: the
+# workers race the scraper), then assert the canonical names are served.
+metrics=
+for _ in $(seq 100); do
+    metrics=$("$CTC" obs dump --addr "$addr" || true)
+    grep -q 'ctc_gateway_frames_total{verdict="attack"} 1' <<< "$metrics" && break
+    sleep 0.1
+done
+exec 3>&-   # EOF on stdin: the monitor drains and exits
+wait "$monitor_pid" || mstatus=$?
+
+grep -q 'ctc_gateway_frames_total{verdict="attack"} 1' <<< "$metrics" \
+    || fail "scrape never saw the forgery counted: $metrics"
+for name in ctc_gateway_samples_total ctc_gateway_bursts_total \
+    ctc_gateway_latency_us_bucket ctc_pool_hits_total ctc_queue_dropped_total; do
+    grep -q "^$name" <<< "$metrics" \
+        || fail "metric $name missing from the live scrape"
+done
+grep -q 'ctc_queue_dropped_total 0' <<< "$metrics" \
+    || fail "queue drops under metrics-smoke load"
+
+[ "$mstatus" -eq 3 ] || fail "telemetry run: expected exit code 3, got $mstatus"
+
+# The span log must cover the full stage chain for the 3 frames.
+for stage in ingest queue decode classify emit; do
+    n=$(grep -c "\"stage\":\"$stage\"" "$workdir/trace.jsonl" || true)
+    [ "$n" -eq 3 ] || fail "expected 3 '$stage' span records, got $n"
+done
+
+echo "metrics smoke OK: live scrape at $addr, span log complete, exit 3"

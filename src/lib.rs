@@ -16,6 +16,8 @@
 //!   ingest, bounded decode/classify pipeline, JSONL events and metrics
 //! - [`vectors`] — the golden-vector regression corpus: deterministic
 //!   per-stage artifacts with tolerance-aware comparison
+//! - [`obs`] — the unified telemetry layer: lock-free metrics registry,
+//!   Prometheus-style exposition, structured pipeline tracing
 //!
 //! Fallible operations across the workspace converge on the single
 //! [`Error`] enum (re-exported from `ctc_core`), so cross-crate pipelines
@@ -29,6 +31,7 @@ pub use ctc_core::{Error, WaveformPair};
 pub use ctc_dsp as dsp;
 pub use ctc_dsp::{BufferPool, Complex, SampleBuf, Stage};
 pub use ctc_gateway as gateway;
+pub use ctc_obs as obs;
 pub use ctc_vectors as vectors;
 pub use ctc_wifi as wifi;
 pub use ctc_zigbee as zigbee;
