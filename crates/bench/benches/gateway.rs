@@ -4,6 +4,13 @@
 //!
 //! The acceptance floor for the pipeline is 4 Msamples/s at the default
 //! worker count — one 4 MHz ZigBee channel in real time with headroom.
+//!
+//! Benches the deprecated single-stream wrapper on purpose: its numbers
+//! are the regression baseline, and the wrapper now routes through the
+//! multi-stream server, so a shard/session overhead regression shows up
+//! right here.
+
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ctc_channel::noise::complex_gaussian;

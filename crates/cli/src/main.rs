@@ -26,7 +26,9 @@ use ctc_core::defense::{ChannelAssumption, Detector};
 use ctc_dsp::io::{write_cf32_file, Cf32Reader};
 use ctc_dsp::psd::{welch_psd, Window};
 use ctc_dsp::Complex;
-use ctc_gateway::{Gateway, GatewayConfig, Input};
+use ctc_gateway::{
+    Gateway, GatewayConfig, GatewayError, GatewayServer, Input, Listener, ServerConfig,
+};
 use ctc_obs::{Registry, TraceSink};
 use ctc_zigbee::{Receiver, Transmitter};
 use std::collections::HashMap;
@@ -61,11 +63,20 @@ COMMANDS
   listen    --input <src>
             Energy-detect frame bursts in a stream of any length (bounded
             memory; bursts print as they complete).
-  monitor   --input <src> [--real] [--threshold Q] [--workers N]
-            [--chunk N] [--queue N] [--stats SECS] [--max-burst N]
+  monitor   --input <src> | --listen <addr> [--real] [--threshold Q]
+            [--workers N] [--chunk N] [--queue N] [--stats SECS]
+            [--max-burst N] [--max-streams N] [--shards N] [--stop-after N]
             [--metrics-addr HOST:PORT] [--trace-out FILE]
             Streaming detection gateway: JSONL frame events on stdout,
-            periodic stats on stderr. Exits 3 when a forgery was accepted.
+            periodic stats on stderr. Exits 3 when a forgery was accepted;
+            other failures get distinct codes (bad address 4, bind/accept
+            5, session limit 6, sink 7, input 9, config 10).
+            --listen (tcp://host:port or unix:///path.sock) serves many
+            concurrent streams, each a session with a `stream`-tagged
+            event sequence and per-stream metrics; --max-streams caps
+            concurrency, --stop-after N exits after N sessions, --shards
+            sets worker shards (0 = one per worker). The bound address
+            prints on stderr, so port 0 works in scripts.
             --metrics-addr serves Prometheus text at /metrics for the run
             (port 0 picks a free port; the bound address prints on stderr);
             --trace-out writes one JSONL span record per pipeline stage.
@@ -82,8 +93,8 @@ COMMANDS
             out-of-tolerance divergence (stage, index, magnitude).
             diff: per-stage max deviation report, even when passing.
 
-  <src> is a cf32 file path, `-` for stdin, or `tcp://host:port` to accept
-  one connection and stream from it.
+  <src> is a cf32 file path, `-` for stdin, `tcp://host:port` to accept
+  one connection and stream from it, or `unix:///path.sock` likewise.
 ";
 
 struct Args {
@@ -138,8 +149,8 @@ impl Args {
 /// Reads a whole waveform from an input spec (file, `-`, `tcp://addr`),
 /// streaming through [`Cf32Reader`] so even stdin never double-buffers.
 fn load(spec: &str) -> Result<Vec<Complex>, String> {
-    let input = Input::parse(spec);
-    let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
+    let input = Input::parse(spec).map_err(|e| e.to_string())?;
+    let reader = input.open().map_err(|e| e.to_string())?;
     let mut reader = Cf32Reader::new(reader);
     let mut samples = Vec::new();
     let mut chunk = Vec::new();
@@ -362,8 +373,8 @@ fn cmd_listen(args: &Args) -> Result<(), String> {
         );
     }
 
-    let input = Input::parse(args.require("input")?);
-    let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
+    let input = Input::parse(args.require("input")?).map_err(|e| e.to_string())?;
+    let reader = input.open().map_err(|e| e.to_string())?;
     let mut reader = Cf32Reader::new(reader);
     let mut stream = EnergyDetector::default().stream();
     let mut chunk = Vec::new();
@@ -398,47 +409,50 @@ fn cmd_listen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints a gateway error and converts it to its process exit code, so
+/// shell pipelines can distinguish a bad address (4) from a bind/accept
+/// failure (5), the session limit (6), a broken sink (7), and so on —
+/// forgery detection keeps its reserved code 3.
+fn gateway_exit(context: &str, e: &GatewayError) -> ExitCode {
+    eprintln!("{context}: {e}");
+    ExitCode::from(e.exit_code())
+}
+
 fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
-    let input = Input::parse(args.require("input")?);
     let mut receiver = receiver_from(args)?;
     if args.get("search").is_none() {
         // Burst captures start up to a margin before the preamble, so the
         // gateway always needs a timing search window.
         receiver = receiver.with_sync_search(96);
     }
-    let mut config = GatewayConfig {
-        receiver,
-        detector: detector_from(args)?,
-        ..GatewayConfig::default()
-    };
+    let mut builder = GatewayConfig::builder()
+        .receiver(receiver)
+        .detector(detector_from(args)?);
     if let Some(n) = args.parse_num::<usize>("workers")? {
-        config.workers = n.max(1);
+        builder = builder.workers(n);
     }
     if let Some(n) = args.parse_num::<usize>("chunk")? {
-        config.chunk_samples = n.max(1);
+        builder = builder.chunk_samples(n);
     }
     if let Some(n) = args.parse_num::<usize>("queue")? {
-        config.queue_depth = n.max(1);
+        builder = builder.queue_depth(n);
     }
     if let Some(n) = args.parse_num::<usize>("max-burst")? {
-        if n < config.energy.min_len {
-            return Err(format!(
-                "--max-burst must be at least the detector's min burst length ({})",
-                config.energy.min_len
-            ));
-        }
-        config.max_burst = n;
+        builder = builder.max_burst(n);
     }
     if let Some(secs) = args.parse_num::<f64>("stats")? {
-        config.stats_interval = if secs > 0.0 {
+        builder = builder.stats_interval(if secs > 0.0 {
             Some(Duration::from_secs_f64(secs))
         } else {
             None
-        };
+        });
     }
-    let registry = Arc::new(Registry::new());
-    let mut gateway = Gateway::new(config).with_registry(Arc::clone(&registry));
+    let config = match builder.build() {
+        Ok(config) => config,
+        Err(e) => return Ok(gateway_exit("monitor configuration", &e)),
+    };
 
+    let registry = Arc::new(Registry::new());
     // Serve the run's registry for the lifetime of the process. The
     // handle must stay bound (not `_`-dropped) so the listener is
     // reachable for as long as the monitor runs.
@@ -455,17 +469,81 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
         Some(path) => {
             let file = std::fs::File::create(path)
                 .map_err(|e| format!("creating trace log {path}: {e}"))?;
-            let sink = Arc::new(TraceSink::new(Box::new(std::io::BufWriter::new(file))));
-            gateway = gateway.with_trace_sink(Arc::clone(&sink));
-            Some(sink)
+            Some(Arc::new(TraceSink::new(Box::new(std::io::BufWriter::new(
+                file,
+            )))))
         }
         None => None,
     };
 
-    let reader = input.open().map_err(|e| format!("opening {input}: {e}"))?;
-    let report = gateway
-        .run(reader, &mut std::io::stdout(), &mut std::io::stderr())
-        .map_err(|e| format!("gateway on {input}: {e}"))?;
+    // Server mode: accept many concurrent streams on a listener, each one
+    // a labelled session multiplexed through the shared worker pool.
+    if let Some(spec) = args.get("listen") {
+        let mut server_config = ServerConfig::from(config);
+        if let Some(n) = args.parse_num::<usize>("max-streams")? {
+            server_config.max_streams = n.max(1);
+        }
+        if let Some(n) = args.parse_num::<usize>("shards")? {
+            server_config.shards = n;
+        }
+        if let Some(n) = args.parse_num::<u64>("stop-after")? {
+            server_config.stop_after = Some(n);
+        }
+        let input = match Input::parse(spec) {
+            Ok(input) => input,
+            Err(e) => return Ok(gateway_exit("parsing --listen", &e)),
+        };
+        let listener = match Listener::bind(&input) {
+            Ok(listener) => listener,
+            Err(e) => return Ok(gateway_exit(&format!("binding {input}"), &e)),
+        };
+        // The bound address prints on stderr (like the metrics endpoint)
+        // so scripts binding port 0 can discover where to connect.
+        eprintln!("gateway: listening on {}", listener.local_display());
+
+        let mut server = GatewayServer::new(server_config).with_registry(Arc::clone(&registry));
+        if let Some(sink) = &trace {
+            server = server.with_trace_sink(Arc::clone(sink));
+        }
+        let report = match server.serve(listener, &mut std::io::stdout(), &mut std::io::stderr()) {
+            Ok(report) => report,
+            Err(e) => return Ok(gateway_exit("gateway server", &e)),
+        };
+        if let Some(trace) = &trace {
+            trace.flush();
+        }
+        eprintln!(
+            "gateway: {} session(s) served, {} refused, {} errored",
+            report.server.sessions_opened,
+            report.server.sessions_refused,
+            report.server.sessions_errored
+        );
+        return Ok(if report.forgery_detected() {
+            ExitCode::from(EXIT_FORGERY)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    // Single-stream mode: one input, legacy (unlabelled) event stream.
+    let input = match Input::parse(args.require("input")?) {
+        Ok(input) => input,
+        Err(e) => return Ok(gateway_exit("parsing --input", &e)),
+    };
+    let mut gateway = Gateway::new(config).with_registry(Arc::clone(&registry));
+    if let Some(sink) = &trace {
+        gateway = gateway.with_trace_sink(Arc::clone(sink));
+    }
+    let reader = match input.open() {
+        Ok(reader) => reader,
+        Err(e) => return Ok(gateway_exit("opening input", &e)),
+    };
+    #[allow(deprecated)]
+    let result = gateway.run(reader, &mut std::io::stdout(), &mut std::io::stderr());
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => return Ok(gateway_exit(&format!("gateway on {input}"), &e)),
+    };
 
     // Exit-code path audit: the forgery exit (code 3) must never race the
     // telemetry buffers. `run()` has joined every pipeline thread by now,

@@ -9,4 +9,6 @@ pub mod stream;
 pub use alternatives::{clustered_evm, EvmDetector, EvmVerdict};
 pub use detector::{ChannelAssumption, DetectError, Detector, Verdict};
 pub use features::{constellation_from_reception, features_from_reception, Features};
-pub use stream::{BurstCapture, BurstSplitter, FrameProcessor, StreamEvent, StreamMonitor};
+pub use stream::{
+    BurstCapture, BurstSplitter, FrameProcessor, MonitorFactory, StreamEvent, StreamMonitor,
+};

@@ -286,6 +286,87 @@ impl FrameProcessor {
     }
 }
 
+/// Mints per-session monitor state for a multi-stream gateway: each
+/// session needs its own [`BurstSplitter`] (detector floor, open burst,
+/// margin history are per-stream), while the [`FrameProcessor`] and the
+/// capture [`BufferPool`] are safely shared across every session.
+///
+/// A server holds one factory and calls [`splitter`](Self::splitter) per
+/// accepted connection; buffers dropped by any session's workers are
+/// recycled into the next capture of *any* session.
+#[derive(Debug, Clone)]
+pub struct MonitorFactory {
+    energy: EnergyDetector,
+    processor: FrameProcessor,
+    pool: BufferPool,
+    max_burst: Option<usize>,
+}
+
+impl MonitorFactory {
+    /// Builds the factory from the shared stage configuration.
+    pub fn new(energy: EnergyDetector, receiver: Receiver, detector: Detector) -> Self {
+        MonitorFactory {
+            energy,
+            processor: FrameProcessor::new(receiver, detector),
+            pool: BufferPool::new(),
+            max_burst: None,
+        }
+    }
+
+    /// Draws every session's capture buffers from `pool` instead of a
+    /// private one.
+    pub fn with_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Caps burst length for every minted splitter (see
+    /// [`BurstSplitter::with_max_burst`]).
+    pub fn with_max_burst(mut self, max: usize) -> Self {
+        self.max_burst = Some(max);
+        self
+    }
+
+    /// The shared capture-buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The shared energy-detector configuration.
+    pub fn energy(&self) -> &EnergyDetector {
+        &self.energy
+    }
+
+    /// The shared worker-side stage (clone is cheap; decode/classify hold
+    /// no per-stream state).
+    pub fn processor(&self) -> &FrameProcessor {
+        &self.processor
+    }
+
+    /// A fresh ingest stage for one session, drawing from the shared pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `energy.window == 0`, or when a configured max burst is
+    /// below the detector's `min_len` (both are configuration errors the
+    /// gateway's builder rejects earlier).
+    pub fn splitter(&self) -> BurstSplitter {
+        let splitter = BurstSplitter::new(self.energy).with_pool(self.pool.clone());
+        match self.max_burst {
+            Some(max) => splitter.with_max_burst(max),
+            None => splitter,
+        }
+    }
+
+    /// A fresh inline monitor for one session (splitter + processor).
+    pub fn monitor(&self) -> StreamMonitor {
+        StreamMonitor {
+            splitter: self.splitter(),
+            processor: self.processor.clone(),
+        }
+    }
+}
+
 /// A configured stream monitor: burst splitting plus decode/classify, in
 /// one resumable object.
 #[derive(Debug, Clone)]
@@ -585,6 +666,53 @@ mod tests {
             let expected = &stream[c.capture_start..c.capture_start + c.samples.len()];
             assert_eq!(&c.samples[..], expected);
         }
+    }
+
+    /// A factory mints independent per-session splitters that share one
+    /// pool: sessions do not see each other's stream state, but buffers
+    /// dropped by one session recycle into the other's captures.
+    #[test]
+    fn factory_sessions_are_isolated_but_share_the_pool() {
+        let (stream, _) = build_stream(9);
+        let factory = MonitorFactory::new(
+            EnergyDetector::default(),
+            Receiver::usrp().with_sync_search(96),
+            Detector::new(ChannelAssumption::Ideal).with_threshold(0.25),
+        );
+        let reference = factory.monitor().scan(&stream);
+        assert_eq!(reference.len(), 2);
+
+        // Two interleaved sessions each reproduce the scan exactly.
+        let mut a = factory.splitter();
+        let mut b = factory.splitter();
+        let mut captures_a = Vec::new();
+        let mut captures_b = Vec::new();
+        for chunk in stream.chunks(512) {
+            a.push_into(chunk, &mut captures_a);
+            b.push_into(chunk, &mut captures_b);
+        }
+        a.finish_into(&mut captures_a);
+        b.finish_into(&mut captures_b);
+        let events_a: Vec<StreamEvent> = captures_a
+            .iter()
+            .map(|c| factory.processor().process(c))
+            .collect();
+        let events_b: Vec<StreamEvent> = captures_b
+            .iter()
+            .map(|c| factory.processor().process(c))
+            .collect();
+        assert_events_equal(&events_a, &reference, "session a");
+        assert_events_equal(&events_b, &reference, "session b");
+
+        // Dropping one session's captures feeds the next session's pool.
+        let misses = factory.pool().misses();
+        drop(captures_a);
+        drop(captures_b);
+        let mut c = factory.splitter();
+        let mut captures_c = c.push(&stream);
+        c.finish_into(&mut captures_c);
+        assert_eq!(captures_c.len(), 2);
+        assert_eq!(factory.pool().misses(), misses, "third session is all hits");
     }
 
     /// Capture buffers recycle through a shared pool: once the first

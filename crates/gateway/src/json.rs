@@ -83,6 +83,16 @@ impl JsonObject {
         }
     }
 
+    /// Adds a string field only when present: `None` omits the key
+    /// entirely (unlike [`opt`](Self::opt), which renders null). Used for
+    /// the `stream` tag, which legacy unlabelled events must not carry.
+    pub fn string_if(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.string(key, v),
+            None => self,
+        }
+    }
+
     /// Adds a pre-rendered JSON value (e.g. a nested object) verbatim.
     pub fn raw(mut self, key: &str, json: &str) -> Self {
         self.key(key).push_str(json);

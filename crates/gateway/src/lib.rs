@@ -1,51 +1,95 @@
 //! # ctc-gateway
 //!
 //! The defense of *Hide and Seek* deployed as a long-running service: a
-//! real-time streaming detection gateway that watches a continuous IQ
-//! stream and emits one JSON-lines event per decoded frame, flagging
+//! multi-stream streaming detection gateway that watches continuous IQ
+//! streams and emits one JSON-lines event per decoded frame, flagging
 //! waveform-emulation forgeries as they arrive.
 //!
 //! Where [`ctc_core::defense::StreamMonitor`] processes bursts inline,
-//! this crate puts the same two stages on opposite sides of a bounded
-//! queue so ingest keeps pace with the sample clock no matter how slow
-//! decoding gets:
+//! this crate puts the same two stages on opposite sides of bounded
+//! queues so ingest keeps pace with the sample clock no matter how slow
+//! decoding gets — and multiplexes many independent streams through one
+//! shared worker pool:
 //!
+//! - [`server::GatewayServer`] — the service: each stream becomes a
+//!   [`session::Session`] pinned to a worker shard (workers steal across
+//!   shards, so one stalled stream never head-of-line-blocks another),
+//!   with per-session drop budgets under overload, per-session
+//!   sequence-ordered JSONL tagged with a `stream` field, and both
+//!   aggregate and `{stream="..."}`-labelled metrics.
 //! - [`source::Input`] — where the bytes come from: cf32 file, stdin
-//!   (`-`), or a TCP listener (`tcp://host:port`).
-//! - [`pipeline::Gateway`] — the pipeline itself: chunked ingest with
-//!   state carried across chunk boundaries, a drop-oldest bounded queue,
-//!   a decode/classify worker pool, and an order-restoring JSONL sink.
+//!   (`-`), a TCP listener (`tcp://host:port`), or a Unix-domain
+//!   listener (`unix:///path.sock`); [`source::Listener`] accepts many
+//!   connections for [`GatewayServer::serve`].
+//! - [`pipeline::Gateway`] — the deprecated single-stream front door,
+//!   now a thin one-session wrapper over the server with byte-identical
+//!   output.
 //! - [`metrics::Metrics`] — lock-free counters and a log-scale latency
 //!   histogram behind the periodic stats lines.
+//! - [`error::GatewayError`] — typed failures with distinct process
+//!   exit codes for the CLI.
 //! - [`obs`] (feature `telemetry`, default-on) — publishes a run's
 //!   counters into a [`ctc_obs::Registry`] under canonical `ctc_*` names
-//!   and records per-stage trace spans into a
-//!   [`ctc_obs::TraceSink`]; see [`Gateway::with_registry`] and
-//!   [`Gateway::with_trace_sink`].
+//!   (aggregate and per-stream) and records per-stage trace spans into a
+//!   [`ctc_obs::TraceSink`]; see [`GatewayServer::with_registry`] and
+//!   [`GatewayServer::with_trace_sink`].
+//!
+//! Monitor two labelled streams through one engine:
 //!
 //! ```no_run
-//! use ctc_gateway::{Gateway, GatewayConfig, Input};
+//! use ctc_gateway::{GatewayServer, NamedStream, ServerConfig};
 //!
-//! let input = Input::parse("-").open()?; // stdin
-//! let gateway = Gateway::new(GatewayConfig::default());
-//! let report = gateway.run(input, &mut std::io::stdout(), &mut std::io::stderr())?;
-//! if report.forgery_detected() {
-//!     eprintln!("forgeries: {}", report.metrics.forgeries);
+//! let server = GatewayServer::new(ServerConfig::default());
+//! let report = server.run_streams(
+//!     vec![
+//!         NamedStream::new("uplink", std::io::stdin()),
+//!         NamedStream::new("downlink", std::fs::File::open("capture.cf32").unwrap()),
+//!     ],
+//!     &mut std::io::stdout(),
+//!     &mut std::io::stderr(),
+//! )?;
+//! for s in &report.sessions {
+//!     eprintln!("{}: {} forgeries", s.label.as_deref().unwrap_or("?"), s.metrics.forgeries);
 //! }
-//! # Ok::<(), std::io::Error>(())
+//! # Ok::<(), ctc_gateway::GatewayError>(())
+//! ```
+//!
+//! Or serve a listener, each connection its own session:
+//!
+//! ```no_run
+//! use ctc_gateway::{GatewayServer, Input, Listener, ServerConfig};
+//!
+//! let listener = Listener::bind(&Input::parse("tcp://127.0.0.1:4000")?)?;
+//! let server = GatewayServer::new(ServerConfig::default());
+//! let handle = server.shutdown_handle(); // stop from another thread
+//! # drop(handle);
+//! server.serve(listener, &mut std::io::stdout(), &mut std::io::stderr())?;
+//! # Ok::<(), ctc_gateway::GatewayError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod obs;
 pub mod pipeline;
 pub mod queue;
+pub mod server;
+pub mod session;
 pub mod source;
 
+pub use error::GatewayError;
 pub use json::{JsonParseError, JsonValue};
-pub use metrics::{LatencyHistogram, Metrics, MetricsCore, MetricsSnapshot};
-pub use pipeline::{default_workers, Gateway, GatewayConfig, GatewayReport};
+pub use metrics::{
+    LatencyHistogram, Metrics, MetricsCore, MetricsSnapshot, ServerMetrics, ServerMetricsCore,
+    ServerMetricsSnapshot,
+};
+pub use pipeline::{default_workers, Gateway, GatewayConfig, GatewayConfigBuilder, GatewayReport};
 pub use queue::BoundedQueue;
-pub use source::Input;
+pub use server::{
+    GatewayServer, NamedStream, PoolStats, ServerConfig, ServerReport, SessionSummary,
+    ShutdownHandle,
+};
+pub use session::{Evicted, Session, SessionId, ShardQueue};
+pub use source::{Input, Listener, SessionStream};

@@ -92,6 +92,77 @@ impl Metrics {
     }
 }
 
+/// Session-lifecycle counters for a multi-stream server run.
+#[derive(Debug, Default)]
+pub struct ServerMetricsCore {
+    /// Sessions accepted (or supplied in-process) so far.
+    pub sessions_opened: AtomicU64,
+    /// Sessions that reached end of stream and closed.
+    pub sessions_closed: AtomicU64,
+    /// Connections refused at the `max_streams` ceiling.
+    pub sessions_refused: AtomicU64,
+    /// Sessions whose input died with a read error.
+    pub sessions_errored: AtomicU64,
+}
+
+/// Shared handle to one server run's [`ServerMetricsCore`] — the same
+/// `Arc`-backed shape as [`Metrics`], for the same reason: registry
+/// collectors must be able to outlive the run.
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetrics {
+    core: Arc<ServerMetricsCore>,
+}
+
+impl Deref for ServerMetrics {
+    type Target = ServerMetricsCore;
+
+    fn deref(&self) -> &ServerMetricsCore {
+        &self.core
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero server metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A point-in-time copy of the session-lifecycle counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerMetricsSnapshot {
+    /// Sessions accepted so far.
+    pub sessions_opened: u64,
+    /// Sessions closed cleanly.
+    pub sessions_closed: u64,
+    /// Connections refused at the session limit.
+    pub sessions_refused: u64,
+    /// Sessions that died with a read error.
+    pub sessions_errored: u64,
+}
+
+impl ServerMetricsSnapshot {
+    /// Sessions currently live.
+    pub fn active(&self) -> u64 {
+        self.sessions_opened
+            .saturating_sub(self.sessions_closed)
+            .saturating_sub(self.sessions_errored)
+    }
+}
+
+impl ServerMetricsCore {
+    /// Copies every counter at once (individually relaxed-consistent).
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServerMetricsSnapshot {
+            sessions_opened: load(&self.sessions_opened),
+            sessions_closed: load(&self.sessions_closed),
+            sessions_refused: load(&self.sessions_refused),
+            sessions_errored: load(&self.sessions_errored),
+        }
+    }
+}
+
 impl MetricsCore {
     /// Copies every counter at once (individually relaxed-consistent).
     pub fn snapshot(&self) -> MetricsSnapshot {

@@ -1,24 +1,28 @@
 //! Wiring between one gateway run and the [`ctc_obs`] telemetry layer.
 //!
-//! Two pieces live here:
+//! Three pieces live here:
 //!
-//! * [`register_run`] — publishes a run's counters under the canonical
-//!   workspace metric names (see the README's Observability section) as
-//!   *pull-based collectors*: the registry samples the pipeline's existing
-//!   atomics at scrape time, so the hot path pays nothing and nothing is
-//!   counted twice. Starting a new run re-registers and takes the names
-//!   over.
+//! * [`register_run`] — publishes a run's aggregate counters under the
+//!   canonical workspace metric names (see the README's Observability
+//!   section) as *pull-based collectors*: the registry samples the
+//!   pipeline's existing atomics at scrape time, so the hot path pays
+//!   nothing and nothing is counted twice. Starting a new run
+//!   re-registers and takes the names over.
+//! * [`register_session`] / [`register_server`] — the multi-stream
+//!   layer: the same gateway metric schema stamped with a
+//!   `{stream="..."}` label per session, plus `ctc_sessions_*`
+//!   lifecycle counters for the server itself.
 //! * `RunObs` — the per-run tracing handle threaded through ingest,
 //!   workers and sink. With the `telemetry` feature off it compiles to a
 //!   zero-sized no-op, so the pipeline code carries no `#[cfg]` noise and
 //!   the disabled build provably does no telemetry work.
 
 #[cfg(feature = "telemetry")]
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ServerMetrics};
 #[cfg(feature = "telemetry")]
 use ctc_dsp::BufferPool;
 #[cfg(feature = "telemetry")]
-use ctc_obs::{Registry, TraceSink};
+use ctc_obs::{Registry, ScopedRegistry, TraceSink};
 use std::time::Instant;
 
 /// Per-run tracing handle: allocates span IDs and records stage intervals
@@ -75,82 +79,7 @@ impl<'a> RunObs<'a> {
 /// backing `Arc`s alive).
 #[cfg(feature = "telemetry")]
 pub fn register_run(registry: &Registry, metrics: &Metrics, pool: &BufferPool) {
-    use std::sync::atomic::Ordering::Relaxed;
-
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_gateway_samples_total",
-        "IQ samples ingested.",
-        &[],
-        move || m.samples_in.load(Relaxed),
-    );
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_gateway_chunks_total",
-        "Ingest chunks read from the sample stream.",
-        &[],
-        move || m.chunks_in.load(Relaxed),
-    );
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_gateway_bursts_total",
-        "Bursts carved out of the stream by energy detection.",
-        &[],
-        move || m.bursts.load(Relaxed),
-    );
-    let frames_help = "Bursts processed, by verdict: decoded frames split \
-                       authentic/attack, the rest undecoded.";
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_gateway_frames_total",
-        frames_help,
-        &[("verdict", "authentic")],
-        move || {
-            m.frames_decoded
-                .load(Relaxed)
-                .saturating_sub(m.forgeries.load(Relaxed))
-        },
-    );
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_gateway_frames_total",
-        frames_help,
-        &[("verdict", "attack")],
-        move || m.forgeries.load(Relaxed),
-    );
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_gateway_frames_total",
-        frames_help,
-        &[("verdict", "undecoded")],
-        move || {
-            m.bursts
-                .load(Relaxed)
-                .saturating_sub(m.bursts_dropped.load(Relaxed))
-                .saturating_sub(m.frames_decoded.load(Relaxed))
-        },
-    );
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_queue_dropped_total",
-        "Bursts evicted from the bounded queue under overload.",
-        &[],
-        move || m.bursts_dropped.load(Relaxed),
-    );
-    let m = metrics.clone();
-    registry.counter_fn(
-        "ctc_queue_dropped_samples_total",
-        "IQ samples inside evicted bursts.",
-        &[],
-        move || m.samples_dropped.load(Relaxed),
-    );
-    let m = metrics.clone();
-    registry.histogram_fn(
-        "ctc_gateway_latency_us",
-        "End-to-end (enqueue to classified) per-burst latency in microseconds.",
-        &[],
-        move || m.latency.snapshot(),
-    );
+    register_gateway_metrics(&registry.scoped(&[]), metrics);
     let p = pool.clone();
     registry.counter_fn(
         "ctc_pool_hits_total",
@@ -171,6 +100,140 @@ pub fn register_run(registry: &Registry, metrics: &Metrics, pool: &BufferPool) {
         "Idle buffers currently retained by the pool.",
         &[],
         move || p.idle() as u64,
+    );
+}
+
+/// Registers one session's counters under the gateway metric names with a
+/// `{stream="<label>"}` label, alongside the unlabelled aggregates from
+/// [`register_run`]. Collectors keep the session's [`Metrics`] `Arc`
+/// alive, so a closed session stays scrapeable for the rest of the run.
+#[cfg(feature = "telemetry")]
+pub fn register_session(registry: &Registry, stream: &str, metrics: &Metrics) {
+    register_gateway_metrics(&registry.scoped(&[("stream", stream)]), metrics);
+}
+
+/// Registers the session-lifecycle counters of a multi-stream server run.
+#[cfg(feature = "telemetry")]
+pub fn register_server(registry: &Registry, server: &ServerMetrics) {
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let s = server.clone();
+    registry.counter_fn(
+        "ctc_sessions_opened_total",
+        "Sessions accepted (or supplied in-process).",
+        &[],
+        move || s.sessions_opened.load(Relaxed),
+    );
+    let s = server.clone();
+    registry.counter_fn(
+        "ctc_sessions_closed_total",
+        "Sessions that reached end of stream and closed.",
+        &[],
+        move || s.sessions_closed.load(Relaxed),
+    );
+    let s = server.clone();
+    registry.counter_fn(
+        "ctc_sessions_refused_total",
+        "Connections refused at the max-streams ceiling.",
+        &[],
+        move || s.sessions_refused.load(Relaxed),
+    );
+    let s = server.clone();
+    registry.counter_fn(
+        "ctc_sessions_errored_total",
+        "Sessions whose input died with a read error.",
+        &[],
+        move || s.sessions_errored.load(Relaxed),
+    );
+    let s = server.clone();
+    registry.gauge_fn(
+        "ctc_sessions_active",
+        "Sessions currently live.",
+        &[],
+        move || s.snapshot().active(),
+    );
+}
+
+/// The shared gateway metric schema, registered through `scoped` so the
+/// same code serves both the unlabelled aggregate and each
+/// `{stream="..."}` session.
+#[cfg(feature = "telemetry")]
+fn register_gateway_metrics(scoped: &ScopedRegistry<'_>, metrics: &Metrics) {
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_gateway_samples_total",
+        "IQ samples ingested.",
+        &[],
+        move || m.samples_in.load(Relaxed),
+    );
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_gateway_chunks_total",
+        "Ingest chunks read from the sample stream.",
+        &[],
+        move || m.chunks_in.load(Relaxed),
+    );
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_gateway_bursts_total",
+        "Bursts carved out of the stream by energy detection.",
+        &[],
+        move || m.bursts.load(Relaxed),
+    );
+    let frames_help = "Bursts processed, by verdict: decoded frames split \
+                       authentic/attack, the rest undecoded.";
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_gateway_frames_total",
+        frames_help,
+        &[("verdict", "authentic")],
+        move || {
+            m.frames_decoded
+                .load(Relaxed)
+                .saturating_sub(m.forgeries.load(Relaxed))
+        },
+    );
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_gateway_frames_total",
+        frames_help,
+        &[("verdict", "attack")],
+        move || m.forgeries.load(Relaxed),
+    );
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_gateway_frames_total",
+        frames_help,
+        &[("verdict", "undecoded")],
+        move || {
+            m.bursts
+                .load(Relaxed)
+                .saturating_sub(m.bursts_dropped.load(Relaxed))
+                .saturating_sub(m.frames_decoded.load(Relaxed))
+        },
+    );
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_queue_dropped_total",
+        "Bursts evicted from the bounded queue under overload.",
+        &[],
+        move || m.bursts_dropped.load(Relaxed),
+    );
+    let m = metrics.clone();
+    scoped.counter_fn(
+        "ctc_queue_dropped_samples_total",
+        "IQ samples inside evicted bursts.",
+        &[],
+        move || m.samples_dropped.load(Relaxed),
+    );
+    let m = metrics.clone();
+    scoped.histogram_fn(
+        "ctc_gateway_latency_us",
+        "End-to-end (enqueue to classified) per-burst latency in microseconds.",
+        &[],
+        move || m.latency.snapshot(),
     );
 }
 
@@ -207,5 +270,54 @@ mod tests {
         // next render without re-registration.
         metrics.samples_in.fetch_add(1, Relaxed);
         assert!(registry.render().contains("ctc_gateway_samples_total 4097"));
+    }
+
+    #[test]
+    fn session_metrics_are_labelled_alongside_the_aggregate() {
+        use std::sync::atomic::Ordering::Relaxed;
+
+        let registry = Registry::new();
+        let aggregate = Metrics::new();
+        let pool = BufferPool::new();
+        register_run(&registry, &aggregate, &pool);
+
+        let s1 = Metrics::new();
+        let s2 = Metrics::new();
+        register_session(&registry, "s1", &s1);
+        register_session(&registry, "s2", &s2);
+
+        aggregate.samples_in.fetch_add(30, Relaxed);
+        s1.samples_in.fetch_add(10, Relaxed);
+        s2.samples_in.fetch_add(20, Relaxed);
+        s1.forgeries.fetch_add(1, Relaxed);
+        s1.frames_decoded.fetch_add(1, Relaxed);
+
+        let text = registry.render();
+        assert!(text.contains("ctc_gateway_samples_total 30"), "{text}");
+        assert!(text.contains("ctc_gateway_samples_total{stream=\"s1\"} 10"));
+        assert!(text.contains("ctc_gateway_samples_total{stream=\"s2\"} 20"));
+        // Per-registration labels merge with the stream label.
+        assert!(
+            text.contains("ctc_gateway_frames_total{stream=\"s1\",verdict=\"attack\"} 1")
+                || text.contains("ctc_gateway_frames_total{verdict=\"attack\",stream=\"s1\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn server_lifecycle_counters_render() {
+        use std::sync::atomic::Ordering::Relaxed;
+
+        let registry = Registry::new();
+        let server = ServerMetrics::new();
+        register_server(&registry, &server);
+        server.sessions_opened.fetch_add(3, Relaxed);
+        server.sessions_closed.fetch_add(1, Relaxed);
+        server.sessions_refused.fetch_add(2, Relaxed);
+
+        let text = registry.render();
+        assert!(text.contains("ctc_sessions_opened_total 3"), "{text}");
+        assert!(text.contains("ctc_sessions_refused_total 2"));
+        assert!(text.contains("ctc_sessions_active 2"));
     }
 }

@@ -1,44 +1,35 @@
-//! The streaming pipeline: chunked ingest → burst splitting → a bounded
-//! work queue → decode/classify workers → an order-restoring JSONL sink.
+//! The single-stream gateway API: configuration, the run report, and the
+//! deprecated [`Gateway`] front door.
 //!
-//! ```text
-//!            ┌────────────────────── ingest thread ──────────────────────┐
-//! cf32 bytes │ Cf32Reader ─ chunks ─▶ BurstSplitter ─ captures ─▶ queue │
-//!            └───────────────────────────────────────────────────┬──────┘
-//!                    bounded, drop-oldest, never blocks ingest ──┘
-//!            ┌── worker pool (N threads) ──┐   ┌──── sink thread ────┐
-//!            │ decode ▶ classify ▶ events ─┼──▶│ reorder by seq ▶ io │
-//!            └─────────────────────────────┘   └─────────────────────┘
-//! ```
-//!
-//! Ingest is the stage that must keep up with the ADC, so it does only
-//! O(1)-per-sample work (energy detection and buffer management); all
-//! frame decoding happens behind the queue. Overload sheds the *oldest*
-//! queued burst (counted, reported as a `dropped` event) rather than ever
-//! stalling the sample stream.
+//! The pipeline itself (ingest → shard queues → worker pool → ordering
+//! sink) lives in [`crate::server`]; since the multi-stream redesign,
+//! [`Gateway::run`] is a thin one-session wrapper over
+//! [`crate::server::GatewayServer`] kept for callers that
+//! monitor exactly one stream.
 
-use crate::json::{hex, JsonObject};
-use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::obs::RunObs;
-use crate::queue::BoundedQueue;
+use crate::error::GatewayError;
+use crate::metrics::MetricsSnapshot;
+use crate::server::{GatewayServer, NamedStream, ServerConfig};
 use ctc_core::attack::EnergyDetector;
-use ctc_core::defense::{BurstCapture, BurstSplitter, Detector, FrameProcessor, StreamEvent};
-use ctc_dsp::io::{Cf32Reader, DEFAULT_CHUNK_SAMPLES};
-use ctc_dsp::BufferPool;
+use ctc_core::defense::Detector;
+use ctc_dsp::io::DEFAULT_CHUNK_SAMPLES;
 use ctc_zigbee::Receiver;
-use std::io::{self, Read, Write};
-use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use std::io::{Read, Write};
+use std::time::Duration;
 
 /// Gateway configuration: transport-independent pipeline knobs plus the
 /// three detection stages.
+///
+/// Construct via [`GatewayConfig::builder`] (validates at build time) or
+/// [`GatewayConfig::default`]; the fields stay public for
+/// record-update syntax over a known-good base.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
     /// Samples per ingest chunk.
     pub chunk_samples: usize,
     /// Decode/classify worker threads.
     pub workers: usize,
-    /// Bounded work-queue depth, in bursts.
+    /// Bounded work-queue depth per shard, in bursts.
     pub queue_depth: usize,
     /// Burst-length cap in samples (continuous transmissions are split),
     /// bounding per-burst memory.
@@ -65,6 +56,108 @@ impl Default for GatewayConfig {
             receiver: Receiver::usrp().with_sync_search(96),
             detector: Detector::new(ctc_core::defense::ChannelAssumption::Ideal),
         }
+    }
+}
+
+impl GatewayConfig {
+    /// A validating builder starting from [`GatewayConfig::default`].
+    pub fn builder() -> GatewayConfigBuilder {
+        GatewayConfigBuilder {
+            config: GatewayConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`GatewayConfig`] that rejects nonsense at
+/// [`build`](GatewayConfigBuilder::build) time instead of panicking (or
+/// hanging) deep inside a run.
+#[derive(Debug, Clone)]
+pub struct GatewayConfigBuilder {
+    config: GatewayConfig,
+}
+
+impl GatewayConfigBuilder {
+    /// Samples per ingest chunk.
+    pub fn chunk_samples(mut self, samples: usize) -> Self {
+        self.config.chunk_samples = samples;
+        self
+    }
+
+    /// Decode/classify worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Bounded work-queue depth per shard, in bursts.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Burst-length cap in samples.
+    pub fn max_burst(mut self, max: usize) -> Self {
+        self.config.max_burst = max;
+        self
+    }
+
+    /// Stats-line cadence (`None`: only the final line).
+    pub fn stats_interval(mut self, interval: Option<Duration>) -> Self {
+        self.config.stats_interval = interval;
+        self
+    }
+
+    /// Energy/burst detection stage.
+    pub fn energy(mut self, energy: EnergyDetector) -> Self {
+        self.config.energy = energy;
+        self
+    }
+
+    /// Frame decoding stage.
+    pub fn receiver(mut self, receiver: Receiver) -> Self {
+        self.config.receiver = receiver;
+        self
+    }
+
+    /// Classification stage.
+    pub fn detector(mut self, detector: Detector) -> Self {
+        self.config.detector = detector;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Config`] when any of these hold:
+    /// `workers == 0` (no one would ever decode), `queue_depth == 0`
+    /// (every burst would be shed), `chunk_samples == 0` (ingest could
+    /// not make progress), `energy.window == 0` (the splitter would
+    /// panic), or `max_burst < energy.min_len` (the splitter would
+    /// reject it).
+    pub fn build(self) -> Result<GatewayConfig, GatewayError> {
+        let c = &self.config;
+        if c.workers == 0 {
+            return Err(GatewayError::Config("workers must be > 0".into()));
+        }
+        if c.queue_depth == 0 {
+            return Err(GatewayError::Config("queue depth must be > 0".into()));
+        }
+        if c.chunk_samples == 0 {
+            return Err(GatewayError::Config("chunk size must be > 0".into()));
+        }
+        if c.energy.window == 0 {
+            return Err(GatewayError::Config(
+                "energy detection window must be > 0".into(),
+            ));
+        }
+        if c.max_burst < c.energy.min_len {
+            return Err(GatewayError::Config(format!(
+                "max burst ({}) below the energy detector's min_len ({})",
+                c.max_burst, c.energy.min_len
+            )));
+        }
+        Ok(self.config)
     }
 }
 
@@ -102,41 +195,24 @@ impl GatewayReport {
     }
 }
 
-/// One unit of work crossing the bounded queue.
-struct WorkItem {
-    seq: u64,
-    capture: BurstCapture,
-    enqueued: Instant,
-    /// Trace span for this burst (`0` = tracing disabled).
-    span: u64,
-}
-
-/// What reaches the sink: a rendered line, slotted by sequence number so
-/// output order equals burst order even with a racing worker pool. The
-/// span and classification instant ride along so the sink can record the
-/// `emit` stage contiguously with the worker's `classify` stage.
-enum SinkMsg {
-    Line {
-        seq: u64,
-        line: String,
-        span: u64,
-        classified: Instant,
-    },
-}
-
-/// The streaming detection gateway.
+/// The single-stream detection gateway (deprecated front door).
 ///
 /// # Examples
 ///
 /// ```no_run
-/// use ctc_gateway::{Gateway, GatewayConfig};
-/// use std::io::Write;
+/// use ctc_gateway::{GatewayError, NamedStream, ServerConfig, GatewayServer};
 ///
-/// let gateway = Gateway::new(GatewayConfig::default());
-/// let input = std::fs::File::open("recording.cf32")?;
-/// let report = gateway.run(input, &mut std::io::stdout(), &mut std::io::stderr())?;
-/// writeln!(std::io::stderr(), "{:.1} Msamples/s", report.msamples_per_sec())?;
-/// # Ok::<(), std::io::Error>(())
+/// let server = GatewayServer::new(ServerConfig::default());
+/// let input = std::fs::File::open("recording.cf32").map_err(|source| {
+///     GatewayError::Open { input: "recording.cf32".into(), source }
+/// })?;
+/// let report = server.run_streams(
+///     vec![NamedStream::unlabelled(input)],
+///     &mut std::io::stdout(),
+///     &mut std::io::stderr(),
+/// )?;
+/// eprintln!("{:.1} Msamples/s", report.msamples_per_sec());
+/// # Ok::<(), GatewayError>(())
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Gateway {
@@ -187,323 +263,104 @@ impl Gateway {
     /// as JSON lines onto `events`, periodic + final stats lines onto
     /// `stats`.
     ///
+    /// Deprecated — this is now a one-session wrapper over the
+    /// multi-stream server. One-line migration:
+    ///
+    /// ```text
+    /// -  Gateway::new(config).run(input, &mut out, &mut err)?
+    /// +  GatewayServer::new(ServerConfig::from(config))
+    /// +      .run_streams(vec![NamedStream::unlabelled(input)], &mut out, &mut err)?
+    /// ```
+    ///
+    /// Events and the final stats line are byte-identical between the two
+    /// forms for an unlabelled single stream.
+    ///
     /// # Errors
     ///
-    /// Input read errors and event/stats write errors. Detection state is
-    /// internal; a malformed *stream* (partial trailing sample) is an
-    /// error after all complete samples were processed.
-    pub fn run<R, W, E>(&self, input: R, events: &mut W, stats: &mut E) -> io::Result<GatewayReport>
+    /// Input read errors ([`GatewayError::Read`]) and event/stats write
+    /// errors ([`GatewayError::SinkWrite`]). Detection state is internal;
+    /// a malformed *stream* (partial trailing sample) is an error after
+    /// all complete samples were processed.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use GatewayServer::run_streams with one NamedStream::unlabelled(input) \
+                (identical output for a single unlabelled stream)"
+    )]
+    pub fn run<R, W, E>(
+        &self,
+        input: R,
+        events: &mut W,
+        stats: &mut E,
+    ) -> Result<GatewayReport, GatewayError>
     where
-        R: Read,
+        R: Read + Send,
         W: Write + Send,
         E: Write,
     {
-        let cfg = &self.config;
-        let queue: BoundedQueue<WorkItem> = BoundedQueue::new(cfg.queue_depth.max(1));
-        let metrics = Metrics::new();
-        // The pool is shared with the workers implicitly: every capture's
-        // buffer returns here when the worker drops it, so after warm-up a
-        // burst costs a free-list pop, not an allocation.
-        let pool = BufferPool::new();
-        let processor = FrameProcessor::new(cfg.receiver.clone(), cfg.detector);
-        let (tx, rx) = mpsc::channel::<SinkMsg>();
-        let started = Instant::now();
-
-        #[cfg(feature = "telemetry")]
-        if let Some(registry) = &self.registry {
-            crate::obs::register_run(registry, &metrics, &pool);
-        }
-        #[cfg(feature = "telemetry")]
-        let obs = RunObs::new(self.trace.as_deref());
-        #[cfg(not(feature = "telemetry"))]
-        let obs = RunObs::disabled();
-
-        let mut ingest_result: io::Result<()> = Ok(());
-        let mut sink_result: io::Result<()> = Ok(());
-        std::thread::scope(|scope| {
-            let worker_handles: Vec<_> = (0..cfg.workers.max(1))
-                .map(|_| {
-                    let tx = tx.clone();
-                    let queue = &queue;
-                    let metrics = &metrics;
-                    let processor = processor.clone();
-                    scope.spawn(move || worker_loop(queue, &processor, metrics, &tx, obs))
-                })
-                .collect();
-            let sink_handle = scope.spawn(|| sink_loop(rx, events, obs));
-
-            ingest_result = self.ingest(input, &queue, &metrics, &pool, &tx, stats, started, obs);
-            queue.close();
-            drop(tx);
-            for handle in worker_handles {
-                handle.join().expect("worker panicked");
-            }
-            sink_result = sink_handle.join().expect("sink panicked");
-        });
-        ingest_result?;
-        sink_result?;
-
-        // Span records buffer in the sink; push them out while the run's
-        // counters are still being finalised so nothing is lost if the
-        // caller exits right after reading the report.
-        #[cfg(feature = "telemetry")]
-        if let Some(trace) = &self.trace {
-            trace.flush();
-        }
-
-        let report = GatewayReport {
-            metrics: metrics.snapshot(),
-            elapsed: started.elapsed(),
+        // One stream has no cross-session fairness to arbitrate: a single
+        // shard reproduces the original single-queue pipeline exactly.
+        let config = ServerConfig {
+            shards: 1,
+            ..ServerConfig::from(self.config.clone())
         };
-        writeln!(stats, "{}", stats_line(&report.metrics, started, &queue))?;
-        stats.flush()?;
-        Ok(report)
-    }
-
-    /// The ingest loop: read chunks, advance the splitter, enqueue
-    /// captures (shedding the oldest on overflow), emit periodic stats.
-    #[allow(clippy::too_many_arguments)]
-    fn ingest<R: Read, E: Write>(
-        &self,
-        input: R,
-        queue: &BoundedQueue<WorkItem>,
-        metrics: &Metrics,
-        pool: &BufferPool,
-        tx: &mpsc::Sender<SinkMsg>,
-        stats: &mut E,
-        started: Instant,
-        obs: RunObs<'_>,
-    ) -> io::Result<()> {
-        use std::sync::atomic::Ordering::Relaxed;
-        let cfg = &self.config;
-        let mut reader = Cf32Reader::new(input).with_chunk_samples(cfg.chunk_samples.max(1));
-        let mut splitter = BurstSplitter::new(cfg.energy)
-            .with_max_burst(cfg.max_burst)
-            .with_pool(pool.clone());
-        let mut chunk = Vec::new();
-        let mut captures: Vec<BurstCapture> = Vec::new();
-        let mut seq = 0u64;
-        let mut last_stats = started;
-
-        // `ingest_start` is when the chunk that completed the burst was
-        // read; the span's `ingest` stage covers read→enqueue and hands
-        // its end instant to the `queue` stage untouched, keeping the
-        // per-frame stage chain contiguous.
-        let enqueue = |captures: &mut Vec<BurstCapture>, seq: &mut u64, ingest_start: Instant| {
-            for capture in captures.drain(..) {
-                metrics.bursts.fetch_add(1, Relaxed);
-                let span = obs.next_span();
-                let enqueued = Instant::now();
-                obs.record(span, *seq, "ingest", ingest_start, enqueued);
-                let item = WorkItem {
-                    seq: *seq,
-                    capture,
-                    enqueued,
-                    span,
-                };
-                *seq += 1;
-                if let Some(evicted) = queue.push_drop_oldest(item) {
-                    metrics.bursts_dropped.fetch_add(1, Relaxed);
-                    metrics
-                        .samples_dropped
-                        .fetch_add(evicted.capture.samples.len() as u64, Relaxed);
-                    obs.record(
-                        evicted.span,
-                        evicted.seq,
-                        "drop",
-                        evicted.enqueued,
-                        Instant::now(),
-                    );
-                    // Fill the sequence hole so the sink's reordering
-                    // never waits on work that will not arrive.
-                    let _ = tx.send(SinkMsg::Line {
-                        seq: evicted.seq,
-                        line: dropped_line(&evicted.capture),
-                        span: 0,
-                        classified: enqueued,
-                    });
-                }
+        #[allow(unused_mut)]
+        let mut server = GatewayServer::new(config);
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(registry) = &self.registry {
+                server = server.with_registry(registry.clone());
             }
-        };
-
-        loop {
-            let chunk_read = Instant::now();
-            let n = reader.read_chunk(&mut chunk)?;
-            if n == 0 {
-                break;
-            }
-            metrics.chunks_in.fetch_add(1, Relaxed);
-            metrics.samples_in.fetch_add(n as u64, Relaxed);
-            splitter.push_into(&chunk, &mut captures);
-            enqueue(&mut captures, &mut seq, chunk_read);
-            if let Some(interval) = cfg.stats_interval {
-                if last_stats.elapsed() >= interval {
-                    last_stats = Instant::now();
-                    writeln!(stats, "{}", stats_line(&metrics.snapshot(), started, queue))?;
-                    stats.flush()?;
-                }
+            if let Some(trace) = &self.trace {
+                server = server.with_trace_sink(trace.clone());
             }
         }
-        let finish_started = Instant::now();
-        splitter.finish_into(&mut captures);
-        enqueue(&mut captures, &mut seq, finish_started);
-        Ok(())
-    }
-}
-
-/// Worker: pop, decode, classify, render, send — with per-stage timing.
-fn worker_loop(
-    queue: &BoundedQueue<WorkItem>,
-    processor: &FrameProcessor,
-    metrics: &Metrics,
-    tx: &mpsc::Sender<SinkMsg>,
-    obs: RunObs<'_>,
-) {
-    use std::sync::atomic::Ordering::Relaxed;
-    while let Some(item) = queue.pop() {
-        let dequeued = Instant::now();
-        let queue_us = micros_between(item.enqueued, dequeued);
-        let reception = processor.decode(&item.capture);
-        let decoded = Instant::now();
-        let event = processor.classify(&item.capture, reception);
-        let done = Instant::now();
-        obs.record(item.span, item.seq, "queue", item.enqueued, dequeued);
-        obs.record(item.span, item.seq, "decode", dequeued, decoded);
-        obs.record(item.span, item.seq, "classify", decoded, done);
-        let total_us = micros_between(item.enqueued, done);
-        metrics.latency.record(total_us);
-        if event.payload.is_some() {
-            metrics.frames_decoded.fetch_add(1, Relaxed);
-        }
-        if event.accepted_forgery() {
-            metrics.forgeries.fetch_add(1, Relaxed);
-        }
-        let line = frame_line(
-            item.seq,
-            &event,
-            queue_us,
-            micros_between(dequeued, decoded),
-            micros_between(decoded, done),
-            total_us,
-        );
-        // A send error means the sink hit an output error and hung up;
-        // keep draining the queue so ingest accounting stays truthful.
-        let _ = tx.send(SinkMsg::Line {
-            seq: item.seq,
-            line,
-            span: item.span,
-            classified: done,
-        });
-    }
-}
-
-/// Sink: restore sequence order (workers race) and write JSON lines.
-fn sink_loop<W: Write>(
-    rx: mpsc::Receiver<SinkMsg>,
-    events: &mut W,
-    obs: RunObs<'_>,
-) -> io::Result<()> {
-    let mut pending = std::collections::BTreeMap::new();
-    let mut next = 0u64;
-    while let Ok(SinkMsg::Line {
-        seq,
-        line,
-        span,
-        classified,
-    }) = rx.recv()
-    {
-        pending.insert(seq, (line, span, classified));
-        while let Some((line, span, classified)) = pending.remove(&next) {
-            writeln!(events, "{line}")?;
-            obs.record(span, next, "emit", classified, Instant::now());
-            next += 1;
-        }
-        if pending.is_empty() {
-            events.flush()?;
-        }
-    }
-    // Channel closed: flush whatever is contiguous (holes can only mean a
-    // worker died, which join() will have surfaced as a panic).
-    while let Some((line, span, classified)) = pending.remove(&next) {
-        writeln!(events, "{line}")?;
-        obs.record(span, next, "emit", classified, Instant::now());
-        next += 1;
-    }
-    events.flush()
-}
-
-fn micros_between(from: Instant, to: Instant) -> u64 {
-    to.saturating_duration_since(from).as_micros() as u64
-}
-
-/// Renders one frame event as a JSON line.
-fn frame_line(
-    seq: u64,
-    event: &StreamEvent,
-    queue_us: u64,
-    decode_us: u64,
-    classify_us: u64,
-    total_us: u64,
-) -> String {
-    let latency = JsonObject::new()
-        .uint("queue_us", queue_us)
-        .uint("decode_us", decode_us)
-        .uint("classify_us", classify_us)
-        .uint("total_us", total_us)
-        .finish();
-    JsonObject::new()
-        .string("type", "frame")
-        .uint("seq", seq)
-        .uint("burst_start", event.burst.start as u64)
-        .uint("burst_end", event.burst.end as u64)
-        .bool("truncated", event.truncated)
-        .opt("payload_hex", event.payload.as_deref(), |o, k, p| {
-            o.string(k, &hex(p))
+        let report = server.run_streams(vec![NamedStream::unlabelled(input)], events, stats)?;
+        Ok(GatewayReport {
+            metrics: report.metrics,
+            elapsed: report.elapsed,
         })
-        .opt(
-            "de2",
-            event.verdict.map(|v| v.de_squared),
-            JsonObject::float,
-        )
-        .opt("verdict", event.verdict, |o, k, v| {
-            o.string(k, if v.is_attack { "attack" } else { "authentic" })
-        })
-        .bool("accepted_forgery", event.accepted_forgery())
-        .raw("latency", &latency)
-        .finish()
+    }
 }
 
-/// Renders the event for a burst shed under overload.
-fn dropped_line(capture: &BurstCapture) -> String {
-    JsonObject::new()
-        .string("type", "dropped")
-        .uint("burst_start", capture.burst.start as u64)
-        .uint("burst_end", capture.burst.end as u64)
-        .uint("samples", capture.samples.len() as u64)
-        .finish()
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Renders one stats line.
-fn stats_line(s: &MetricsSnapshot, started: Instant, queue: &BoundedQueue<WorkItem>) -> String {
-    let secs = started.elapsed().as_secs_f64();
-    let msps = if secs > 0.0 {
-        s.samples_in as f64 / secs / 1e6
-    } else {
-        0.0
-    };
-    JsonObject::new()
-        .string("type", "stats")
-        .uint("elapsed_ms", (secs * 1e3) as u64)
-        .uint("samples_in", s.samples_in)
-        .uint("chunks_in", s.chunks_in)
-        .uint("bursts", s.bursts)
-        .uint("frames_decoded", s.frames_decoded)
-        .uint("forgeries", s.forgeries)
-        .uint("bursts_dropped", s.bursts_dropped)
-        .uint("samples_dropped", s.samples_dropped)
-        .uint("queue_len", queue.len() as u64)
-        .opt("p50_us", s.p50_us, JsonObject::uint)
-        .opt("p99_us", s.p99_us, JsonObject::uint)
-        .float("msamples_per_sec", (msps * 1e3).round() / 1e3)
-        .finish()
+    #[test]
+    fn builder_accepts_the_default_shape() {
+        let config = GatewayConfig::builder()
+            .chunk_samples(1000)
+            .workers(2)
+            .queue_depth(8)
+            .stats_interval(None)
+            .build()
+            .unwrap();
+        assert_eq!(config.chunk_samples, 1000);
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_depth, 8);
+        assert_eq!(config.stats_interval, None);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        for (builder, needle) in [
+            (GatewayConfig::builder().workers(0), "workers"),
+            (GatewayConfig::builder().queue_depth(0), "queue depth"),
+            (GatewayConfig::builder().chunk_samples(0), "chunk size"),
+            (GatewayConfig::builder().max_burst(1), "min_len"),
+        ] {
+            match builder.build() {
+                Err(GatewayError::Config(reason)) => {
+                    assert!(reason.contains(needle), "{reason}");
+                }
+                other => panic!("expected Config error about {needle}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_errors_map_to_the_config_exit_code() {
+        let err = GatewayConfig::builder().workers(0).build().unwrap_err();
+        assert_eq!(err.exit_code(), 10);
+    }
 }

@@ -1,0 +1,1054 @@
+//! The multi-stream gateway server: sessions, shards, and the shared
+//! decode/classify engine.
+//!
+//! ```text
+//!            ┌─ accept loop (serve) / caller (run_streams) ─┐
+//!  tcp/unix  │  session 1 ingest ─▶ shard 0 ─┐              │
+//!  clients ─▶│  session 2 ingest ─▶ shard 1 ─┼─▶ worker pool│
+//!            │  session 3 ingest ─▶ shard 0 ─┘   (stealing) │
+//!            └───────────────────────────────────────┬──────┘
+//!                                  ┌── sink thread ──▼──────────┐
+//!                                  │ per-session reorder ▶ JSONL │
+//!                                  └─────────────────────────────┘
+//! ```
+//!
+//! Each accepted stream becomes a [`Session`] pinned to a worker shard;
+//! workers drain their home shard first and steal from the others when it
+//! is empty, so a stalled or noisy stream cannot head-of-line-block the
+//! rest. Overload is arbitrated per session by the shard queue's drop
+//! budget (see [`crate::session`]). One sink thread restores per-session
+//! sequence order, so the JSONL stream interleaves sessions but is always
+//! in order *within* a `stream` label.
+
+use crate::error::GatewayError;
+use crate::json::{hex, JsonObject};
+use crate::metrics::{Metrics, MetricsSnapshot, ServerMetrics, ServerMetricsSnapshot};
+use crate::obs::RunObs;
+use crate::pipeline::GatewayConfig;
+use crate::session::{Evicted, Session, SessionId, ShardQueue};
+use crate::source::Listener;
+use ctc_core::defense::{BurstCapture, FrameProcessor, MonitorFactory, StreamEvent};
+use ctc_dsp::io::Cf32Reader;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker blocks on its home shard before rescanning.
+const WORKER_IDLE_WAIT: Duration = Duration::from_millis(5);
+/// Accept-loop poll cadence when no client is waiting.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Supervisor poll cadence while draining sessions with stats enabled.
+const DRAIN_POLL: Duration = Duration::from_millis(1);
+
+/// Multi-stream server configuration: the per-stream pipeline knobs plus
+/// the session/shard layer on top.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The per-stream pipeline configuration (chunking, workers, queue
+    /// depth per shard, detection stages).
+    pub gateway: GatewayConfig,
+    /// Concurrent-session ceiling; connections beyond it are refused
+    /// (counted, reported as a `refused` event) rather than queued.
+    pub max_streams: usize,
+    /// Worker shards sessions are pinned to (`0`: one shard per worker).
+    pub shards: usize,
+    /// Stop accepting after this many sessions, then drain and return
+    /// (`None`: serve until [`GatewayServer::shutdown_handle`] fires).
+    pub stop_after: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            gateway: GatewayConfig::default(),
+            max_streams: 64,
+            shards: 0,
+            stop_after: None,
+        }
+    }
+}
+
+impl From<GatewayConfig> for ServerConfig {
+    fn from(gateway: GatewayConfig) -> Self {
+        ServerConfig {
+            gateway,
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// One input stream handed to [`GatewayServer::run_streams`]: a reader
+/// plus the tenant label stamped on its events and metrics.
+pub struct NamedStream<'a> {
+    label: Option<String>,
+    reader: Box<dyn Read + Send + 'a>,
+}
+
+impl<'a> NamedStream<'a> {
+    /// A labelled stream (`label` becomes the JSONL `stream` field and
+    /// the `{stream="..."}` metric label).
+    pub fn new(label: impl Into<String>, reader: impl Read + Send + 'a) -> Self {
+        NamedStream {
+            label: Some(label.into()),
+            reader: Box::new(reader),
+        }
+    }
+
+    /// An unlabelled stream: events carry no `stream` field and no
+    /// session open/close markers — byte-identical to the legacy
+    /// single-stream [`Gateway::run`](crate::pipeline::Gateway::run).
+    pub fn unlabelled(reader: impl Read + Send + 'a) -> Self {
+        NamedStream {
+            label: None,
+            reader: Box::new(reader),
+        }
+    }
+}
+
+/// Summary of one session at the end of a server run.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// The session id.
+    pub id: SessionId,
+    /// The tenant label (`None` for unlabelled streams).
+    pub label: Option<String>,
+    /// The session's own counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Capture-buffer pool counters at the end of a run (the churn test's
+/// leak oracle: every checked-out buffer must be back, so
+/// `idle <= misses` always, and a session churn must not grow `misses`
+/// unboundedly).
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    /// Checkouts served from the free-list.
+    pub hits: u64,
+    /// Checkouts that had to allocate.
+    pub misses: u64,
+    /// Buffers idle in the pool right now.
+    pub idle: usize,
+}
+
+/// Final tally of one server run.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Aggregate counters across every session.
+    pub metrics: MetricsSnapshot,
+    /// Session-lifecycle counters.
+    pub server: ServerMetricsSnapshot,
+    /// Per-session summaries, in open order.
+    pub sessions: Vec<SessionSummary>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Shared capture-pool counters at the end of the run.
+    pub pool: PoolStats,
+}
+
+impl ServerReport {
+    /// Aggregate ingest rate in megasamples per second.
+    pub fn msamples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.metrics.samples_in as f64 / secs / 1e6
+    }
+
+    /// True when any session saw an accepted forgery.
+    pub fn forgery_detected(&self) -> bool {
+        self.metrics.forgeries > 0
+    }
+
+    /// The summary for one labelled session, if present.
+    pub fn session(&self, label: &str) -> Option<&SessionSummary> {
+        self.sessions
+            .iter()
+            .find(|s| s.label.as_deref() == Some(label))
+    }
+}
+
+/// Raises a server's shutdown flag from another thread: the accept loop
+/// stops, socket sessions read EOF at their next poll, and the run winds
+/// down through the normal drain path.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown (idempotent).
+    pub fn shutdown(&self) {
+        self.0.store(true, Relaxed);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Relaxed)
+    }
+}
+
+/// One unit of work crossing a shard queue.
+struct WorkItem {
+    session: Arc<Session>,
+    /// Per-session event sequence number.
+    seq: u64,
+    capture: BurstCapture,
+    enqueued: Instant,
+    /// Trace span for this burst (`0` = tracing disabled).
+    span: u64,
+}
+
+/// What reaches the sink. `Line` and `Close` slot into their session's
+/// sequence order; `Note` lines (refusals) are written immediately.
+enum SinkMsg {
+    Line {
+        session: SessionId,
+        seq: u64,
+        line: String,
+        span: u64,
+        classified: Instant,
+    },
+    Close {
+        session: Arc<Session>,
+        seq: u64,
+        error: Option<String>,
+    },
+    Note {
+        line: String,
+    },
+}
+
+/// Where a run's sessions come from.
+enum Feed<'a> {
+    /// A fixed set of in-process streams, all started upfront.
+    Streams(Vec<NamedStream<'a>>),
+    /// A bound listener accepted from until shutdown/`stop_after`.
+    Accept(Listener),
+}
+
+/// The sharded multi-stream gateway server.
+///
+/// # Examples
+///
+/// Serve a TCP listener until three sessions have been monitored:
+///
+/// ```no_run
+/// use ctc_gateway::{GatewayServer, Input, Listener, ServerConfig};
+///
+/// let listener = Listener::bind(&Input::parse("tcp://127.0.0.1:4000")?)?;
+/// let server = GatewayServer::new(ServerConfig {
+///     stop_after: Some(3),
+///     ..ServerConfig::default()
+/// });
+/// let report = server.serve(listener, &mut std::io::stdout(), &mut std::io::stderr())?;
+/// eprintln!("sessions: {}", report.server.sessions_opened);
+/// # Ok::<(), ctc_gateway::GatewayError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GatewayServer {
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    #[cfg(feature = "telemetry")]
+    registry: Option<Arc<ctc_obs::Registry>>,
+    #[cfg(feature = "telemetry")]
+    trace: Option<Arc<ctc_obs::TraceSink>>,
+}
+
+impl GatewayServer {
+    /// Server with the given configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        GatewayServer {
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            #[cfg(feature = "telemetry")]
+            registry: None,
+            #[cfg(feature = "telemetry")]
+            trace: None,
+        }
+    }
+
+    /// Publishes runs into `registry`: aggregate counters under the
+    /// canonical unlabelled `ctc_*` names, per-session counters under
+    /// `ctc_gateway_*{stream="..."}`, session lifecycle under
+    /// `ctc_sessions_*`.
+    #[cfg(feature = "telemetry")]
+    pub fn with_registry(mut self, registry: Arc<ctc_obs::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Records per-stage span intervals into `trace`.
+    #[cfg(feature = "telemetry")]
+    pub fn with_trace_sink(mut self, trace: Arc<ctc_obs::TraceSink>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A handle that stops this server's accept loop and unwedges its
+    /// socket sessions (they read EOF at the next poll).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(self.shutdown.clone())
+    }
+
+    /// Accepts sessions from `listener` until shutdown (or `stop_after`
+    /// sessions), multiplexing them through the shared engine. Each
+    /// accepted connection becomes a labelled session (`s1`, `s2`, …);
+    /// its events carry the label in the `stream` field, in per-session
+    /// sequence order. A client read error closes that session (counted,
+    /// reported in its `close` event) without disturbing the others.
+    ///
+    /// # Errors
+    ///
+    /// Fatal server errors only: accept failure
+    /// ([`GatewayError::Accept`]) or a broken event/stats sink
+    /// ([`GatewayError::SinkWrite`]). A graceful shutdown returns the
+    /// report, not an error.
+    pub fn serve<W, E>(
+        &self,
+        listener: Listener,
+        events: &mut W,
+        stats: &mut E,
+    ) -> Result<ServerReport, GatewayError>
+    where
+        W: Write + Send,
+        E: Write,
+    {
+        listener
+            .set_nonblocking(true)
+            .map_err(GatewayError::Accept)?;
+        self.run_feed(Feed::Accept(listener), events, stats)
+    }
+
+    /// Runs a fixed set of in-process streams through the engine — the
+    /// transport-free form of [`serve`](Self::serve), and what the
+    /// deprecated single-stream `Gateway::run` wraps.
+    ///
+    /// # Errors
+    ///
+    /// Unlike `serve`, a stream read error here is fatal
+    /// ([`GatewayError::Read`]) — the caller handed the readers over, so
+    /// a broken one is a caller bug, not client weather.
+    pub fn run_streams<W, E>(
+        &self,
+        streams: Vec<NamedStream<'_>>,
+        events: &mut W,
+        stats: &mut E,
+    ) -> Result<ServerReport, GatewayError>
+    where
+        W: Write + Send,
+        E: Write,
+    {
+        self.run_feed(Feed::Streams(streams), events, stats)
+    }
+
+    /// The engine shared by both feeds: shards, workers, sink, and the
+    /// feed-specific supervisor on the calling thread.
+    fn run_feed<'a, W, E>(
+        &self,
+        feed: Feed<'a>,
+        events: &mut W,
+        stats: &mut E,
+    ) -> Result<ServerReport, GatewayError>
+    where
+        W: Write + Send,
+        E: Write,
+    {
+        let cfg = &self.config;
+        let gw = &cfg.gateway;
+        let workers = gw.workers.max(1);
+        let shard_count = if cfg.shards == 0 { workers } else { cfg.shards };
+        let shards: Vec<ShardQueue<WorkItem>> = (0..shard_count)
+            .map(|_| ShardQueue::new(gw.queue_depth.max(1)))
+            .collect();
+        let aggregate = Metrics::new();
+        let server_metrics = ServerMetrics::new();
+        let factory = MonitorFactory::new(gw.energy, gw.receiver.clone(), gw.detector)
+            .with_max_burst(gw.max_burst);
+        let processor = factory.processor().clone();
+        let (tx, rx) = mpsc::channel::<SinkMsg>();
+        let started = Instant::now();
+        let fatal_in_streams = matches!(feed, Feed::Streams(_));
+
+        #[cfg(feature = "telemetry")]
+        if let Some(registry) = &self.registry {
+            crate::obs::register_run(registry, &aggregate, factory.pool());
+            crate::obs::register_server(registry, &server_metrics);
+        }
+        #[cfg(feature = "telemetry")]
+        let obs = RunObs::new(self.trace.as_deref());
+        #[cfg(not(feature = "telemetry"))]
+        let obs = RunObs::disabled();
+
+        type SessionOutcome = (Arc<Session>, io::Result<()>);
+        let (outcomes, sink_result, fatal): (
+            Vec<SessionOutcome>,
+            io::Result<()>,
+            Option<GatewayError>,
+        ) = std::thread::scope(|scope| {
+            let worker_handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let tx = tx.clone();
+                    let shards = &shards;
+                    let aggregate = &aggregate;
+                    let processor = processor.clone();
+                    scope.spawn(move || {
+                        worker_loop(w % shard_count, shards, &processor, aggregate, &tx, obs)
+                    })
+                })
+                .collect();
+            let sink_handle = scope.spawn(|| sink_loop(rx, events, obs));
+
+            // Everything a session thread needs, captured by reference so
+            // the closure can be called for late-arriving connections.
+            let spawn_session =
+                |reader: Box<dyn Read + Send + 'a>, session: Arc<Session>, peer: Option<String>| {
+                    let tx = tx.clone();
+                    let shards = &shards;
+                    let aggregate = &aggregate;
+                    let server_metrics = &server_metrics;
+                    let factory = &factory;
+                    let chunk_samples = gw.chunk_samples;
+                    scope.spawn(move || {
+                        if session.label().is_some() {
+                            let seq = session.next_seq();
+                            let _ = tx.send(SinkMsg::Line {
+                                session: session.id(),
+                                seq,
+                                line: session_open_line(&session, seq, peer.as_deref()),
+                                span: 0,
+                                classified: Instant::now(),
+                            });
+                        }
+                        let shard = &shards[session.shard()];
+                        let result = session_ingest(
+                            reader,
+                            &session,
+                            factory,
+                            shard,
+                            aggregate,
+                            &tx,
+                            chunk_samples,
+                            obs,
+                        );
+                        match &result {
+                            Ok(()) => server_metrics.sessions_closed.fetch_add(1, Relaxed),
+                            Err(_) => server_metrics.sessions_errored.fetch_add(1, Relaxed),
+                        };
+                        if session.label().is_some() {
+                            let seq = session.next_seq();
+                            let _ = tx.send(SinkMsg::Close {
+                                session: session.clone(),
+                                seq,
+                                error: result.as_ref().err().map(|e| e.to_string()),
+                            });
+                        }
+                        result
+                    })
+                };
+
+            let mut sessions: Vec<Arc<Session>> = Vec::new();
+            let mut handles = Vec::new();
+            let mut fatal: Option<GatewayError> = None;
+            let mut last_stats = started;
+            let mut emit_stats = |stats: &mut E, streams: Option<u64>| -> io::Result<()> {
+                if let Some(interval) = gw.stats_interval {
+                    if last_stats.elapsed() >= interval {
+                        last_stats = Instant::now();
+                        let queue_len: usize = shards.iter().map(ShardQueue::len).sum();
+                        let line = stats_line(&aggregate.snapshot(), started, queue_len, streams);
+                        writeln!(stats, "{line}")?;
+                        stats.flush()?;
+                    }
+                }
+                Ok(())
+            };
+            let open_session =
+                |sessions: &mut Vec<Arc<Session>>, label: Option<String>| -> Arc<Session> {
+                    let id = sessions.len() as u64 + 1;
+                    let shard = (id - 1) as usize % shard_count;
+                    let session = Arc::new(Session::new(id, label, shard));
+                    #[cfg(feature = "telemetry")]
+                    if let (Some(registry), Some(label)) = (&self.registry, session.label()) {
+                        crate::obs::register_session(registry, label, session.metrics());
+                    }
+                    server_metrics.sessions_opened.fetch_add(1, Relaxed);
+                    sessions.push(session.clone());
+                    session
+                };
+
+            match feed {
+                Feed::Streams(streams) => {
+                    for stream in streams {
+                        let session = open_session(&mut sessions, stream.label);
+                        handles.push(spawn_session(stream.reader, session, None));
+                    }
+                    // No `streams` field here: a `run_streams` feed (the
+                    // legacy wrapper included) keeps the original stats
+                    // shape byte-for-byte.
+                    if gw.stats_interval.is_some() {
+                        while handles.iter().any(|h| !h.is_finished()) {
+                            if let Err(e) = emit_stats(&mut *stats, None) {
+                                fatal = Some(GatewayError::sink(e));
+                                break;
+                            }
+                            std::thread::sleep(DRAIN_POLL);
+                        }
+                    }
+                }
+                Feed::Accept(listener) => {
+                    let max_streams = cfg.max_streams.max(1);
+                    loop {
+                        if self.shutdown.load(Relaxed) {
+                            break;
+                        }
+                        if cfg
+                            .stop_after
+                            .is_some_and(|limit| sessions.len() as u64 >= limit)
+                        {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((conn, peer)) => {
+                                let active = handles.iter().filter(|h| !h.is_finished()).count();
+                                if active >= max_streams {
+                                    server_metrics.sessions_refused.fetch_add(1, Relaxed);
+                                    let _ = tx.send(SinkMsg::Note {
+                                        line: session_refused_line(&peer, max_streams),
+                                    });
+                                    continue;
+                                }
+                                let label = format!("s{}", sessions.len() + 1);
+                                let session = open_session(&mut sessions, Some(label));
+                                let reader = Box::new(conn.with_shutdown(self.shutdown.clone()));
+                                handles.push(spawn_session(reader, session, Some(peer)));
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                let active = handles.iter().filter(|h| !h.is_finished()).count();
+                                if let Err(we) = emit_stats(&mut *stats, Some(active as u64)) {
+                                    fatal = Some(GatewayError::sink(we));
+                                    break;
+                                }
+                                std::thread::sleep(ACCEPT_POLL);
+                            }
+                            Err(e) => {
+                                fatal = Some(GatewayError::Accept(e));
+                                break;
+                            }
+                        }
+                    }
+                    if fatal.is_some() {
+                        // Unwedge the sessions so the drain below ends.
+                        self.shutdown.store(true, Relaxed);
+                    }
+                    while handles.iter().any(|h| !h.is_finished()) {
+                        let active = handles.iter().filter(|h| !h.is_finished()).count();
+                        // Keep draining even if a stats write fails; the
+                        // first error still wins below.
+                        if let Err(we) = emit_stats(&mut *stats, Some(active as u64)) {
+                            fatal.get_or_insert(GatewayError::sink(we));
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+
+            let outcomes: Vec<SessionOutcome> = sessions
+                .into_iter()
+                .zip(handles)
+                .map(|(session, handle)| {
+                    let result = handle.join().expect("session ingest panicked");
+                    (session, result)
+                })
+                .collect();
+            for shard in &shards {
+                shard.close();
+            }
+            for handle in worker_handles {
+                handle.join().expect("worker panicked");
+            }
+            drop(tx);
+            let sink_result = sink_handle.join().expect("sink panicked");
+            (outcomes, sink_result, fatal)
+        });
+
+        if let Some(err) = fatal {
+            return Err(err);
+        }
+        if fatal_in_streams {
+            for (session, result) in &outcomes {
+                if let Some(source) = result.as_ref().err() {
+                    return Err(GatewayError::Read {
+                        stream: session
+                            .label()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| format!("#{}", session.id())),
+                        source: io::Error::new(source.kind(), source.to_string()),
+                    });
+                }
+            }
+        }
+        sink_result.map_err(GatewayError::sink)?;
+
+        // Span records buffer in the sink; push them out while the run's
+        // counters are still being finalised so nothing is lost if the
+        // caller exits right after reading the report.
+        #[cfg(feature = "telemetry")]
+        if let Some(trace) = &self.trace {
+            trace.flush();
+        }
+
+        let report = ServerReport {
+            metrics: aggregate.snapshot(),
+            server: server_metrics.snapshot(),
+            sessions: outcomes
+                .iter()
+                .map(|(session, _)| SessionSummary {
+                    id: session.id(),
+                    label: session.label().map(str::to_string),
+                    metrics: session.snapshot(),
+                })
+                .collect(),
+            elapsed: started.elapsed(),
+            pool: PoolStats {
+                hits: factory.pool().hits(),
+                misses: factory.pool().misses(),
+                idle: factory.pool().idle(),
+            },
+        };
+        let streams_field = if fatal_in_streams { None } else { Some(0) };
+        writeln!(
+            stats,
+            "{}",
+            stats_line(&report.metrics, started, 0, streams_field)
+        )
+        .map_err(GatewayError::sink)?;
+        stats.flush().map_err(GatewayError::sink)?;
+        Ok(report)
+    }
+}
+
+/// One session's ingest loop: read chunks, advance its splitter, enqueue
+/// captures on its shard (the shard's drop budget arbitrates overload).
+#[allow(clippy::too_many_arguments)]
+fn session_ingest<R: Read>(
+    input: R,
+    session: &Arc<Session>,
+    factory: &MonitorFactory,
+    shard: &ShardQueue<WorkItem>,
+    aggregate: &Metrics,
+    tx: &mpsc::Sender<SinkMsg>,
+    chunk_samples: usize,
+    obs: RunObs<'_>,
+) -> io::Result<()> {
+    let mut reader = Cf32Reader::new(input).with_chunk_samples(chunk_samples.max(1));
+    let mut splitter = factory.splitter();
+    let mut chunk = Vec::new();
+    let mut captures: Vec<BurstCapture> = Vec::new();
+    let own = session.metrics();
+
+    // `ingest_start` is when the chunk that completed the burst was read;
+    // the span's `ingest` stage covers read→enqueue and hands its end
+    // instant to the `queue` stage untouched, keeping the per-frame stage
+    // chain contiguous.
+    let enqueue = |captures: &mut Vec<BurstCapture>, ingest_start: Instant| {
+        for capture in captures.drain(..) {
+            aggregate.bursts.fetch_add(1, Relaxed);
+            own.bursts.fetch_add(1, Relaxed);
+            let seq = session.next_seq();
+            let span = obs.next_span();
+            let enqueued = Instant::now();
+            obs.record(span, seq, "ingest", ingest_start, enqueued);
+            let item = WorkItem {
+                session: session.clone(),
+                seq,
+                capture,
+                enqueued,
+                span,
+            };
+            if let Evicted::Item { item: evicted, .. } = shard.push(session.id(), item) {
+                shed(evicted, aggregate, tx, obs);
+            }
+        }
+    };
+
+    loop {
+        let chunk_read = Instant::now();
+        let n = reader.read_chunk(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        aggregate.chunks_in.fetch_add(1, Relaxed);
+        own.chunks_in.fetch_add(1, Relaxed);
+        aggregate.samples_in.fetch_add(n as u64, Relaxed);
+        own.samples_in.fetch_add(n as u64, Relaxed);
+        splitter.push_into(&chunk, &mut captures);
+        enqueue(&mut captures, chunk_read);
+    }
+    let finish_started = Instant::now();
+    splitter.finish_into(&mut captures);
+    enqueue(&mut captures, finish_started);
+    Ok(())
+}
+
+/// Accounts one burst shed by a shard's drop budget and fills its
+/// sequence hole so the sink never waits on work that will not arrive.
+fn shed(evicted: WorkItem, aggregate: &Metrics, tx: &mpsc::Sender<SinkMsg>, obs: RunObs<'_>) {
+    let now = Instant::now();
+    let samples = evicted.capture.samples.len() as u64;
+    for m in [aggregate, evicted.session.metrics()] {
+        m.bursts_dropped.fetch_add(1, Relaxed);
+        m.samples_dropped.fetch_add(samples, Relaxed);
+    }
+    obs.record(evicted.span, evicted.seq, "drop", evicted.enqueued, now);
+    let _ = tx.send(SinkMsg::Line {
+        session: evicted.session.id(),
+        seq: evicted.seq,
+        line: dropped_line(evicted.session.label(), &evicted.capture),
+        span: 0,
+        classified: now,
+    });
+}
+
+/// Worker: drain the home shard, steal from the others when it is empty,
+/// block briefly only when every shard is dry.
+fn worker_loop(
+    home: usize,
+    shards: &[ShardQueue<WorkItem>],
+    processor: &FrameProcessor,
+    aggregate: &Metrics,
+    tx: &mpsc::Sender<SinkMsg>,
+    obs: RunObs<'_>,
+) {
+    let n = shards.len();
+    loop {
+        let mut found = None;
+        for i in 0..n {
+            if let Some((_key, item)) = shards[(home + i) % n].try_pop() {
+                found = Some(item);
+                break;
+            }
+        }
+        let item = match found {
+            Some(item) => item,
+            None if shards.iter().all(ShardQueue::is_closed) => {
+                // Closed shards cannot gain items; one more scan beats the
+                // close/empty race, then the worker is done.
+                match shards.iter().find_map(ShardQueue::try_pop) {
+                    Some((_key, item)) => item,
+                    None => break,
+                }
+            }
+            None => match shards[home].pop_timeout(WORKER_IDLE_WAIT) {
+                Some((_key, item)) => item,
+                None => continue,
+            },
+        };
+        process_item(item, processor, aggregate, tx, obs);
+    }
+}
+
+/// Decode, classify, render, send — with per-stage timing, counted into
+/// both the session's and the aggregate metrics.
+fn process_item(
+    item: WorkItem,
+    processor: &FrameProcessor,
+    aggregate: &Metrics,
+    tx: &mpsc::Sender<SinkMsg>,
+    obs: RunObs<'_>,
+) {
+    let WorkItem {
+        session,
+        seq,
+        capture,
+        enqueued,
+        span,
+    } = item;
+    let dequeued = Instant::now();
+    let queue_us = micros_between(enqueued, dequeued);
+    let reception = processor.decode(&capture);
+    let decoded = Instant::now();
+    let event = processor.classify(&capture, reception);
+    let done = Instant::now();
+    obs.record(span, seq, "queue", enqueued, dequeued);
+    obs.record(span, seq, "decode", dequeued, decoded);
+    obs.record(span, seq, "classify", decoded, done);
+    let total_us = micros_between(enqueued, done);
+    aggregate.latency.record(total_us);
+    session.metrics().latency.record(total_us);
+    if event.payload.is_some() {
+        aggregate.frames_decoded.fetch_add(1, Relaxed);
+        session.metrics().frames_decoded.fetch_add(1, Relaxed);
+    }
+    if event.accepted_forgery() {
+        aggregate.forgeries.fetch_add(1, Relaxed);
+        session.metrics().forgeries.fetch_add(1, Relaxed);
+    }
+    let line = frame_line(
+        session.label(),
+        seq,
+        &event,
+        queue_us,
+        micros_between(dequeued, decoded),
+        micros_between(decoded, done),
+        total_us,
+    );
+    // A send error means the sink hit an output error and hung up; keep
+    // draining the queue so ingest accounting stays truthful.
+    let _ = tx.send(SinkMsg::Line {
+        session: session.id(),
+        seq,
+        line,
+        span,
+        classified: done,
+    });
+}
+
+/// One session's reorder state inside the sink.
+#[derive(Default)]
+struct SessionSink {
+    pending: BTreeMap<u64, Slot>,
+    next: u64,
+}
+
+enum Slot {
+    Line {
+        line: String,
+        span: u64,
+        classified: Instant,
+    },
+    Close {
+        session: Arc<Session>,
+        error: Option<String>,
+    },
+}
+
+/// Sink: restore per-session sequence order (workers race) and write
+/// JSON lines. Sessions interleave; within a session, order is exact.
+fn sink_loop<W: Write>(
+    rx: mpsc::Receiver<SinkMsg>,
+    events: &mut W,
+    obs: RunObs<'_>,
+) -> io::Result<()> {
+    let mut sessions: HashMap<SessionId, SessionSink> = HashMap::new();
+    let mut pending_total = 0usize;
+    for msg in rx.iter() {
+        match msg {
+            SinkMsg::Note { line } => {
+                writeln!(events, "{line}")?;
+            }
+            SinkMsg::Line {
+                session,
+                seq,
+                line,
+                span,
+                classified,
+            } => {
+                let sink = sessions.entry(session).or_default();
+                sink.pending.insert(
+                    seq,
+                    Slot::Line {
+                        line,
+                        span,
+                        classified,
+                    },
+                );
+                pending_total += 1;
+                let (emitted, closed) = drain_session(sink, events, obs)?;
+                pending_total -= emitted;
+                if closed {
+                    sessions.remove(&session);
+                }
+            }
+            SinkMsg::Close {
+                session,
+                seq,
+                error,
+            } => {
+                let id = session.id();
+                let sink = sessions.entry(id).or_default();
+                sink.pending.insert(seq, Slot::Close { session, error });
+                pending_total += 1;
+                let (emitted, closed) = drain_session(sink, events, obs)?;
+                pending_total -= emitted;
+                if closed {
+                    sessions.remove(&id);
+                }
+            }
+        }
+        if pending_total == 0 {
+            events.flush()?;
+        }
+    }
+    // Channel closed: flush whatever is contiguous (holes can only mean a
+    // worker died, which join() will have surfaced as a panic).
+    for sink in sessions.values_mut() {
+        drain_session(sink, events, obs)?;
+    }
+    events.flush()
+}
+
+/// Writes `sink`'s contiguous prefix; returns (lines written, session
+/// closed).
+fn drain_session<W: Write>(
+    sink: &mut SessionSink,
+    events: &mut W,
+    obs: RunObs<'_>,
+) -> io::Result<(usize, bool)> {
+    let mut emitted = 0usize;
+    let mut closed = false;
+    while let Some(slot) = sink.pending.remove(&sink.next) {
+        match slot {
+            Slot::Line {
+                line,
+                span,
+                classified,
+            } => {
+                writeln!(events, "{line}")?;
+                obs.record(span, sink.next, "emit", classified, Instant::now());
+            }
+            Slot::Close { session, error } => {
+                let line = session_close_line(&session, sink.next, error.as_deref());
+                writeln!(events, "{line}")?;
+                closed = true;
+            }
+        }
+        sink.next += 1;
+        emitted += 1;
+    }
+    Ok((emitted, closed))
+}
+
+fn micros_between(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
+}
+
+/// Renders one frame event as a JSON line. Unlabelled sessions omit the
+/// `stream` field entirely, keeping legacy single-stream output
+/// byte-identical.
+fn frame_line(
+    stream: Option<&str>,
+    seq: u64,
+    event: &StreamEvent,
+    queue_us: u64,
+    decode_us: u64,
+    classify_us: u64,
+    total_us: u64,
+) -> String {
+    let latency = JsonObject::new()
+        .uint("queue_us", queue_us)
+        .uint("decode_us", decode_us)
+        .uint("classify_us", classify_us)
+        .uint("total_us", total_us)
+        .finish();
+    JsonObject::new()
+        .string("type", "frame")
+        .string_if("stream", stream)
+        .uint("seq", seq)
+        .uint("burst_start", event.burst.start as u64)
+        .uint("burst_end", event.burst.end as u64)
+        .bool("truncated", event.truncated)
+        .opt("payload_hex", event.payload.as_deref(), |o, k, p| {
+            o.string(k, &hex(p))
+        })
+        .opt(
+            "de2",
+            event.verdict.map(|v| v.de_squared),
+            JsonObject::float,
+        )
+        .opt("verdict", event.verdict, |o, k, v| {
+            o.string(k, if v.is_attack { "attack" } else { "authentic" })
+        })
+        .bool("accepted_forgery", event.accepted_forgery())
+        .raw("latency", &latency)
+        .finish()
+}
+
+/// Renders the event for a burst shed by the drop budget.
+fn dropped_line(stream: Option<&str>, capture: &BurstCapture) -> String {
+    JsonObject::new()
+        .string("type", "dropped")
+        .string_if("stream", stream)
+        .uint("burst_start", capture.burst.start as u64)
+        .uint("burst_end", capture.burst.end as u64)
+        .uint("samples", capture.samples.len() as u64)
+        .finish()
+}
+
+/// Renders a session-open marker (labelled sessions only).
+fn session_open_line(session: &Session, seq: u64, peer: Option<&str>) -> String {
+    JsonObject::new()
+        .string("type", "session")
+        .string_if("stream", session.label())
+        .uint("seq", seq)
+        .string("event", "open")
+        .string_if("peer", peer)
+        .finish()
+}
+
+/// Renders a session-close marker with the session's final counters.
+fn session_close_line(session: &Session, seq: u64, error: Option<&str>) -> String {
+    let s = session.snapshot();
+    JsonObject::new()
+        .string("type", "session")
+        .string_if("stream", session.label())
+        .uint("seq", seq)
+        .string("event", "close")
+        .uint("samples_in", s.samples_in)
+        .uint("bursts", s.bursts)
+        .uint("frames_decoded", s.frames_decoded)
+        .uint("forgeries", s.forgeries)
+        .uint("bursts_dropped", s.bursts_dropped)
+        .string_if("error", error)
+        .finish()
+}
+
+/// Renders the marker for a connection refused at the session ceiling.
+fn session_refused_line(peer: &str, max_streams: usize) -> String {
+    JsonObject::new()
+        .string("type", "session")
+        .string("event", "refused")
+        .string("peer", peer)
+        .uint("max_streams", max_streams as u64)
+        .finish()
+}
+
+/// Renders one stats line. `streams` (active sessions) appears only in
+/// server mode; legacy single-stream stats stay byte-identical.
+fn stats_line(
+    s: &MetricsSnapshot,
+    started: Instant,
+    queue_len: usize,
+    streams: Option<u64>,
+) -> String {
+    let secs = started.elapsed().as_secs_f64();
+    let msps = if secs > 0.0 {
+        s.samples_in as f64 / secs / 1e6
+    } else {
+        0.0
+    };
+    let line = JsonObject::new()
+        .string("type", "stats")
+        .uint("elapsed_ms", (secs * 1e3) as u64)
+        .uint("samples_in", s.samples_in)
+        .uint("chunks_in", s.chunks_in)
+        .uint("bursts", s.bursts)
+        .uint("frames_decoded", s.frames_decoded)
+        .uint("forgeries", s.forgeries)
+        .uint("bursts_dropped", s.bursts_dropped)
+        .uint("samples_dropped", s.samples_dropped)
+        .uint("queue_len", queue_len as u64);
+    let line = match streams {
+        Some(n) => line.uint("streams", n),
+        None => line,
+    };
+    line.opt("p50_us", s.p50_us, JsonObject::uint)
+        .opt("p99_us", s.p99_us, JsonObject::uint)
+        .float("msamples_per_sec", (msps * 1e3).round() / 1e3)
+        .finish()
+}

@@ -1,0 +1,400 @@
+//! Per-stream session state and the shard queue it is pinned to.
+//!
+//! A [`Session`] is the server-side handle for one connected IQ stream:
+//! its id, tenant label, per-stream [`Metrics`], per-session event
+//! sequence, and the shard it is pinned to. Sessions never share splitter
+//! state — each gets a fresh `BurstSplitter` from the server's
+//! `MonitorFactory` — but they do share the worker pool, the capture
+//! buffer pool, and (with the other sessions of their shard) a
+//! [`ShardQueue`].
+//!
+//! The shard queue is the multi-tenant version of
+//! [`BoundedQueue`](crate::queue::BoundedQueue): bounded, non-blocking
+//! push, drop-oldest under overload — but *which* oldest is governed by a
+//! per-session **drop budget**. A session pushing beyond its fair share
+//! of the shard (`capacity / active sessions`) sheds its own oldest
+//! burst; a session within budget sheds the most-loaded session's oldest
+//! instead. A chatty stream therefore pays for its own overload and a
+//! quiet stream's bursts survive, which is the isolation property the
+//! fairness unit tests below pin down.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifier of one gateway session, unique within a server run.
+pub type SessionId = u64;
+
+/// Server-side handle for one connected stream.
+#[derive(Debug)]
+pub struct Session {
+    id: SessionId,
+    label: Option<String>,
+    shard: usize,
+    metrics: Metrics,
+    seq: AtomicU64,
+}
+
+impl Session {
+    /// A session pinned to `shard`. `label` is the tenant label stamped
+    /// on the session's JSONL events and metrics; `None` is the legacy
+    /// unlabelled single-stream mode (events stay byte-identical to the
+    /// pre-server gateway).
+    pub fn new(id: SessionId, label: Option<String>, shard: usize) -> Self {
+        Session {
+            id,
+            label,
+            shard,
+            metrics: Metrics::new(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The tenant label (`None` in legacy single-stream mode).
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The worker shard this session's bursts are queued on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// This session's own counters (the aggregate ones live on the
+    /// server).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of this session's counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The next per-session event sequence number (monotonic from 0).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// What a full shard did when a push came in.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Evicted<T> {
+    /// There was room; nothing was dropped.
+    None,
+    /// The queue was full (or closed): this item was shed and must be
+    /// counted against its session.
+    Item {
+        /// Session the shed item belonged to.
+        key: SessionId,
+        /// The shed item.
+        item: T,
+    },
+}
+
+/// One shard's bounded work queue with per-session drop budgets.
+#[derive(Debug)]
+pub struct ShardQueue<T> {
+    state: Mutex<ShardState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct ShardState<T> {
+    items: VecDeque<(SessionId, T)>,
+    /// Queued items per session — the load the drop budget arbitrates on.
+    counts: BTreeMap<SessionId, usize>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> ShardState<T> {
+    /// The fair per-session share of this shard right now: capacity
+    /// divided over the sessions that currently have items queued (the
+    /// pusher counts even when it has none yet).
+    fn fair_share(&self, pusher: SessionId) -> usize {
+        let mut active = self.counts.len();
+        if !self.counts.contains_key(&pusher) {
+            active += 1;
+        }
+        (self.capacity / active.max(1)).max(1)
+    }
+
+    /// Removes the oldest queued item of `victim`.
+    fn evict_oldest_of(&mut self, victim: SessionId) -> Option<(SessionId, T)> {
+        let pos = self.items.iter().position(|(k, _)| *k == victim)?;
+        let evicted = self.items.remove(pos)?;
+        self.decrement(victim);
+        Some(evicted)
+    }
+
+    fn decrement(&mut self, key: SessionId) {
+        if let Some(n) = self.counts.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                self.counts.remove(&key);
+            }
+        }
+    }
+
+    /// The session holding the most queued items (ties broken by lower
+    /// id, for determinism).
+    fn most_loaded(&self) -> Option<SessionId> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(k, _)| *k)
+    }
+}
+
+impl<T> ShardQueue<T> {
+    /// Shard queue holding at most `capacity` items across all sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shard capacity must be positive");
+        ShardQueue {
+            state: Mutex::new(ShardState {
+                items: VecDeque::with_capacity(capacity),
+                counts: BTreeMap::new(),
+                capacity,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` for session `key` without ever blocking. On a full
+    /// shard the drop budget picks the victim: the pusher's own oldest
+    /// item when the pusher is at or over its fair share, otherwise the
+    /// most-loaded session's oldest. Pushing to a closed shard sheds the
+    /// item itself.
+    pub fn push(&self, key: SessionId, item: T) -> Evicted<T> {
+        let mut s = self.state.lock().expect("shard poisoned");
+        if s.closed {
+            return Evicted::Item { key, item };
+        }
+        let evicted = if s.items.len() == s.capacity {
+            let share = s.fair_share(key);
+            let over_budget = s.counts.get(&key).copied().unwrap_or(0) >= share;
+            let victim = if over_budget {
+                key
+            } else {
+                s.most_loaded().unwrap_or(key)
+            };
+            s.evict_oldest_of(victim)
+        } else {
+            None
+        };
+        *s.counts.entry(key).or_insert(0) += 1;
+        s.items.push_back((key, item));
+        drop(s);
+        self.available.notify_one();
+        match evicted {
+            Some((key, item)) => Evicted::Item { key, item },
+            None => Evicted::None,
+        }
+    }
+
+    /// Pops the oldest item without blocking (`None`: empty shard). This
+    /// is what workers use to scan their home shard and steal from
+    /// others.
+    pub fn try_pop(&self) -> Option<(SessionId, T)> {
+        let mut s = self.state.lock().expect("shard poisoned");
+        let popped = s.items.pop_front();
+        if let Some((key, _)) = &popped {
+            s.decrement(*key);
+        }
+        popped
+    }
+
+    /// Blocks up to `timeout` for an item. `None` means the wait timed
+    /// out or the shard is closed and drained — callers distinguish via
+    /// [`is_closed`](Self::is_closed).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(SessionId, T)> {
+        let mut s = self.state.lock().expect("shard poisoned");
+        loop {
+            if let Some((key, item)) = s.items.pop_front() {
+                s.decrement(key);
+                return Some((key, item));
+            }
+            if s.closed {
+                return None;
+            }
+            let (guard, wait) = self
+                .available
+                .wait_timeout(s, timeout)
+                .expect("shard poisoned");
+            s = guard;
+            if wait.timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the shard: queued items still drain via `try_pop`, new
+    /// pushes are shed, blocked `pop_timeout`s wake.
+    pub fn close(&self) {
+        self.state.lock().expect("shard poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("shard poisoned").closed
+    }
+
+    /// Items currently queued across all sessions.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("shard poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items currently queued for one session.
+    pub fn len_of(&self, key: SessionId) -> usize {
+        self.state
+            .lock()
+            .expect("shard poisoned")
+            .counts
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &ShardQueue<T>) -> Vec<(SessionId, T)> {
+        std::iter::from_fn(|| q.try_pop()).collect()
+    }
+
+    #[test]
+    fn fifo_within_capacity_across_sessions() {
+        let q = ShardQueue::new(4);
+        assert_eq!(q.push(1, "a"), Evicted::None);
+        assert_eq!(q.push(2, "b"), Evicted::None);
+        assert_eq!(q.push(1, "c"), Evicted::None);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.len_of(1), 2);
+        let order: Vec<_> = drain(&q);
+        assert_eq!(order, vec![(1, "a"), (2, "b"), (1, "c")]);
+        assert_eq!(q.len_of(1), 0);
+    }
+
+    /// A session flooding past its fair share sheds its *own* oldest,
+    /// never the quiet session's only burst.
+    #[test]
+    fn noisy_session_pays_its_own_drops() {
+        let q = ShardQueue::new(4);
+        assert_eq!(q.push(7, "quiet"), Evicted::None);
+        for noisy in ["a", "b", "c"] {
+            assert_eq!(q.push(1, noisy), Evicted::None);
+        }
+        // Shard full; session 1 holds 3/4 > fair share (4/2 = 2).
+        for noisy in ["d", "e", "f", "g", "h", "i", "j"] {
+            match q.push(1, noisy) {
+                Evicted::Item { key, .. } => assert_eq!(key, 1, "noisy pays"),
+                Evicted::None => panic!("full shard must evict"),
+            }
+        }
+        let remaining = drain(&q);
+        assert!(
+            remaining.contains(&(7, "quiet")),
+            "quiet session survived the flood: {remaining:?}"
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    /// A within-budget pusher on a full shard evicts from the most
+    /// loaded session, not from itself.
+    #[test]
+    fn under_budget_push_evicts_the_most_loaded() {
+        let q = ShardQueue::new(4);
+        for i in 0..4 {
+            assert_eq!(q.push(1, i), Evicted::None);
+        }
+        match q.push(2, 100) {
+            Evicted::Item { key, item } => {
+                assert_eq!(key, 1, "most-loaded session evicted");
+                assert_eq!(item, 0, "its oldest item");
+            }
+            Evicted::None => panic!("full shard must evict"),
+        }
+        assert_eq!(q.len_of(2), 1);
+        assert_eq!(q.len_of(1), 3);
+    }
+
+    /// Per-session FIFO order survives mid-queue evictions.
+    #[test]
+    fn eviction_preserves_per_session_order() {
+        let q = ShardQueue::new(4);
+        q.push(1, 0);
+        q.push(2, 10);
+        q.push(1, 1);
+        q.push(2, 11);
+        q.push(3, 20); // evicts oldest of most-loaded (session 1, item 0)
+        let order = drain(&q);
+        assert_eq!(order, vec![(2, 10), (1, 1), (2, 11), (3, 20)]);
+    }
+
+    /// With every session at one item and capacity below the session
+    /// count, a pusher at fair share (1) sheds its own item.
+    #[test]
+    fn tiny_capacity_still_fair() {
+        let q = ShardQueue::new(2);
+        q.push(1, "a");
+        q.push(2, "b");
+        match q.push(1, "c") {
+            Evicted::Item { key, item } => {
+                assert_eq!((key, item), (1, "a"));
+            }
+            Evicted::None => panic!("full shard must evict"),
+        }
+        assert_eq!(drain(&q), vec![(2, "b"), (1, "c")]);
+    }
+
+    #[test]
+    fn close_sheds_new_pushes_and_wakes_waiters() {
+        let q = std::sync::Arc::new(ShardQueue::new(2));
+        q.push(1, 1);
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                // Drain the one item, then block until close.
+                let first = q.pop_timeout(Duration::from_secs(5));
+                let second = q.pop_timeout(Duration::from_secs(5));
+                (first, second)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (first, second) = waiter.join().unwrap();
+        assert_eq!(first, Some((1, 1)));
+        assert_eq!(second, None);
+        assert!(q.is_closed());
+        assert_eq!(q.push(2, 9), Evicted::Item { key: 2, item: 9 });
+    }
+
+    #[test]
+    fn pop_timeout_times_out_when_idle() {
+        let q: ShardQueue<u32> = ShardQueue::new(2);
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}

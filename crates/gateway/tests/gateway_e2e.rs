@@ -1,6 +1,13 @@
 //! End-to-end gateway tests: a synthetic over-the-air capture streamed
 //! through the full pipeline, checked at the JSONL boundary — the same
 //! surface the CI smoke test and shell users consume.
+//!
+//! These tests deliberately stay on the deprecated [`Gateway::run`]: they
+//! are the compatibility contract that the one-session wrapper keeps its
+//! legacy output byte-for-byte (the multi-stream API has its own suite in
+//! `server_e2e.rs`).
+
+#![allow(deprecated)]
 
 use ctc_channel::noise::complex_gaussian;
 use ctc_core::attack::Emulator;

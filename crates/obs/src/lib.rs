@@ -52,6 +52,6 @@ pub mod trace;
 
 pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
-pub use registry::Registry;
+pub use registry::{Registry, ScopedRegistry};
 pub use stage::Profiled;
 pub use trace::{next_span_id, TraceSink};

@@ -279,6 +279,98 @@ impl Registry {
     pub fn render(&self) -> String {
         crate::expo::render(self)
     }
+
+    /// A view of this registry that stamps `base` labels onto every
+    /// registration made through it — the idiom for per-stream telemetry,
+    /// where one component registers the same metric schema many times
+    /// under different `{stream="..."}` label sets:
+    ///
+    /// ```
+    /// let registry = ctc_obs::Registry::new();
+    /// let scoped = registry.scoped(&[("stream", "s1")]);
+    /// scoped.counter_fn("ctc_gateway_samples_total", "IQ samples.", &[], || 7);
+    /// assert!(registry
+    ///     .render()
+    ///     .contains("ctc_gateway_samples_total{stream=\"s1\"} 7"));
+    /// ```
+    pub fn scoped<'r>(&'r self, base: &[(&str, &str)]) -> ScopedRegistry<'r> {
+        ScopedRegistry {
+            registry: self,
+            base: to_labels(base),
+        }
+    }
+}
+
+/// A registry handle carrying a fixed base label set (see
+/// [`Registry::scoped`]). Extra labels passed per registration are merged
+/// with the base; on a key collision the per-registration label wins.
+pub struct ScopedRegistry<'r> {
+    registry: &'r Registry,
+    base: Labels,
+}
+
+impl ScopedRegistry<'_> {
+    /// The base labels merged with `extra`, per-registration keys winning.
+    fn merged<'a>(&'a self, extra: &'a [(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+        let mut all: Vec<(&str, &str)> = self
+            .base
+            .iter()
+            .filter(|(k, _)| !extra.iter().any(|(ek, _)| ek == k))
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        all.extend_from_slice(extra);
+        all
+    }
+
+    /// A labelled counter under the base labels.
+    pub fn counter(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<Counter> {
+        self.registry.counter_with(name, help, &self.merged(extra))
+    }
+
+    /// A labelled gauge under the base labels.
+    pub fn gauge(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<Gauge> {
+        self.registry.gauge_with(name, help, &self.merged(extra))
+    }
+
+    /// A labelled histogram under the base labels.
+    pub fn histogram(&self, name: &str, help: &str, extra: &[(&str, &str)]) -> Arc<Histogram> {
+        self.registry
+            .histogram_with(name, help, &self.merged(extra))
+    }
+
+    /// A pull-based counter under the base labels.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        extra: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.registry.counter_fn(name, help, &self.merged(extra), f);
+    }
+
+    /// A pull-based gauge under the base labels.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        extra: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.registry.gauge_fn(name, help, &self.merged(extra), f);
+    }
+
+    /// A pull-based histogram under the base labels.
+    pub fn histogram_fn(
+        &self,
+        name: &str,
+        help: &str,
+        extra: &[(&str, &str)],
+        f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
+    ) {
+        self.registry
+            .histogram_fn(name, help, &self.merged(extra), f);
+    }
 }
 
 #[cfg(test)]

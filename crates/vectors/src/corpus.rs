@@ -230,7 +230,12 @@ fn gateway_events(
         ..GatewayConfig::default()
     };
     let mut events = Vec::new();
-    Gateway::new(config).run(&bytes[..], &mut events, &mut Vec::new())?;
+    // The corpus pins the *legacy* single-stream output shape; the
+    // deprecated wrapper is exactly the compatibility surface under test.
+    #[allow(deprecated)]
+    Gateway::new(config)
+        .run(&bytes[..], &mut events, &mut Vec::new())
+        .map_err(|e| Error::Other(format!("gateway run: {e}")))?;
     let events = String::from_utf8(events)
         .map_err(|e| Error::Other(format!("gateway events not utf-8: {e}")))?;
     normalize_events(&events)

@@ -15,6 +15,15 @@
 #   - `--trace-out` produces a span log covering every pipeline stage;
 #   - the telemetry run still exits 3.
 #
+# A third pass serves the same capture to `ctc monitor --listen` over
+# three concurrent TCP connections (multi-stream smoke):
+#
+#   - every event is `stream`-tagged and seq-ordered within its session,
+#     bracketed by open/close markers with per-session tallies;
+#   - a mid-run scrape sees `{stream="..."}`-labelled metrics alongside
+#     the aggregates, plus the session lifecycle counters;
+#   - the server drains via `--stop-after` and still exits 3.
+#
 # Run from the repo root after `cargo build --release -p ctc-cli`.
 set -euo pipefail
 
@@ -136,3 +145,95 @@ for stage in ingest queue decode classify emit; do
 done
 
 echo "metrics smoke OK: live scrape at $addr, span log complete, exit 3"
+
+# --- multi-stream smoke: three concurrent TCP sessions, one engine ------
+#
+# `--listen tcp://127.0.0.1:0` serves each connection as its own session.
+# Two clients stream the capture and hang up; a third (fd 4) streams it
+# and then holds the connection open, pinning the server live so the
+# mid-run scrape can observe per-stream `{stream="..."}` metrics. Closing
+# fd 4 EOFs the last session and `--stop-after 3` lets the server drain
+# and exit — with code 3, since every session carried the forgery.
+sstatus=0
+"$CTC" monitor --listen tcp://127.0.0.1:0 --threshold 0.25 --chunk 4096 \
+    --max-streams 4 --stop-after 3 \
+    --metrics-addr 127.0.0.1:0 \
+    > "$workdir/events3.jsonl" \
+    2> "$workdir/stats3.jsonl" &
+server_pid=$!
+
+gw_addr=
+for _ in $(seq 100); do
+    gw_addr=$(sed -n 's#^gateway: listening on tcp://\(.*\)$#\1#p' \
+        "$workdir/stats3.jsonl" | head -n 1)
+    [ -n "$gw_addr" ] && break
+    sleep 0.1
+done
+[ -n "$gw_addr" ] || fail "server never announced its listen address"
+gw_host=${gw_addr%:*}
+gw_port=${gw_addr##*:}
+
+maddr=
+for _ in $(seq 100); do
+    maddr=$(sed -n 's#^metrics: serving http://\([^/]*\)/metrics$#\1#p' \
+        "$workdir/stats3.jsonl" | head -n 1)
+    [ -n "$maddr" ] && break
+    sleep 0.1
+done
+[ -n "$maddr" ] || fail "server never announced a metrics address"
+
+exec 4> "/dev/tcp/$gw_host/$gw_port"
+cat "$workdir/stream.cf32" >&4   # session stays open: server stays live
+( cat "$workdir/stream.cf32" > "/dev/tcp/$gw_host/$gw_port" ) &
+( cat "$workdir/stream.cf32" > "/dev/tcp/$gw_host/$gw_port" ) &
+
+# Mid-run scrape: wait until all three sessions are open and the forgery
+# count shows up under a per-stream label alongside the aggregate.
+smetrics=
+for _ in $(seq 100); do
+    smetrics=$("$CTC" obs dump --addr "$maddr" || true)
+    grep -q 'ctc_sessions_opened_total 3' <<< "$smetrics" \
+        && grep -q 'stream="s' <<< "$smetrics" && break
+    sleep 0.1
+done
+grep -q 'ctc_sessions_opened_total 3' <<< "$smetrics" \
+    || fail "scrape never saw 3 sessions opened"
+grep -q 'ctc_gateway_samples_total{stream="s' <<< "$smetrics" \
+    || fail "no per-stream labelled samples counter in the live scrape"
+grep -q '^ctc_gateway_samples_total [0-9]' <<< "$smetrics" \
+    || fail "aggregate samples counter missing alongside the labelled ones"
+
+exec 4>&-   # EOF on the held session: the server drains and exits
+wait "$server_pid" || sstatus=$?
+[ "$sstatus" -eq 3 ] || fail "multi-stream run: expected exit code 3, got $sstatus"
+
+frames3=$(grep -c '"type":"frame"' "$workdir/events3.jsonl" || true)
+[ "$frames3" -eq 9 ] || fail "expected 9 frame events across 3 sessions, got $frames3"
+
+opens=$(grep -c '"event":"open"' "$workdir/events3.jsonl" || true)
+closes=$(grep -c '"event":"close"' "$workdir/events3.jsonl" || true)
+[ "$opens" -eq 3 ] || fail "expected 3 session open markers, got $opens"
+[ "$closes" -eq 3 ] || fail "expected 3 session close markers, got $closes"
+
+# Per-session discipline: every event is stream-tagged, and within one
+# stream label the seq numbers are strictly ordered, open first, close
+# last, with the close marker carrying the session's own tallies.
+for s in s1 s2 s3; do
+    lines=$(grep "\"stream\":\"$s\"" "$workdir/events3.jsonl" || true)
+    [ -n "$lines" ] || fail "no events tagged stream=$s"
+    seqs=$(sed -n 's/.*"seq":\([0-9]*\).*/\1/p' <<< "$lines")
+    [ "$seqs" = "$(sort -n <<< "$seqs")" ] || fail "stream $s events out of seq order"
+    head -n 1 <<< "$lines" | grep -q '"event":"open"' \
+        || fail "stream $s: first event is not the open marker"
+    tail -n 1 <<< "$lines" | grep -q '"event":"close"' \
+        || fail "stream $s: last event is not the close marker"
+    tail -n 1 <<< "$lines" | grep -q '"frames_decoded":3' \
+        || fail "stream $s close marker: expected 3 frames decoded"
+    tail -n 1 <<< "$lines" | grep -q '"forgeries":1' \
+        || fail "stream $s close marker: expected 1 forgery"
+done
+
+grep -q 'gateway: 3 session(s) served, 0 refused, 0 errored' "$workdir/stats3.jsonl" \
+    || fail "missing or wrong final session tally on stderr"
+
+echo "multi-stream smoke OK: 3 sessions at $gw_addr, 9 frames, per-stream metrics live, exit 3"

@@ -12,8 +12,9 @@
 //! - [`wifi`] — IEEE 802.11g 64-QAM OFDM PHY
 //! - [`core`] — the paper's contribution: the waveform-emulation attack and
 //!   the cumulant-based defense
-//! - [`gateway`] — the defense as a long-running service: streaming IQ
-//!   ingest, bounded decode/classify pipeline, JSONL events and metrics
+//! - [`gateway`] — the defense as a long-running service: a multi-stream
+//!   server (sessions pinned to work-stealing shards over one decode/
+//!   classify pool), `stream`-tagged JSONL events and per-stream metrics
 //! - [`vectors`] — the golden-vector regression corpus: deterministic
 //!   per-stage artifacts with tolerance-aware comparison
 //! - [`obs`] — the unified telemetry layer: lock-free metrics registry,

@@ -9,6 +9,11 @@
 //!    capture reports the same bursts and verdicts as the inline monitor,
 //!    via its JSONL surface.
 
+// Pipeline fidelity is pinned against the deprecated single-stream
+// `Gateway::run` on purpose: the wrapper must keep producing the exact
+// legacy JSONL that this suite (and the golden corpus) encode.
+#![allow(deprecated)]
+
 use hide_and_seek::channel::noise::complex_gaussian;
 use hide_and_seek::core::attack::Emulator;
 use hide_and_seek::core::defense::{ChannelAssumption, Detector, StreamMonitor};
