@@ -5,12 +5,10 @@
 //! The acceptance floor for the pipeline is 4 Msamples/s at the default
 //! worker count — one 4 MHz ZigBee channel in real time with headroom.
 //!
-//! Benches the deprecated single-stream wrapper on purpose: its numbers
-//! are the regression baseline, and the wrapper now routes through the
-//! multi-stream server, so a shard/session overhead regression shows up
-//! right here.
-
-#![allow(deprecated)]
+//! Benches the single-shard server path — the exact configuration the
+//! deprecated single-stream wrapper routes through — so the numbers stay
+//! the regression baseline and a shard/session overhead regression shows
+//! up right here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ctc_channel::noise::complex_gaussian;
@@ -18,7 +16,7 @@ use ctc_core::attack::Emulator;
 use ctc_core::defense::{ChannelAssumption, Detector};
 use ctc_dsp::io::write_cf32;
 use ctc_dsp::Complex;
-use ctc_gateway::{Gateway, GatewayConfig};
+use ctc_gateway::{GatewayConfig, GatewayServer, NamedStream, ServerConfig};
 use ctc_zigbee::Transmitter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,13 +44,28 @@ fn sparse_capture(total: usize) -> Vec<u8> {
     bytes
 }
 
-fn config(workers: usize) -> GatewayConfig {
-    GatewayConfig {
-        workers,
-        detector: Detector::new(ChannelAssumption::Ideal).with_threshold(0.25),
-        stats_interval: None,
-        ..GatewayConfig::default()
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        shards: 1,
+        ..ServerConfig::from(GatewayConfig {
+            workers,
+            detector: Detector::new(ChannelAssumption::Ideal).with_threshold(0.25),
+            stats_interval: None,
+            ..GatewayConfig::default()
+        })
     }
+}
+
+/// One unlabelled stream through the single-shard server: byte- and
+/// schedule-compatible with the legacy `Gateway::run` baseline.
+fn run_single(config: ServerConfig, bytes: &[u8]) -> ctc_gateway::ServerReport {
+    GatewayServer::new(config)
+        .run_streams(
+            vec![NamedStream::unlabelled(bytes)],
+            &mut std::io::sink(),
+            &mut std::io::sink(),
+        )
+        .expect("in-memory run")
 }
 
 /// Full-pipeline ingest rate vs worker count (Msamples/s = Melem/s here).
@@ -68,9 +81,7 @@ fn bench_gateway_throughput(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let report = Gateway::new(config(workers))
-                        .run(&bytes[..], &mut std::io::sink(), &mut std::io::sink())
-                        .expect("in-memory run");
+                    let report = run_single(config(workers), &bytes);
                     assert!(report.metrics.frames_decoded > 0);
                     report
                 })
@@ -93,13 +104,7 @@ fn bench_gateway_idle_channel(c: &mut Criterion) {
     let mut group = c.benchmark_group("gateway_idle_channel");
     group.sample_size(10);
     group.throughput(Throughput::Elements(total as u64));
-    group.bench_function("noise_only", |b| {
-        b.iter(|| {
-            Gateway::new(config(2))
-                .run(&bytes[..], &mut std::io::sink(), &mut std::io::sink())
-                .expect("in-memory run")
-        })
-    });
+    group.bench_function("noise_only", |b| b.iter(|| run_single(config(2), &bytes)));
     group.finish();
 }
 

@@ -27,7 +27,10 @@ use ctc_dsp::io::{write_cf32_file, Cf32Reader};
 use ctc_dsp::psd::{welch_psd, Window};
 use ctc_dsp::Complex;
 use ctc_gateway::{
-    Gateway, GatewayConfig, GatewayError, GatewayServer, Input, Listener, ServerConfig,
+    GatewayConfig, GatewayError, GatewayServer, Input, Listener, NamedStream, ServerConfig,
+};
+use ctc_loadgen::{
+    render_fleet, render_soak, run_fleet, run_soak, FleetSpec, Mix, SoakConfig, Target,
 };
 use ctc_obs::{Registry, TraceSink};
 use ctc_zigbee::{Receiver, Transmitter};
@@ -40,6 +43,11 @@ use std::time::Duration;
 /// Exit code when a decoded frame was attributed to the attacker, so shell
 /// pipelines can branch on detection (`ctc detect ... || alarm`).
 const EXIT_FORGERY: u8 = 3;
+
+/// Exit code when `ctc loadgen` finishes but an SLO check (or a stream)
+/// failed — distinct from the gateway's own codes (3–10) so CI can tell
+/// "capacity regression" from "gateway broke".
+const EXIT_SLO_BREACH: u8 = 12;
 
 const USAGE: &str = "\
 ctc — CTC waveform emulation attack & defense toolkit (cf32 IQ files)
@@ -76,10 +84,28 @@ COMMANDS
             event sequence and per-stream metrics; --max-streams caps
             concurrency, --stop-after N exits after N sessions, --shards
             sets worker shards (0 = one per worker). The bound address
-            prints on stderr, so port 0 works in scripts.
+            prints on stderr as a single `listening <addr>` line, so
+            port 0 works in scripts (`sed -n 's/^listening //p'`).
             --metrics-addr serves Prometheus text at /metrics for the run
             (port 0 picks a free port; the bound address prints on stderr);
             --trace-out writes one JSONL span record per pipeline stage.
+  loadgen   --connect <tcp://host:port|unix:///path.sock> [--streams N]
+            [--events N] [--mix A:F:N] [--rate MSPS] [--gap N] [--seed N]
+            [--soak DUR --metrics-addr HOST:PORT [--interval DUR]
+            [--warmup DUR] [--slo-p99-ms F] [--slo-drop-rate F]
+            [--slo-recall F] [--slo-pool-misses N] [--slo-rss-growth F]]
+            [--report FILE]
+            Fleet-scale traffic generator against `ctc monitor --listen`:
+            N concurrent seeded streams of mixed authentic / WiFi-forged /
+            noise bursts (--mix, default 6:2:2) paced at --rate Msamples/s
+            per stream (0 = line rate). Default: a fixed number of events
+            per stream, then a JSON report on stdout. --soak streams for
+            DUR (e.g. 60s) while scraping the monitor's --metrics-addr
+            and asserts SLOs (p99 latency, drop budgets, forgery recall
+            vs ground truth, steady-state pool misses, RSS growth); the
+            JSON capacity report carries the per-SLO verdict. --report
+            also writes the JSON to FILE. Exits 12 when a stream failed
+            or an SLO was breached.
   spectrum  --input <file> [--segment N]
             Welch PSD of a waveform, printed as text.
   obs       dump [--addr HOST:PORT]
@@ -453,6 +479,10 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
     };
 
     let registry = Arc::new(Registry::new());
+    // Resident-memory gauge for soak testing (`ctc loadgen --soak`
+    // asserts bounded RSS growth from scrapes). Returns false off-Linux;
+    // the soak check is simply skipped then.
+    let _ = ctc_obs::register_process_metrics(&registry);
     // Serve the run's registry for the lifetime of the process. The
     // handle must stay bound (not `_`-dropped) so the listener is
     // reachable for as long as the monitor runs.
@@ -497,9 +527,11 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
             Ok(listener) => listener,
             Err(e) => return Ok(gateway_exit(&format!("binding {input}"), &e)),
         };
-        // The bound address prints on stderr (like the metrics endpoint)
-        // so scripts binding port 0 can discover where to connect.
-        eprintln!("gateway: listening on {}", listener.local_display());
+        // The bound address prints on stderr as a single parseable
+        // `listening <addr>` line (documented in USAGE), so scripts and
+        // load generators binding port 0 can discover where to connect
+        // with a plain `sed -n 's/^listening //p'`.
+        eprintln!("listening {}", listener.local_display());
 
         let mut server = GatewayServer::new(server_config).with_registry(Arc::clone(&registry));
         if let Some(sink) = &trace {
@@ -525,32 +557,42 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
         });
     }
 
-    // Single-stream mode: one input, legacy (unlabelled) event stream.
+    // Single-stream mode: one input, unlabelled event stream. Runs on
+    // the multi-stream server pinned to a single shard, which keeps the
+    // event and stats output byte-identical to the legacy single-stream
+    // gateway while sharing one code path with `--listen`.
     let input = match Input::parse(args.require("input")?) {
         Ok(input) => input,
         Err(e) => return Ok(gateway_exit("parsing --input", &e)),
     };
-    let mut gateway = Gateway::new(config).with_registry(Arc::clone(&registry));
+    let server_config = ServerConfig {
+        shards: 1,
+        ..ServerConfig::from(config)
+    };
+    let mut server = GatewayServer::new(server_config).with_registry(Arc::clone(&registry));
     if let Some(sink) = &trace {
-        gateway = gateway.with_trace_sink(Arc::clone(sink));
+        server = server.with_trace_sink(Arc::clone(sink));
     }
     let reader = match input.open() {
         Ok(reader) => reader,
         Err(e) => return Ok(gateway_exit("opening input", &e)),
     };
-    #[allow(deprecated)]
-    let result = gateway.run(reader, &mut std::io::stdout(), &mut std::io::stderr());
+    let result = server.run_streams(
+        vec![NamedStream::unlabelled(reader)],
+        &mut std::io::stdout(),
+        &mut std::io::stderr(),
+    );
     let report = match result {
         Ok(report) => report,
         Err(e) => return Ok(gateway_exit(&format!("gateway on {input}"), &e)),
     };
 
     // Exit-code path audit: the forgery exit (code 3) must never race the
-    // telemetry buffers. `run()` has joined every pipeline thread by now,
-    // and the span log is flushed *here*, before the ExitCode is even
-    // constructed — not left to drop order on the way out of `main` (and
-    // never skipped the way a `process::exit` would skip it). The sink
-    // also flushes on drop, so the non-forgery path is covered twice.
+    // telemetry buffers. `run_streams()` has joined every pipeline thread
+    // by now, and the span log is flushed *here*, before the ExitCode is
+    // even constructed — not left to drop order on the way out of `main`
+    // (and never skipped the way a `process::exit` would skip it). The
+    // sink also flushes on drop, so the non-forgery path is covered twice.
     if let Some(trace) = &trace {
         trace.flush();
     }
@@ -575,6 +617,138 @@ fn cmd_spectrum(args: &Args) -> Result<(), String> {
         println!("{f:>8.3} | {level:>7.1} dB | {bar}");
     }
     Ok(())
+}
+
+/// Parses a human duration: `60s`, `1500ms`, `2m`, or a bare number of
+/// seconds (`10`, `0.5`).
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let (digits, scale) = if let Some(d) = text.strip_suffix("ms") {
+        (d, 1e-3)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1.0)
+    } else if let Some(d) = text.strip_suffix('m') {
+        (d, 60.0)
+    } else {
+        (text, 1.0)
+    };
+    let secs: f64 = digits
+        .parse()
+        .map_err(|_| format!("expected a duration like 60s, 500ms or 2m, got {text:?}"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("duration must be positive, got {text:?}"));
+    }
+    Ok(Duration::from_secs_f64(secs * scale))
+}
+
+/// Applies the `--streams/--events/--mix/--rate/--gap/--seed` flags over
+/// the default [`FleetSpec`].
+fn fleet_spec_from(args: &Args) -> Result<FleetSpec, String> {
+    let mut spec = FleetSpec::default();
+    if let Some(n) = args.parse_num::<usize>("streams")? {
+        spec.streams = n;
+    }
+    if let Some(n) = args.parse_num::<usize>("events")? {
+        spec.events_per_stream = n;
+    }
+    if let Some(mix) = args.get("mix") {
+        spec.mix = Mix::parse(mix).map_err(|e| format!("--mix: {e}"))?;
+    }
+    if let Some(r) = args.parse_num::<f64>("rate")? {
+        spec.rate_msps = r;
+    }
+    if let Some(n) = args.parse_num::<usize>("gap")? {
+        spec.gap_samples = n;
+    }
+    if let Some(seed) = args.parse_num::<u64>("seed")? {
+        spec.seed = seed;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+fn cmd_loadgen(args: &Args) -> Result<ExitCode, String> {
+    let target = Target::parse(args.require("connect")?).map_err(|e| e.to_string())?;
+    let spec = fleet_spec_from(args)?;
+
+    let (line, pass) = match args.get("soak") {
+        // Soak: sustain the fleet for a duration, scrape the monitor's
+        // metrics endpoint, assert the SLOs.
+        Some(soak) => {
+            let duration = parse_duration(soak)?;
+            let metrics_addr = args
+                .get("metrics-addr")
+                .ok_or("--soak needs --metrics-addr (the monitor's metrics endpoint)")?;
+            let mut config = SoakConfig::new(spec, metrics_addr, duration);
+            if let Some(v) = args.get("interval") {
+                config.interval = parse_duration(v)?;
+            }
+            if let Some(v) = args.get("warmup") {
+                config.warmup = parse_duration(v)?;
+            }
+            if let Some(ms) = args.parse_num::<f64>("slo-p99-ms")? {
+                config.slo.p99_latency_us = Some(ms * 1000.0);
+            }
+            if let Some(v) = args.parse_num::<f64>("slo-drop-rate")? {
+                config.slo.max_drop_rate = Some(v);
+            }
+            if let Some(v) = args.parse_num::<f64>("slo-recall")? {
+                config.slo.min_recall = Some(v);
+            }
+            if let Some(v) = args.parse_num::<f64>("slo-pool-misses")? {
+                config.slo.max_steady_pool_misses = Some(v);
+            }
+            if let Some(v) = args.parse_num::<f64>("slo-rss-growth")? {
+                config.slo.max_rss_growth = Some(v);
+            }
+            eprintln!(
+                "loadgen: soaking {} stream(s) against {target} for {:.0?} (scraping {})",
+                config.fleet.streams, config.duration, config.metrics_addr
+            );
+            let outcome = run_soak(&config, &target).map_err(|e| e.to_string())?;
+            for check in &outcome.checks {
+                let verdict = if check.skipped {
+                    "skip"
+                } else if check.pass {
+                    "ok  "
+                } else {
+                    "FAIL"
+                };
+                let value = match check.value {
+                    Some(v) => format!("{v:.4}"),
+                    None => "n/a".to_string(),
+                };
+                eprintln!(
+                    "loadgen: slo {verdict} {:<24} {value} {} {}",
+                    check.name, check.op, check.bound
+                );
+            }
+            let pass = outcome.pass;
+            (render_soak(&config, &target, &outcome), pass)
+        }
+        // Fixed: send the spec'd number of events per stream, report the
+        // ground truth. Pass iff every stream connected and drained.
+        None => {
+            let report = run_fleet(&spec, &target, None).map_err(|e| e.to_string())?;
+            for stream in &report.streams {
+                if let Some(err) = &stream.error {
+                    eprintln!("loadgen: stream {} failed: {err}", stream.index);
+                }
+            }
+            let pass = report.errors() == 0;
+            (render_fleet(&spec, &target, &report), pass)
+        }
+    };
+
+    println!("{line}");
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, format!("{line}\n"))
+            .map_err(|e| format!("writing report {path}: {e}"))?;
+    }
+    Ok(if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_SLO_BREACH)
+    })
 }
 
 fn cmd_obs(argv: &[String]) -> Result<ExitCode, String> {
@@ -707,6 +881,7 @@ fn run() -> Result<ExitCode, String> {
         "detect" => cmd_detect(&args),
         "listen" => cmd_listen(&args).map(ok),
         "monitor" => cmd_monitor(&args),
+        "loadgen" => cmd_loadgen(&args),
         "spectrum" => cmd_spectrum(&args).map(ok),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -769,5 +944,42 @@ mod tests {
     fn receiver_options() {
         let a = args(&["--soft", "--fractional", "--search", "64"]);
         assert!(receiver_from(&a).is_ok());
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("0.5").unwrap(), Duration::from_secs_f64(0.5));
+        assert!(parse_duration("0s").is_err());
+        assert!(parse_duration("-3s").is_err());
+        assert!(parse_duration("soon").is_err());
+    }
+
+    #[test]
+    fn loadgen_spec_flags() {
+        let a = args(&[
+            "--connect",
+            "tcp://127.0.0.1:9000",
+            "--streams",
+            "32",
+            "--mix",
+            "1:1:0",
+            "--rate",
+            "0",
+            "--seed",
+            "42",
+        ]);
+        let spec = fleet_spec_from(&a).unwrap();
+        assert_eq!(spec.streams, 32);
+        assert_eq!(spec.mix.to_string(), "1:1:0");
+        assert_eq!(spec.rate_msps, 0.0);
+        assert_eq!(spec.seed, 42);
+
+        let bad = args(&["--mix", "1:2"]);
+        assert!(fleet_spec_from(&bad).unwrap_err().contains("--mix"));
+        let bad = args(&["--streams", "0"]);
+        assert!(fleet_spec_from(&bad).is_err());
     }
 }

@@ -368,6 +368,69 @@ mod tests {
         assert_eq!(drain(&q), vec![(2, "b"), (1, "c")]);
     }
 
+    /// The adversarial fleet pattern the soak harness generates: one
+    /// tenant pushing at 100× the rate of 31 quiet tenants, interleaved
+    /// the way a shared accept loop would deliver it, with workers
+    /// draining partially between rounds. Fair-share eviction must make
+    /// the noisy tenant absorb *every* drop — the quiet tenants' drop
+    /// count stays exactly zero and all their bursts come back out.
+    #[test]
+    fn adversarial_flood_never_drops_quiet_tenants() {
+        const NOISY: SessionId = 1;
+        const QUIET_TENANTS: u64 = 31;
+        let q: ShardQueue<u64> = ShardQueue::new(64);
+        let mut dropped_noisy = 0u64;
+        let mut dropped_quiet = 0u64;
+        let mut quiet_sent = 0u64;
+        let mut quiet_out = 0u64;
+        let mut drain_budget;
+        for round in 0..50u64 {
+            // 100 noisy pushes per round, one push per quiet tenant
+            // spread through them (≈100:1 per-tenant rate).
+            for burst in 0..100u64 {
+                match q.push(NOISY, round * 1000 + burst) {
+                    Evicted::Item { key, .. } if key == NOISY => dropped_noisy += 1,
+                    Evicted::Item { .. } => dropped_quiet += 1,
+                    Evicted::None => {}
+                }
+                if burst % 3 == 0 {
+                    let tenant = 2 + (quiet_sent % QUIET_TENANTS);
+                    quiet_sent += 1;
+                    match q.push(tenant, round) {
+                        Evicted::Item { key, .. } if key == NOISY => dropped_noisy += 1,
+                        Evicted::Item { .. } => dropped_quiet += 1,
+                        Evicted::None => {}
+                    }
+                }
+            }
+            // Workers catch up between rounds, so every round floods a
+            // freshly drained shard back to capacity.
+            drain_budget = 64;
+            while drain_budget > 0 {
+                match q.try_pop() {
+                    Some((key, _)) if key != NOISY => quiet_out += 1,
+                    Some(_) => {}
+                    None => break,
+                }
+                drain_budget -= 1;
+            }
+        }
+        for (key, _) in drain(&q) {
+            if key != NOISY {
+                quiet_out += 1;
+            }
+        }
+        assert_eq!(
+            dropped_quiet, 0,
+            "quiet tenants must never pay for the flood"
+        );
+        assert_eq!(quiet_out, quiet_sent, "every quiet burst drains intact");
+        assert!(
+            dropped_noisy > 1000,
+            "the flood itself must have been shed ({dropped_noisy} drops)"
+        );
+    }
+
     #[test]
     fn close_sheds_new_pushes_and_wakes_waiters() {
         let q = std::sync::Arc::new(ShardQueue::new(2));

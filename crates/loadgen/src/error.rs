@@ -1,0 +1,58 @@
+//! Loadgen error type.
+
+use crate::spec::SpecError;
+use std::fmt;
+
+/// Anything that stops a load-generation run before it produces a
+/// report. Per-stream connect/write failures are *not* errors — they are
+/// recorded in-band in the fleet report, because a partially degraded
+/// gateway is exactly what a capacity probe wants to observe.
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// The fleet spec failed validation.
+    Spec(SpecError),
+    /// The target string was not `tcp://` or `unix://`.
+    Target {
+        /// The offending target string.
+        target: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A required metrics scrape (baseline or final) failed.
+    Scrape {
+        /// The metrics endpoint address.
+        addr: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadgenError::Spec(e) => write!(f, "invalid fleet spec: {e}"),
+            LoadgenError::Target { target, reason } => {
+                write!(f, "bad target {target:?}: {reason}")
+            }
+            LoadgenError::Scrape { addr, source } => {
+                write!(f, "metrics scrape from {addr} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadgenError::Spec(e) => Some(e),
+            LoadgenError::Scrape { source, .. } => Some(source),
+            LoadgenError::Target { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for LoadgenError {
+    fn from(e: SpecError) -> Self {
+        LoadgenError::Spec(e)
+    }
+}

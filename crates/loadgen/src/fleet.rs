@@ -1,0 +1,264 @@
+//! Fleet orchestration: N concurrent connections, one writer thread
+//! each, aggregated into a [`FleetReport`] with generator-side ground
+//! truth.
+
+use crate::error::LoadgenError;
+use crate::spec::FleetSpec;
+use crate::stream::{drive, EventCounts, StreamStats};
+use crate::synth::TrafficModel;
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Where the generated traffic goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// `tcp://host:port`.
+    Tcp(String),
+    /// `unix://path`.
+    Unix(PathBuf),
+}
+
+impl Target {
+    /// Parses `tcp://host:port` or `unix://path`.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadgenError::Target`] for any other shape — the generator only
+    /// ever *connects*, so file/stdin inputs are meaningless here.
+    pub fn parse(s: &str) -> Result<Target, LoadgenError> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.is_empty() {
+                return Err(LoadgenError::Target {
+                    target: s.to_string(),
+                    reason: "empty tcp address".to_string(),
+                });
+            }
+            return Ok(Target::Tcp(addr.to_string()));
+        }
+        if let Some(path) = s.strip_prefix("unix://") {
+            if path.is_empty() {
+                return Err(LoadgenError::Target {
+                    target: s.to_string(),
+                    reason: "empty unix socket path".to_string(),
+                });
+            }
+            return Ok(Target::Unix(PathBuf::from(path)));
+        }
+        Err(LoadgenError::Target {
+            target: s.to_string(),
+            reason: "expected tcp://host:port or unix://path".to_string(),
+        })
+    }
+
+    /// Opens one connection.
+    fn connect(&self) -> std::io::Result<Box<dyn Write + Send>> {
+        match self {
+            Target::Tcp(addr) => Ok(Box::new(TcpStream::connect(addr)?)),
+            Target::Unix(path) => Ok(Box::new(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Target::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Target::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// Aggregated outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-stream outcomes, in stream-index order.
+    pub streams: Vec<StreamStats>,
+    /// Wall-clock duration from first connect to last stream done.
+    pub elapsed: Duration,
+}
+
+impl FleetReport {
+    /// Ground-truth totals over all streams.
+    pub fn sent(&self) -> EventCounts {
+        let mut total = EventCounts::default();
+        for s in &self.streams {
+            total.add(&s.sent);
+        }
+        total
+    }
+
+    /// Total samples written across the fleet.
+    pub fn samples(&self) -> u64 {
+        self.streams.iter().map(|s| s.samples).sum()
+    }
+
+    /// Aggregate achieved rate in Msamples/s.
+    pub fn msps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.samples() as f64 / secs / 1e6
+    }
+
+    /// Streams that ended on a connect/write error.
+    pub fn errors(&self) -> usize {
+        self.streams.iter().filter(|s| s.error.is_some()).count()
+    }
+}
+
+/// Runs `spec.streams` concurrent writers against `target`.
+///
+/// Each stream connects, drives its seeded schedule (cycling until
+/// `duration` elapses when given, else one fixed pass), and hangs up.
+/// Connect/write failures don't abort the fleet — they are recorded in
+/// that stream's [`StreamStats::error`] so a partial outage shows up as
+/// data, not a crash.
+///
+/// # Errors
+///
+/// [`LoadgenError::Spec`] when the spec fails validation; individual
+/// stream errors are reported in-band.
+pub fn run_fleet(
+    spec: &FleetSpec,
+    target: &Target,
+    duration: Option<Duration>,
+) -> Result<FleetReport, LoadgenError> {
+    spec.validate().map_err(LoadgenError::Spec)?;
+    let model = TrafficModel::build(spec);
+    let rate = spec.rate_sps();
+    let started = Instant::now();
+    let deadline = duration.map(|d| started + d);
+    let streams = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.streams)
+            .map(|index| {
+                let model = &model;
+                let schedule = model.schedule(spec, index);
+                scope.spawn(move || {
+                    let stream_start = Instant::now();
+                    let mut stats = StreamStats {
+                        index,
+                        sent: EventCounts::default(),
+                        samples: 0,
+                        elapsed: Duration::ZERO,
+                        error: None,
+                    };
+                    match target.connect() {
+                        Ok(mut conn) => match drive(&mut conn, model, &schedule, rate, deadline) {
+                            Ok((sent, samples)) => {
+                                stats.sent = sent;
+                                stats.samples = samples;
+                            }
+                            Err(e) => stats.error = Some(format!("write: {e}")),
+                        },
+                        Err(e) => stats.error = Some(format!("connect: {e}")),
+                    }
+                    stats.elapsed = stream_start.elapsed();
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream writer panicked"))
+            .collect::<Vec<_>>()
+    });
+    Ok(FleetReport {
+        streams,
+        elapsed: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parses_both_schemes() {
+        assert_eq!(
+            Target::parse("tcp://127.0.0.1:9000").unwrap(),
+            Target::Tcp("127.0.0.1:9000".to_string())
+        );
+        assert_eq!(
+            Target::parse("unix:///tmp/gw.sock").unwrap(),
+            Target::Unix(PathBuf::from("/tmp/gw.sock"))
+        );
+        assert_eq!(Target::parse("tcp://h:1").unwrap().to_string(), "tcp://h:1");
+        for bad in [
+            "",
+            "tcp://",
+            "unix://",
+            "file:x.cf32",
+            "127.0.0.1:9000",
+            "-",
+        ] {
+            assert!(Target::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn connect_failures_are_in_band_not_fatal() {
+        // A port nothing listens on: every stream records a connect error.
+        let spec = FleetSpec {
+            streams: 3,
+            events_per_stream: 1,
+            ..FleetSpec::default()
+        };
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let target = Target::Tcp(addr.to_string());
+        let report = run_fleet(&spec, &target, None).unwrap();
+        assert_eq!(report.streams.len(), 3);
+        assert_eq!(report.errors(), 3);
+        assert_eq!(report.sent().total(), 0);
+    }
+
+    #[test]
+    fn invalid_spec_is_refused_before_connecting() {
+        let spec = FleetSpec {
+            streams: 0,
+            ..FleetSpec::default()
+        };
+        let target = Target::Tcp("127.0.0.1:1".to_string());
+        assert!(matches!(
+            run_fleet(&spec, &target, None),
+            Err(LoadgenError::Spec(_))
+        ));
+    }
+
+    /// End-to-end against a real socket: a sink server reads everything;
+    /// the fleet's byte totals and ground truth line up.
+    #[test]
+    fn fleet_drives_concurrent_tcp_connections() {
+        use std::io::Read;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = std::thread::spawn(move || {
+            let mut totals = Vec::new();
+            for _ in 0..4 {
+                let (mut conn, _) = listener.accept().unwrap();
+                let mut buf = Vec::new();
+                conn.read_to_end(&mut buf).unwrap();
+                totals.push(buf.len());
+            }
+            totals
+        });
+        let spec = FleetSpec {
+            streams: 4,
+            events_per_stream: 2,
+            rate_msps: 0.0,
+            ..FleetSpec::default()
+        };
+        let target = Target::Tcp(addr.to_string());
+        let report = run_fleet(&spec, &target, None).unwrap();
+        let received: usize = acceptor.join().unwrap().iter().sum();
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.sent().total(), 8);
+        assert_eq!(report.samples() as usize * 8, received);
+        assert!(report.msps() > 0.0);
+    }
+}

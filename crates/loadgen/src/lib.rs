@@ -1,0 +1,57 @@
+//! # ctc-loadgen
+//!
+//! Fleet-scale traffic generation and soak testing for the streaming
+//! detection gateway — the load half of the *Hide and Seek* (ICDCS 2019)
+//! reproduction's capacity story. The defense only matters at scale if
+//! the gateway holds its latency and drop budgets under realistic fleets
+//! of mixed traffic; this crate generates exactly that traffic and
+//! asserts exactly those budgets:
+//!
+//! - [`spec`] — [`FleetSpec`]: N streams, an authentic/forged/noise mix,
+//!   a per-stream sample rate (up to line rate), one seed. Everything
+//!   downstream is deterministic in the spec.
+//! - [`synth`] — [`TrafficModel`]: the authentic ZigBee burst, its
+//!   WiFi-emulated forgery (the paper's attack), a loud undecodable noise
+//!   burst, and the quiet gap — each rendered *once* to cf32 bytes, so
+//!   steady-state streaming is allocation-free slice writes.
+//! - [`stream`] / [`fleet`] — paced per-connection writers and the
+//!   scoped-thread fleet around them, reporting generator-side ground
+//!   truth (exact forgeries sent per stream).
+//! - [`soak`] — sustained load with SLOs asserted from scraped
+//!   [`ctc_obs`] telemetry: p99 detection latency, aggregate and
+//!   per-session drop budgets, forgery recall against ground truth, zero
+//!   steady-state pool misses, bounded resident-memory growth.
+//! - [`report`] — the JSON capacity report (config echo, send totals,
+//!   observed deltas, per-SLO pass/fail, the certified capacity point)
+//!   that `ctc loadgen` prints and CI archives.
+//!
+//! ```no_run
+//! use ctc_loadgen::{run_soak, FleetSpec, SoakConfig, Target};
+//! use std::time::Duration;
+//!
+//! let spec = FleetSpec { streams: 32, ..FleetSpec::default() };
+//! let config = SoakConfig::new(spec, "127.0.0.1:9100", Duration::from_secs(60));
+//! let target = Target::parse("tcp://127.0.0.1:9000")?;
+//! let outcome = run_soak(&config, &target)?;
+//! std::process::exit(if outcome.pass { 0 } else { 12 });
+//! # Ok::<(), ctc_loadgen::LoadgenError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod fleet;
+pub mod report;
+pub mod soak;
+pub mod spec;
+pub mod stream;
+pub mod synth;
+
+pub use error::LoadgenError;
+pub use fleet::{run_fleet, FleetReport, Target};
+pub use report::{render_fleet, render_soak};
+pub use soak::{run_soak, SloCheck, SloSpec, SoakConfig, SoakOutcome};
+pub use spec::{FleetSpec, Mix, SpecError};
+pub use stream::{EventCounts, Pacer, StreamStats};
+pub use synth::{EventKind, TrafficModel};

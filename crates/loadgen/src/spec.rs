@@ -1,0 +1,274 @@
+//! Fleet configuration: how many streams, what traffic mix, how fast.
+//!
+//! A [`FleetSpec`] fully determines the generated traffic — the same spec
+//! (same seed) always produces the same per-stream event schedules and
+//! the same waveform bytes, so a soak run is reproducible and its
+//! ground-truth forgery schedule is known without parsing gateway output.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Relative weights of the three traffic kinds in a stream's schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Weight of authentic ZigBee bursts.
+    pub authentic: u32,
+    /// Weight of WiFi-emulated forgeries.
+    pub forged: u32,
+    /// Weight of loud undecodable noise bursts.
+    pub noise: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        // Mostly legitimate traffic with forgeries hidden inside it — the
+        // operating point the paper's defense is meant for.
+        Mix {
+            authentic: 6,
+            forged: 2,
+            noise: 2,
+        }
+    }
+}
+
+impl Mix {
+    /// Sum of the weights.
+    pub fn total(&self) -> u32 {
+        self.authentic + self.forged + self.noise
+    }
+
+    /// Parses `"A:F:N"` (e.g. `6:2:2`).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Mix`] for anything that is not three `:`-separated
+    /// non-negative integers.
+    pub fn parse(s: &str) -> Result<Mix, SpecError> {
+        let bad = || SpecError::Mix(s.to_string());
+        let mut parts = s.split(':');
+        let mut next = || -> Result<u32, SpecError> {
+            parts
+                .next()
+                .ok_or_else(bad)?
+                .trim()
+                .parse()
+                .map_err(|_| bad())
+        };
+        let mix = Mix {
+            authentic: next()?,
+            forged: next()?,
+            noise: next()?,
+        };
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Ok(mix)
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.authentic, self.forged, self.noise)
+    }
+}
+
+/// Full description of a generated fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Concurrent streams to open against the gateway.
+    pub streams: usize,
+    /// Events (bursts) per stream in fixed-count mode; soak mode loops
+    /// the schedule until its deadline instead.
+    pub events_per_stream: usize,
+    /// Traffic mix weights.
+    pub mix: Mix,
+    /// Quiet-gap length between bursts, in samples. Must exceed the
+    /// energy detector's hang time or consecutive bursts merge.
+    pub gap_samples: usize,
+    /// Per-stream sample rate in Msamples/s; `0.0` means line rate
+    /// (write as fast as the socket accepts).
+    pub rate_msps: f64,
+    /// Seed for template synthesis and per-stream schedules.
+    pub seed: u64,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            streams: 8,
+            events_per_stream: 16,
+            mix: Mix::default(),
+            gap_samples: 4096,
+            // Comfortably under the single-core pipeline rate even when
+            // multiplied across the default fleet.
+            rate_msps: 0.25,
+            seed: 7,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] naming the first degenerate field: zero streams or
+    /// events, an all-zero mix, a gap too short to separate bursts, or a
+    /// negative/non-finite rate.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.streams == 0 {
+            return Err(SpecError::Streams);
+        }
+        if self.events_per_stream == 0 {
+            return Err(SpecError::Events);
+        }
+        if self.mix.total() == 0 {
+            return Err(SpecError::Mix(self.mix.to_string()));
+        }
+        // Below a few hundred samples the detector's hang window bridges
+        // the gap and adjacent bursts merge into one.
+        if self.gap_samples < 256 {
+            return Err(SpecError::Gap(self.gap_samples));
+        }
+        if !self.rate_msps.is_finite() || self.rate_msps < 0.0 {
+            return Err(SpecError::Rate(self.rate_msps));
+        }
+        Ok(())
+    }
+
+    /// Per-stream rate in samples per second; `None` at line rate.
+    pub fn rate_sps(&self) -> Option<f64> {
+        (self.rate_msps > 0.0).then_some(self.rate_msps * 1e6)
+    }
+
+    /// A rough floor on how long the fixed-count run takes at the
+    /// configured rate (line rate: zero).
+    pub fn min_duration(&self, samples_per_event: usize) -> Duration {
+        match self.rate_sps() {
+            Some(sps) => {
+                Duration::from_secs_f64((self.events_per_stream * samples_per_event) as f64 / sps)
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// A rejected [`FleetSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// `streams == 0`.
+    Streams,
+    /// `events_per_stream == 0`.
+    Events,
+    /// Unparseable or all-zero mix.
+    Mix(String),
+    /// Gap too short to separate bursts.
+    Gap(usize),
+    /// Negative or non-finite rate.
+    Rate(f64),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Streams => write!(f, "streams must be > 0"),
+            SpecError::Events => write!(f, "events per stream must be > 0"),
+            SpecError::Mix(s) => write!(
+                f,
+                "mix must be three ':'-separated weights with a nonzero sum, got {s:?}"
+            ),
+            SpecError::Gap(n) => write!(
+                f,
+                "gap of {n} samples is too short to separate bursts (min 256)"
+            ),
+            SpecError::Rate(r) => {
+                write!(f, "rate must be a finite non-negative Msamples/s, got {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        FleetSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn mix_parses_and_round_trips() {
+        let mix = Mix::parse("6:2:2").unwrap();
+        assert_eq!(mix, Mix::default());
+        assert_eq!(Mix::parse(&mix.to_string()).unwrap(), mix);
+        assert_eq!(Mix::parse("1:0:0").unwrap().total(), 1);
+        for bad in ["", "1:2", "1:2:3:4", "a:b:c", "1:-2:3"] {
+            assert!(Mix::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let base = FleetSpec::default();
+        assert!(FleetSpec {
+            streams: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetSpec {
+            events_per_stream: 0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        let zero_mix = Mix {
+            authentic: 0,
+            forged: 0,
+            noise: 0,
+        };
+        assert!(FleetSpec {
+            mix: zero_mix,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetSpec {
+            gap_samples: 100,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetSpec {
+            rate_msps: -1.0,
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetSpec {
+            rate_msps: f64::NAN,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn line_rate_has_no_pacing() {
+        let spec = FleetSpec {
+            rate_msps: 0.0,
+            ..FleetSpec::default()
+        };
+        assert_eq!(spec.rate_sps(), None);
+        assert_eq!(spec.min_duration(10_000), Duration::ZERO);
+        let paced = FleetSpec {
+            rate_msps: 1.0,
+            events_per_stream: 10,
+            ..FleetSpec::default()
+        };
+        assert_eq!(paced.min_duration(100_000), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-stream driving: paced writes of pre-rendered events into one
+//! gateway connection.
+//!
+//! The writer owns no waveform data — it cycles a borrowed schedule over
+//! the shared [`TrafficModel`] templates and
+//! writes byte slices, so steady-state operation allocates nothing. Rate
+//! control is absolute, not per-write: the pacer compares total samples
+//! sent against wall clock, so a slow stretch (socket backpressure, a
+//! scheduler hiccup) is caught up afterwards and the long-run average
+//! hits the configured rate exactly.
+
+use crate::synth::{EventKind, TrafficModel};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Write granularity in samples: small enough that pacing stays smooth,
+/// large enough that syscall overhead stays negligible.
+const SUB_CHUNK_SAMPLES: usize = 4096;
+
+/// Per-kind event counts — the generator-side ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Authentic bursts sent.
+    pub authentic: u64,
+    /// Forged bursts sent.
+    pub forged: u64,
+    /// Noise bursts sent.
+    pub noise: u64,
+}
+
+impl EventCounts {
+    /// Total bursts sent.
+    pub fn total(&self) -> u64 {
+        self.authentic + self.forged + self.noise
+    }
+
+    fn bump(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Authentic => self.authentic += 1,
+            EventKind::Forged => self.forged += 1,
+            EventKind::Noise => self.noise += 1,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &EventCounts) {
+        self.authentic += other.authentic;
+        self.forged += other.forged;
+        self.noise += other.noise;
+    }
+}
+
+/// Outcome of driving one stream.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Zero-based stream index within the fleet.
+    pub index: usize,
+    /// Events actually sent (whole events only; a deadline stops the
+    /// stream at an event boundary).
+    pub sent: EventCounts,
+    /// Samples written.
+    pub samples: u64,
+    /// Wall-clock time this stream spent writing.
+    pub elapsed: Duration,
+    /// The connect or write error that ended the stream early, if any.
+    pub error: Option<String>,
+}
+
+impl StreamStats {
+    /// Achieved rate in Msamples/s.
+    pub fn msps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.samples as f64 / secs / 1e6
+    }
+}
+
+/// Absolute-rate pacer: sleeps so cumulative samples never run ahead of
+/// `rate_sps * elapsed`.
+#[derive(Debug)]
+pub struct Pacer {
+    rate_sps: Option<f64>,
+    started: Instant,
+    sent: u64,
+}
+
+impl Pacer {
+    /// A pacer starting now; `None` rate means line rate (never sleeps).
+    pub fn new(rate_sps: Option<f64>) -> Pacer {
+        Pacer {
+            rate_sps,
+            started: Instant::now(),
+            sent: 0,
+        }
+    }
+
+    /// Records `samples` as sent and sleeps off any schedule surplus.
+    pub fn on_sent(&mut self, samples: u64) {
+        self.sent += samples;
+        let Some(rate) = self.rate_sps else { return };
+        let due = Duration::from_secs_f64(self.sent as f64 / rate);
+        let elapsed = self.started.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+/// Drives one connection: cycles `schedule` over the model's templates,
+/// writing gap-then-burst per event, paced to `rate_sps`.
+///
+/// In fixed mode (`deadline: None`) exactly one pass over the schedule is
+/// written; with a deadline the schedule repeats until the deadline
+/// passes, checked at event boundaries so ground-truth counts stay whole.
+/// A trailing gap is written after the last event so the gateway's energy
+/// detector closes the final burst on a quiet gap rather than at EOF.
+///
+/// # Errors
+///
+/// The first write error (e.g. the gateway refused or dropped the
+/// connection), with the partial counts preserved by the caller.
+pub fn drive<W: Write>(
+    writer: &mut W,
+    model: &TrafficModel,
+    schedule: &[EventKind],
+    rate_sps: Option<f64>,
+    deadline: Option<Instant>,
+) -> std::io::Result<(EventCounts, u64)> {
+    let mut pacer = Pacer::new(rate_sps);
+    let mut counts = EventCounts::default();
+    'outer: loop {
+        for &kind in schedule {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break 'outer;
+                }
+            }
+            write_paced(writer, model.gap_bytes(), &mut pacer)?;
+            write_paced(writer, model.burst_bytes(kind), &mut pacer)?;
+            counts.bump(kind);
+        }
+        if deadline.is_none() {
+            break;
+        }
+    }
+    write_paced(writer, model.gap_bytes(), &mut pacer)?;
+    writer.flush()?;
+    Ok((counts, pacer.sent()))
+}
+
+/// Writes `bytes` in sub-chunks, pacing after each.
+fn write_paced<W: Write>(writer: &mut W, bytes: &[u8], pacer: &mut Pacer) -> std::io::Result<()> {
+    for chunk in bytes.chunks(SUB_CHUNK_SAMPLES * 8) {
+        writer.write_all(chunk)?;
+        pacer.on_sent((chunk.len() / 8) as u64);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FleetSpec;
+
+    #[test]
+    fn fixed_mode_sends_exactly_the_schedule() {
+        let spec = FleetSpec {
+            events_per_stream: 5,
+            ..FleetSpec::default()
+        };
+        let model = TrafficModel::build(&spec);
+        let schedule = model.schedule(&spec, 0);
+        let mut sink = Vec::new();
+        let (counts, samples) = drive(&mut sink, &model, &schedule, None, None).unwrap();
+        assert_eq!(counts.total(), 5);
+        assert_eq!(samples as usize * 8, sink.len());
+        // Per-event bytes: gap + burst, plus one trailing gap.
+        let expected: usize = schedule
+            .iter()
+            .map(|&k| model.gap_bytes().len() + model.burst_bytes(k).len())
+            .sum::<usize>()
+            + model.gap_bytes().len();
+        assert_eq!(sink.len(), expected);
+    }
+
+    #[test]
+    fn identical_schedules_produce_identical_bytes() {
+        let spec = FleetSpec {
+            events_per_stream: 3,
+            ..FleetSpec::default()
+        };
+        let model = TrafficModel::build(&spec);
+        let schedule = model.schedule(&spec, 1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        drive(&mut a, &model, &schedule, None, None).unwrap();
+        drive(&mut b, &model, &schedule, None, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadline_mode_cycles_and_stops_on_whole_events() {
+        let spec = FleetSpec {
+            events_per_stream: 2,
+            ..FleetSpec::default()
+        };
+        let model = TrafficModel::build(&spec);
+        let schedule = model.schedule(&spec, 0);
+        let mut sink = Vec::new();
+        // Line rate with a short-but-real deadline: several cycles land.
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let (counts, samples) = drive(&mut sink, &model, &schedule, None, Some(deadline)).unwrap();
+        assert!(counts.total() >= 2, "at least one full cycle: {counts:?}");
+        // Whole events only: the byte count decomposes into N events plus
+        // the trailing gap.
+        let gap = model.gap_bytes().len();
+        let mut expected = gap;
+        for i in 0..counts.total() as usize {
+            expected += gap + model.burst_bytes(schedule[i % schedule.len()]).len();
+        }
+        assert_eq!(sink.len(), expected);
+        assert_eq!(samples as usize * 8, sink.len());
+    }
+
+    #[test]
+    fn pacer_holds_the_configured_rate() {
+        // 2 Msps for ~40 ms of samples: elapsed must be >= the schedule.
+        let mut pacer = Pacer::new(Some(2.0e6));
+        let start = Instant::now();
+        for _ in 0..20 {
+            pacer.on_sent(4096);
+        }
+        let due = Duration::from_secs_f64(20.0 * 4096.0 / 2.0e6);
+        assert!(start.elapsed() >= due, "{:?} < {due:?}", start.elapsed());
+        assert_eq!(pacer.sent(), 20 * 4096);
+    }
+
+    #[test]
+    fn line_rate_pacer_never_sleeps() {
+        let mut pacer = Pacer::new(None);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            pacer.on_sent(1 << 20);
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn write_errors_surface() {
+        struct Full;
+        impl Write for Full {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("gateway refused"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let spec = FleetSpec::default();
+        let model = TrafficModel::build(&spec);
+        let schedule = model.schedule(&spec, 0);
+        assert!(drive(&mut Full, &model, &schedule, None, None).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Waveform synthesis for the generator: three template bursts rendered
+//! once, then replayed byte-for-byte by every stream.
+//!
+//! Rendering a ZigBee frame (or its WiFi emulation) costs orders of
+//! magnitude more than writing it to a socket, so the generator does all
+//! synthesis up front: [`TrafficModel::build`] renders one authentic
+//! burst, one forged burst (the paper's waveform-emulation attack applied
+//! to the authentic frame, as seen by a ZigBee front end), one loud noise
+//! burst, and one quiet inter-burst gap — each as ready-to-send cf32
+//! bytes. Steady-state streaming is then just slice writes: no
+//! allocation, no DSP, which is what lets one process drive 32+ streams
+//! at line rate.
+//!
+//! Schedules are seeded per stream, so the generator knows its own ground
+//! truth: exactly how many forgeries each stream carried, against which
+//! detection recall is measured.
+
+use crate::spec::FleetSpec;
+use ctc_channel::noise::complex_gaussian;
+use ctc_core::attack::Emulator;
+use ctc_dsp::io::write_cf32;
+use ctc_dsp::Complex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Payload carried by every generated frame (authentic and forged alike),
+/// mirroring the 5-byte payloads the e2e corpus uses.
+pub const PAYLOAD: &[u8; 5] = b"fleet";
+
+/// Background (inter-burst) noise variance: far below the energy
+/// detector's gate, so gaps terminate bursts.
+const GAP_VARIANCE: f64 = 1e-3;
+
+/// Noise-burst variance: frame-like power, so the burst is energy
+/// detected — but white, so decode fails and the frame counts as
+/// `undecoded`, exercising the gateway's third verdict path.
+const NOISE_BURST_VARIANCE: f64 = 1.0;
+
+/// One kind of generated event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A genuine ZigBee frame (should classify `authentic`).
+    Authentic,
+    /// A WiFi-emulated forgery of that frame (should classify `attack`).
+    Forged,
+    /// A loud white-noise burst (should decode-fail: `undecoded`).
+    Noise,
+}
+
+/// Pre-rendered waveforms for one fleet, shared read-only by all streams.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    authentic: Vec<u8>,
+    forged: Vec<u8>,
+    noise: Vec<u8>,
+    gap: Vec<u8>,
+}
+
+impl TrafficModel {
+    /// Renders the four templates for `spec`. Deterministic in
+    /// `spec.seed` and `spec.gap_samples`.
+    pub fn build(spec: &FleetSpec) -> TrafficModel {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let authentic = ctc_zigbee::Transmitter::new()
+            .transmit_payload(PAYLOAD)
+            .expect("constant 5-byte payload is frameable");
+        let emulator = Emulator::new();
+        let forged = emulator.received_at_zigbee(&emulator.emulate(&authentic));
+        let noise: Vec<Complex> = (0..authentic.len())
+            .map(|_| complex_gaussian(&mut rng, NOISE_BURST_VARIANCE))
+            .collect();
+        let gap: Vec<Complex> = (0..spec.gap_samples)
+            .map(|_| complex_gaussian(&mut rng, GAP_VARIANCE))
+            .collect();
+        let render = |samples: &[Complex]| {
+            let mut bytes = Vec::with_capacity(samples.len() * 8);
+            write_cf32(&mut bytes, samples).expect("Vec write is infallible");
+            bytes
+        };
+        TrafficModel {
+            authentic: render(&authentic),
+            forged: render(&forged),
+            noise: render(&noise),
+            gap: render(&gap),
+        }
+    }
+
+    /// The rendered burst for one event kind, as cf32 bytes.
+    pub fn burst_bytes(&self, kind: EventKind) -> &[u8] {
+        match kind {
+            EventKind::Authentic => &self.authentic,
+            EventKind::Forged => &self.forged,
+            EventKind::Noise => &self.noise,
+        }
+    }
+
+    /// The rendered inter-burst gap, as cf32 bytes.
+    pub fn gap_bytes(&self) -> &[u8] {
+        &self.gap
+    }
+
+    /// Samples one event (gap + burst) contributes to the stream, for the
+    /// given kind.
+    pub fn event_samples(&self, kind: EventKind) -> usize {
+        (self.gap.len() + self.burst_bytes(kind).len()) / 8
+    }
+
+    /// Upper bound on samples per event across kinds (rate planning).
+    pub fn max_event_samples(&self) -> usize {
+        [EventKind::Authentic, EventKind::Forged, EventKind::Noise]
+            .into_iter()
+            .map(|k| self.event_samples(k))
+            .max()
+            .expect("three kinds")
+    }
+
+    /// The seeded event schedule for stream `index`: `events_per_stream`
+    /// kinds drawn from the spec's mix weights. Streams get distinct but
+    /// reproducible schedules; soak mode cycles this schedule.
+    pub fn schedule(&self, spec: &FleetSpec, index: usize) -> Vec<EventKind> {
+        // Distinct per-stream seed; the odd multiplier decorrelates
+        // adjacent stream indices.
+        let mut rng = StdRng::seed_from_u64(
+            spec.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index as u64 + 1),
+        );
+        let total = spec.mix.total();
+        (0..spec.events_per_stream)
+            .map(|_| {
+                let roll = rng.gen_range(0..total);
+                if roll < spec.mix.authentic {
+                    EventKind::Authentic
+                } else if roll < spec.mix.authentic + spec.mix.forged {
+                    EventKind::Forged
+                } else {
+                    EventKind::Noise
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mix;
+    use ctc_core::defense::{ChannelAssumption, Detector};
+
+    fn read_cf32(bytes: &[u8]) -> Vec<Complex> {
+        bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let re = f32::from_le_bytes(c[0..4].try_into().unwrap());
+                let im = f32::from_le_bytes(c[4..8].try_into().unwrap());
+                Complex::new(re as f64, im as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn templates_are_deterministic_in_the_seed() {
+        let spec = FleetSpec::default();
+        let a = TrafficModel::build(&spec);
+        let b = TrafficModel::build(&spec);
+        assert_eq!(
+            a.burst_bytes(EventKind::Forged),
+            b.burst_bytes(EventKind::Forged)
+        );
+        assert_eq!(a.gap_bytes(), b.gap_bytes());
+        let other = TrafficModel::build(&FleetSpec { seed: 99, ..spec });
+        assert_ne!(a.gap_bytes(), other.gap_bytes());
+    }
+
+    #[test]
+    fn schedules_are_seeded_distinct_and_mix_faithful() {
+        let spec = FleetSpec {
+            events_per_stream: 400,
+            ..FleetSpec::default()
+        };
+        let model = TrafficModel::build(&spec);
+        let s0 = model.schedule(&spec, 0);
+        assert_eq!(s0, model.schedule(&spec, 0), "reproducible");
+        assert_ne!(s0, model.schedule(&spec, 1), "distinct per stream");
+        // 6:2:2 over 400 draws: forged lands near 20%.
+        let forged = s0.iter().filter(|k| **k == EventKind::Forged).count();
+        assert!((40..=120).contains(&forged), "forged {forged}/400");
+    }
+
+    #[test]
+    fn degenerate_mix_schedules_one_kind() {
+        let spec = FleetSpec {
+            mix: Mix {
+                authentic: 0,
+                forged: 1,
+                noise: 0,
+            },
+            ..FleetSpec::default()
+        };
+        let model = TrafficModel::build(&spec);
+        assert!(model
+            .schedule(&spec, 3)
+            .iter()
+            .all(|k| *k == EventKind::Forged));
+    }
+
+    /// The three templates do what their names claim against the actual
+    /// detection pipeline: authentic decodes clean, forged decodes as
+    /// attack, noise is energy-detected but undecodable.
+    #[test]
+    fn templates_produce_their_advertised_verdicts() {
+        let spec = FleetSpec::default();
+        let model = TrafficModel::build(&spec);
+        let detector = Detector::new(ChannelAssumption::Ideal).with_threshold(0.25);
+        let receiver = ctc_zigbee::Receiver::usrp().with_sync_search(96);
+
+        for (kind, expect_decode, expect_attack) in [
+            (EventKind::Authentic, true, false),
+            (EventKind::Forged, true, true),
+            (EventKind::Noise, false, false),
+        ] {
+            let samples = read_cf32(model.burst_bytes(kind));
+            let rx = receiver.receive(&samples);
+            assert_eq!(
+                rx.payload().is_some(),
+                expect_decode,
+                "{kind:?} decode expectation"
+            );
+            if expect_decode {
+                assert_eq!(rx.payload(), Some(&PAYLOAD[..]), "{kind:?}");
+                let verdict = detector.detect(&rx).unwrap();
+                assert_eq!(verdict.is_attack, expect_attack, "{kind:?}: {verdict:?}");
+            }
+        }
+    }
+
+    /// The gap must sit below the energy gate and the bursts above it, or
+    /// the generator's ground truth would not match burst counts.
+    #[test]
+    fn gap_is_quiet_and_bursts_are_loud() {
+        let spec = FleetSpec::default();
+        let model = TrafficModel::build(&spec);
+        let mean_power = |bytes: &[u8]| {
+            let s = read_cf32(bytes);
+            s.iter().map(|v| v.norm_sqr()).sum::<f64>() / s.len() as f64
+        };
+        let gap = mean_power(model.gap_bytes());
+        for kind in [EventKind::Authentic, EventKind::Forged, EventKind::Noise] {
+            let burst = mean_power(model.burst_bytes(kind));
+            assert!(
+                burst > 50.0 * gap,
+                "{kind:?} burst {burst:.3e} vs gap {gap:.3e}"
+            );
+        }
+        assert_eq!(model.gap_bytes().len(), spec.gap_samples * 8);
+        assert!(model.max_event_samples() >= spec.gap_samples);
+    }
+}

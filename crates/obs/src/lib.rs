@@ -20,6 +20,12 @@
 //!   ordering, histogram `_bucket`/`_sum`/`_count` triples).
 //! - [`http`] — a tiny blocking responder serving `GET /metrics`, plus a
 //!   one-shot [`http::fetch_text`] client for `ctc obs dump`.
+//! - [`scrape`] — the client-side inverse of [`expo`]: parse a scraped
+//!   exposition body back into typed samples and reassembled histograms
+//!   ([`Scrape`], [`ScrapedHistogram`]) so harnesses can assert SLOs
+//!   against a live endpoint numerically.
+//! - [`process`] — process-level collectors (resident memory), so memory
+//!   stability is checkable from the same scrape.
 //! - [`trace`] — lightweight structured tracing: span IDs allocated per
 //!   burst at ingest, per-stage durations recorded as JSONL records, so a
 //!   single frame's end-to-end path is reconstructable offline.
@@ -46,12 +52,16 @@
 pub mod expo;
 pub mod http;
 pub mod metrics;
+pub mod process;
 pub mod registry;
+pub mod scrape;
 pub mod stage;
 pub mod trace;
 
 pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use process::register_process_metrics;
 pub use registry::{Registry, ScopedRegistry};
+pub use scrape::{Scrape, ScrapeError, ScrapeSample, ScrapedHistogram};
 pub use stage::Profiled;
 pub use trace::{next_span_id, TraceSink};

@@ -21,7 +21,7 @@ use ctc_core::Error;
 use ctc_dsp::io::write_cf32;
 use ctc_dsp::Complex;
 use ctc_gateway::json::JsonValue;
-use ctc_gateway::{Gateway, GatewayConfig};
+use ctc_gateway::{GatewayConfig, GatewayServer, NamedStream, ServerConfig};
 use ctc_wifi::WifiTransmitter;
 use ctc_zigbee::frame::build_frame_symbols;
 use ctc_zigbee::{Receiver, Transmitter};
@@ -230,11 +230,19 @@ fn gateway_events(
         ..GatewayConfig::default()
     };
     let mut events = Vec::new();
-    // The corpus pins the *legacy* single-stream output shape; the
-    // deprecated wrapper is exactly the compatibility surface under test.
-    #[allow(deprecated)]
-    Gateway::new(config)
-        .run(&bytes[..], &mut events, &mut Vec::new())
+    // The corpus pins the legacy single-stream output shape: one shard,
+    // one unlabelled stream, which the server emits byte-identically to
+    // the old single-stream gateway.
+    let server_config = ServerConfig {
+        shards: 1,
+        ..ServerConfig::from(config)
+    };
+    GatewayServer::new(server_config)
+        .run_streams(
+            vec![NamedStream::unlabelled(&bytes[..])],
+            &mut events,
+            &mut Vec::new(),
+        )
         .map_err(|e| Error::Other(format!("gateway run: {e}")))?;
     let events = String::from_utf8(events)
         .map_err(|e| Error::Other(format!("gateway events not utf-8: {e}")))?;

@@ -164,7 +164,7 @@ server_pid=$!
 
 gw_addr=
 for _ in $(seq 100); do
-    gw_addr=$(sed -n 's#^gateway: listening on tcp://\(.*\)$#\1#p' \
+    gw_addr=$(sed -n 's#^listening tcp://\(.*\)$#\1#p' \
         "$workdir/stats3.jsonl" | head -n 1)
     [ -n "$gw_addr" ] && break
     sleep 0.1

@@ -15,6 +15,9 @@
 //! - [`gateway`] — the defense as a long-running service: a multi-stream
 //!   server (sessions pinned to work-stealing shards over one decode/
 //!   classify pool), `stream`-tagged JSONL events and per-stream metrics
+//! - [`loadgen`] — fleet-scale traffic generation and SLO-asserting soak
+//!   testing against the gateway: seeded mixed authentic/forged/noise
+//!   streams with generator-side ground truth
 //! - [`vectors`] — the golden-vector regression corpus: deterministic
 //!   per-stage artifacts with tolerance-aware comparison
 //! - [`obs`] — the unified telemetry layer: lock-free metrics registry,
@@ -32,6 +35,7 @@ pub use ctc_core::{Error, WaveformPair};
 pub use ctc_dsp as dsp;
 pub use ctc_dsp::{BufferPool, Complex, SampleBuf, Stage};
 pub use ctc_gateway as gateway;
+pub use ctc_loadgen as loadgen;
 pub use ctc_obs as obs;
 pub use ctc_vectors as vectors;
 pub use ctc_wifi as wifi;
