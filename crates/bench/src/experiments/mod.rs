@@ -8,6 +8,7 @@ pub mod advanced;
 pub mod extensions;
 pub mod figures;
 pub mod protocol;
+pub mod roc_family;
 pub mod tables;
 
 use crate::engine::Experiment;
@@ -30,6 +31,9 @@ pub const ALL: &[&str] = &[
     "fig12",
     "fig14",
     "roc",
+    "roc-snr",
+    "roc-fading",
+    "roc-cfo",
     "ablation-subcarriers",
     "ablation-alpha",
     "bitchain",
@@ -72,6 +76,9 @@ pub fn build(id: &str, results: &Path, quick: bool) -> Option<Box<dyn Experiment
         "fig12" => figures::fig12(d, scale(50), scale(50)),
         "fig14" => figures::fig14(d, scale(100)),
         "roc" => extensions::roc(d, 12.0, scale(200)),
+        "roc-snr" => roc_family::roc_snr(d, scale(120)),
+        "roc-fading" => roc_family::roc_fading(d, scale(120)),
+        "roc-cfo" => roc_family::roc_cfo(d, scale(120)),
         "ablation-subcarriers" => extensions::ablation_subcarriers(d, scale(200)),
         "ablation-alpha" => extensions::ablation_alpha(d, scale(200)),
         "bitchain" => extensions::bitchain(d, scale(100)),

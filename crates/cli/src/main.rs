@@ -22,7 +22,11 @@
 //! ```
 
 use ctc_core::attack::{Emulator, EnergyDetector, SpectralMode, SynthesisMode};
-use ctc_core::defense::{ChannelAssumption, Detector};
+use ctc_core::defense::pipeline::de2_feature;
+use ctc_core::defense::{
+    train_logistic, train_stumps, ChannelAssumption, DetectionPipeline, Detector, FeatureInput,
+    FeatureVector, LabelledSample, Roc,
+};
 use ctc_dsp::io::{write_cf32_file, Cf32Reader};
 use ctc_dsp::psd::{welch_psd, Window};
 use ctc_dsp::Complex;
@@ -49,6 +53,11 @@ const EXIT_FORGERY: u8 = 3;
 /// "capacity regression" from "gateway broke".
 const EXIT_SLO_BREACH: u8 = 12;
 
+/// Exit code when `ctc detector eval --gate` finds the fused ensemble's
+/// AUC below the single-feature DE² baseline — the detector-quality
+/// regression gate, distinct from the load/SLO code above.
+const EXIT_DETECTOR_GATE: u8 = 13;
+
 const USAGE: &str = "\
 ctc — CTC waveform emulation attack & defense toolkit (cf32 IQ files)
 
@@ -72,6 +81,7 @@ COMMANDS
             Energy-detect frame bursts in a stream of any length (bounded
             memory; bursts print as they complete).
   monitor   --input <src> | --listen <addr> [--real] [--threshold Q]
+            [--detector cumulant|features|model:<path>]
             [--workers N] [--chunk N] [--queue N] [--stats SECS]
             [--max-burst N] [--max-streams N] [--shards N] [--stop-after N]
             [--metrics-addr HOST:PORT] [--trace-out FILE]
@@ -89,6 +99,26 @@ COMMANDS
             --metrics-addr serves Prometheus text at /metrics for the run
             (port 0 picks a free port; the bound address prints on stderr);
             --trace-out writes one JSONL span record per pipeline stage.
+            --detector selects the classification stage: `cumulant` (the
+            default single-statistic DE² threshold, byte-identical legacy
+            output), `features` (the full extractor ensemble thresholding
+            the same DE² statistic, with per-feature scores on every
+            frame line and as ctc_detector_score{feature=...} gauges), or
+            `model:<path>` (a model file from `ctc detector train`).
+  detector  train --out <file> [--kind logistic|stumps] [--rounds N]
+            [--per-class N] [--seed N] [--real] [--threshold Q]
+            Train a feature-ensemble classifier on synthetic labelled
+            receptions (authentic ZigBee vs WiFi-emulated forgeries over
+            a seeded AWGN SNR sweep) and write a versioned model file
+            for `ctc monitor --detector model:<file>`.
+  detector  eval [--per-class N] [--seed N] [--rounds N] [--real]
+            [--threshold Q] [--model <file>] [--report FILE] [--gate]
+            ROC evaluation on a seeded SNR sweep: AUC, EER and
+            TPR@FPR=1% for the single-feature DE² baseline and the
+            trained ensembles (or --model), plus per-feature AUCs, as one
+            JSON report on stdout (--report also writes it to FILE).
+            --gate exits 13 when the best ensemble AUC falls below the
+            DE² baseline — the CI detector-quality regression gate.
   loadgen   --connect <tcp://host:port|unix:///path.sock> [--streams N]
             [--events N] [--mix A:F:N] [--rate MSPS] [--gap N] [--seed N]
             [--soak DUR --metrics-addr HOST:PORT [--interval DUR]
@@ -353,6 +383,29 @@ fn detector_from(args: &Args) -> Result<Detector, String> {
     Ok(detector)
 }
 
+/// Parses `--detector cumulant|features|model:<path>` into the optional
+/// detection pipeline layered over the `--real`/`--threshold` detector.
+/// `cumulant` (the default) returns `None`: the legacy single-statistic
+/// path, byte-identical output.
+fn pipeline_from(args: &Args, detector: Detector) -> Result<Option<DetectionPipeline>, String> {
+    match args.get("detector") {
+        None | Some("cumulant") => Ok(None),
+        Some("features") => Ok(Some(DetectionPipeline::standard(detector))),
+        Some(spec) => match spec.strip_prefix("model:") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading model {path}: {e}"))?;
+                DetectionPipeline::from_model_str(&text)
+                    .map(Some)
+                    .map_err(|e| format!("parsing model {path}: {e}"))
+            }
+            None => Err(format!(
+                "--detector expects cumulant, features, or model:<path>, got {spec:?}"
+            )),
+        },
+    }
+}
+
 fn cmd_detect(args: &Args) -> Result<ExitCode, String> {
     let wave = load(args.require("input")?)?;
     let rx = receiver_from(args)?;
@@ -451,9 +504,13 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
         // gateway always needs a timing search window.
         receiver = receiver.with_sync_search(96);
     }
+    let detector = detector_from(args)?;
     let mut builder = GatewayConfig::builder()
         .receiver(receiver)
-        .detector(detector_from(args)?);
+        .detector(detector);
+    if let Some(pipeline) = pipeline_from(args, detector)? {
+        builder = builder.detection_pipeline(pipeline.shared());
+    }
     if let Some(n) = args.parse_num::<usize>("workers")? {
         builder = builder.workers(n);
     }
@@ -751,6 +808,211 @@ fn cmd_loadgen(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// SNR sweep (dB) for `ctc detector train|eval` sample synthesis: dips
+/// below the paper's evaluated range so the ROC has borderline operating
+/// points, not just saturated ones.
+const DETECTOR_SNRS: [f64; 4] = [0.0, 3.0, 6.0, 9.0];
+
+/// Synthesizes one labelled feature vector per (SNR, trial, class):
+/// authentic ZigBee frames and WiFi-emulated forgeries through the same
+/// seeded AWGN link, extracted with `pipeline`'s feature set.
+fn synthesize_samples(
+    pipeline: &DetectionPipeline,
+    snrs: &[f64],
+    per_class: usize,
+    seed: u64,
+) -> Result<Vec<LabelledSample>, String> {
+    use ctc_channel::Link;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let authentic = Transmitter::new()
+        .transmit_payload(b"train")
+        .map_err(|e| format!("building training frame: {e}"))?;
+    let emulator = Emulator::new();
+    let forged = emulator.received_at_zigbee(&emulator.emulate(&authentic));
+    let rx = Receiver::usrp();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    for &snr in snrs {
+        let link = Link::awgn(snr);
+        for _ in 0..per_class {
+            for (wave, is_attack) in [(&authentic, false), (&forged, true)] {
+                let received = link.transmit(wave, &mut rng);
+                let reception = rx.receive(&received);
+                let input = FeatureInput::with_samples(&reception, &received);
+                let features = pipeline
+                    .extract(&input)
+                    .map_err(|e| format!("feature extraction: {e}"))?;
+                samples.push(LabelledSample {
+                    features,
+                    is_attack,
+                });
+            }
+        }
+    }
+    Ok(samples)
+}
+
+/// Splits per-class score lists out of a labelled set under `score`.
+fn class_scores(
+    samples: &[LabelledSample],
+    score: impl Fn(&FeatureVector) -> f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut authentic = Vec::new();
+    let mut attack = Vec::new();
+    for s in samples {
+        let v = score(&s.features);
+        if s.is_attack {
+            attack.push(v);
+        } else {
+            authentic.push(v);
+        }
+    }
+    (authentic, attack)
+}
+
+/// Renders one ROC summary as a JSON object body.
+fn roc_json(roc: &Roc) -> String {
+    ctc_gateway::json::JsonObject::new()
+        .float("auc", roc.auc)
+        .float("eer", roc.eer())
+        .float("tpr_at_fpr_1pct", roc.tpr_at_fpr(0.01))
+        .finish()
+}
+
+fn cmd_detector(argv: &[String]) -> Result<ExitCode, String> {
+    use ctc_gateway::json::JsonObject;
+
+    let Some((action, rest)) = argv.split_first() else {
+        return Err("detector needs an action: train or eval".into());
+    };
+    let args = Args::parse(rest)?;
+    let detector = detector_from(&args)?;
+    let assumption = if args.flag("real") {
+        ChannelAssumption::Real
+    } else {
+        ChannelAssumption::Ideal
+    };
+    let per_class = args.parse_num::<usize>("per-class")?.unwrap_or(24);
+    let seed = args.parse_num::<u64>("seed")?.unwrap_or(0xC7C5);
+    let rounds = args.parse_num::<usize>("rounds")?.unwrap_or(24);
+    let extractor = DetectionPipeline::standard(detector);
+
+    match action.as_str() {
+        "train" => {
+            let out = args.require("out")?;
+            let samples = synthesize_samples(&extractor, &DETECTOR_SNRS, per_class, seed)?;
+            let classifier = match args.get("kind").unwrap_or("logistic") {
+                "logistic" => train_logistic(&samples).map_err(|e| format!("training: {e}"))?,
+                "stumps" => train_stumps(&samples, rounds).map_err(|e| format!("training: {e}"))?,
+                other => return Err(format!("--kind must be logistic or stumps, got {other:?}")),
+            };
+            let trained = extractor.with_classifier(classifier);
+            std::fs::write(out, trained.to_model_string())
+                .map_err(|e| format!("writing model {out}: {e}"))?;
+            println!(
+                "wrote {} model over {} features ({} labelled samples, seed {seed}) to {out}",
+                trained.classifier().kind(),
+                trained.feature_names().len(),
+                2 * per_class * DETECTOR_SNRS.len(),
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "eval" => {
+            let samples = synthesize_samples(&extractor, &DETECTOR_SNRS, per_class, seed)?;
+            // Alternate (authentic, attack) pairs between the halves:
+            // train on one half, measure every curve on the held-out
+            // half so the ensemble/baseline comparison is fair.
+            let mut train: Vec<LabelledSample> = Vec::new();
+            let mut test: Vec<LabelledSample> = Vec::new();
+            for (i, pair) in samples.chunks(2).enumerate() {
+                if i % 2 == 0 {
+                    train.extend_from_slice(pair);
+                } else {
+                    test.extend_from_slice(pair);
+                }
+            }
+
+            let de2 = de2_feature(assumption);
+            let (auth, att) = class_scores(&test, |fv| fv.get(de2).unwrap_or(0.0));
+            let baseline = Roc::from_scores(&auth, &att);
+
+            let mut report = JsonObject::new()
+                .string("type", "detector_eval")
+                .uint("seed", seed)
+                .uint("per_class", per_class as u64)
+                .uint("snr_cells", DETECTOR_SNRS.len() as u64)
+                .string("baseline_feature", de2)
+                .raw("baseline", &roc_json(&baseline));
+
+            let (ensemble_auc, ensemble_name) = match args.get("model") {
+                // Evaluate a trained model file on the full sample set.
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading model {path}: {e}"))?;
+                    let model = DetectionPipeline::from_model_str(&text)
+                        .map_err(|e| format!("parsing model {path}: {e}"))?;
+                    let (auth, att) = class_scores(&test, |fv| model.classifier().decide(fv).0);
+                    let roc = Roc::from_scores(&auth, &att);
+                    report = report.raw("model", &roc_json(&roc));
+                    (roc.auc, model.classifier().kind())
+                }
+                // Train both ensembles on the spot; the better one gates.
+                None => {
+                    let logistic = train_logistic(&train).map_err(|e| format!("training: {e}"))?;
+                    let stumps =
+                        train_stumps(&train, rounds).map_err(|e| format!("training: {e}"))?;
+                    let (auth, att) = class_scores(&test, |fv| logistic.decide(fv).0);
+                    let roc_logistic = Roc::from_scores(&auth, &att);
+                    let (auth, att) = class_scores(&test, |fv| stumps.decide(fv).0);
+                    let roc_stumps = Roc::from_scores(&auth, &att);
+                    report = report
+                        .raw("logistic", &roc_json(&roc_logistic))
+                        .raw("stumps", &roc_json(&roc_stumps));
+                    if roc_logistic.auc >= roc_stumps.auc {
+                        (roc_logistic.auc, "logistic")
+                    } else {
+                        (roc_stumps.auc, "stumps")
+                    }
+                }
+            };
+
+            // Per-feature discriminative power on the held-out half,
+            // orientation-folded so "lower = attack" features still rank.
+            let mut features = JsonObject::new();
+            for name in extractor.feature_names() {
+                let (auth, att) = class_scores(&test, |fv| fv.get(name).unwrap_or(0.0));
+                features = features.float(name, Roc::from_scores(&auth, &att).oriented_auc());
+            }
+            let gate_pass = ensemble_auc >= baseline.auc;
+            let line = report
+                .raw("feature_auc", &features.finish())
+                .string("ensemble", ensemble_name)
+                .float("ensemble_auc", ensemble_auc)
+                .bool("gate_pass", gate_pass)
+                .finish();
+            println!("{line}");
+            if let Some(path) = args.get("report") {
+                std::fs::write(path, format!("{line}\n"))
+                    .map_err(|e| format!("writing report {path}: {e}"))?;
+            }
+            if args.flag("gate") && !gate_pass {
+                eprintln!(
+                    "detector eval: ensemble AUC {ensemble_auc:.4} fell below the \
+                     DE² baseline {:.4}",
+                    baseline.auc
+                );
+                return Ok(ExitCode::from(EXIT_DETECTOR_GATE));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown detector action {other:?} (expected train or eval)"
+        )),
+    }
+}
+
 fn cmd_obs(argv: &[String]) -> Result<ExitCode, String> {
     let Some((action, rest)) = argv.split_first() else {
         return Err("obs needs an action: dump".into());
@@ -871,6 +1133,9 @@ fn run() -> Result<ExitCode, String> {
     if cmd == "obs" {
         return cmd_obs(rest);
     }
+    if cmd == "detector" {
+        return cmd_detector(rest);
+    }
     let args = Args::parse(rest)?;
     let ok = |()| ExitCode::SUCCESS;
     match cmd.as_str() {
@@ -955,6 +1220,22 @@ mod tests {
         assert!(parse_duration("0s").is_err());
         assert!(parse_duration("-3s").is_err());
         assert!(parse_duration("soon").is_err());
+    }
+
+    #[test]
+    fn detector_spec_parsing() {
+        let det = Detector::default();
+        assert!(pipeline_from(&args(&[]), det).unwrap().is_none());
+        let a = args(&["--detector", "cumulant"]);
+        assert!(pipeline_from(&a, det).unwrap().is_none());
+        let a = args(&["--detector", "features"]);
+        assert!(pipeline_from(&a, det).unwrap().is_some());
+        let a = args(&["--detector", "nonsense"]);
+        assert!(pipeline_from(&a, det).is_err());
+        let a = args(&["--detector", "model:/no/such/file"]);
+        assert!(pipeline_from(&a, det)
+            .unwrap_err()
+            .contains("reading model"));
     }
 
     #[test]

@@ -164,4 +164,34 @@ mod tests {
         let pts = constellation_from_reception(&r);
         assert_eq!(clustered_evm(&pts), clustered_evm(&pts));
     }
+
+    #[test]
+    fn empty_constellation_is_none() {
+        assert!(clustered_evm(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_constellation_pins_zero_evm() {
+        // Identical nonzero points collapse onto one centroid: zero error,
+        // unit radius. Pins that the degenerate clustering yields Some(0.0)
+        // rather than NaN or None.
+        assert_eq!(clustered_evm(&[Complex::ONE; 8]), Some(0.0));
+    }
+
+    #[test]
+    fn detector_on_empty_burst_is_none() {
+        // An empty capture decodes to no chip samples, so the detector
+        // abstains instead of guessing.
+        let r = Receiver::usrp().receive(&[]);
+        assert!(EvmDetector::new().detect(&r).is_none());
+    }
+
+    #[test]
+    fn detector_on_short_burst_is_none() {
+        // A fragment far below one symbol yields fewer than 4 constellation
+        // points — the k-means statistic has nothing to cluster.
+        let (orig, _) = pair();
+        let r = Receiver::usrp().receive(&orig[..8]);
+        assert!(EvmDetector::new().detect(&r).is_none());
+    }
 }

@@ -22,6 +22,20 @@ pub enum ChannelAssumption {
     Real,
 }
 
+impl ChannelAssumption {
+    /// The DE² statistic this assumption reads from estimated features —
+    /// the single place the `Ideal`/`Real` flavour choice lives, shared by
+    /// [`Detector::detect`], [`Detector::detect_aggregated`],
+    /// [`Detector::statistic_for_points`], calibration and the detection
+    /// pipeline ([`crate::defense::pipeline`]).
+    pub fn de_squared(self, features: &Features) -> f64 {
+        match self {
+            ChannelAssumption::Ideal => features.de_squared_ideal(),
+            ChannelAssumption::Real => features.de_squared_real(),
+        }
+    }
+}
+
 /// Outcome of one detection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Verdict {
@@ -108,10 +122,7 @@ impl Detector {
     ) -> Self {
         let stat = |r: &Reception| -> Option<f64> {
             let f = features_from_reception(r).ok()?;
-            Some(match assumption {
-                ChannelAssumption::Ideal => f.de_squared_ideal(),
-                ChannelAssumption::Real => f.de_squared_real(),
-            })
+            Some(assumption.de_squared(&f))
         };
         let zig: Vec<f64> = zigbee_training.iter().filter_map(stat).collect();
         let emu: Vec<f64> = emulated_training.iter().filter_map(stat).collect();
@@ -156,10 +167,20 @@ impl Detector {
     /// Computes the statistic for explicit constellation points.
     pub fn statistic_for_points(&self, points: &[Complex]) -> Option<f64> {
         let f = Features::estimate(points).ok()?;
-        Some(match self.assumption {
-            ChannelAssumption::Ideal => f.de_squared_ideal(),
-            ChannelAssumption::Real => f.de_squared_real(),
-        })
+        Some(self.assumption.de_squared(&f))
+    }
+
+    /// The verdict for already-estimated features: the one place the
+    /// statistic meets the threshold. `detect` and `detect_aggregated`
+    /// used to repeat this match inline; the detection pipeline's legacy
+    /// configuration reuses it for bit-identical decisions.
+    pub fn verdict_for(&self, features: Features) -> Verdict {
+        let de_squared = self.assumption.de_squared(&features);
+        Verdict {
+            de_squared,
+            is_attack: de_squared > self.threshold,
+            features,
+        }
     }
 
     /// Runs the hypothesis test on a reception.
@@ -169,15 +190,7 @@ impl Detector {
     /// Returns [`DetectError::NoSamples`] when no chip samples exist.
     pub fn detect(&self, reception: &Reception) -> Result<Verdict, DetectError> {
         let features = features_from_reception(reception).map_err(|_| DetectError::NoSamples)?;
-        let de_squared = match self.assumption {
-            ChannelAssumption::Ideal => features.de_squared_ideal(),
-            ChannelAssumption::Real => features.de_squared_real(),
-        };
-        Ok(Verdict {
-            de_squared,
-            is_attack: de_squared > self.threshold,
-            features,
-        })
+        Ok(self.verdict_for(features))
     }
 
     /// Aggregated detection: pools the constellation points of several
@@ -203,15 +216,7 @@ impl Detector {
         }
         let features = crate::defense::features::Features::estimate(&points)
             .map_err(|_| DetectError::NoSamples)?;
-        let de_squared = match self.assumption {
-            ChannelAssumption::Ideal => features.de_squared_ideal(),
-            ChannelAssumption::Real => features.de_squared_real(),
-        };
-        Ok(Verdict {
-            de_squared,
-            is_attack: de_squared > self.threshold,
-            features,
-        })
+        Ok(self.verdict_for(features))
     }
 }
 

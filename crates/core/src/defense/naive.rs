@@ -222,6 +222,42 @@ mod tests {
     }
 
     #[test]
+    fn cp_similarity_short_burst_is_none() {
+        // One sample short of a complete 16-sample block: no blocks, no
+        // statistic. Pins the `blocks == 0` early return.
+        assert_eq!(
+            cp_similarity_4mhz(&[Complex::ONE; BLOCK_LEN_4MHZ - 1]),
+            None
+        );
+    }
+
+    #[test]
+    fn cp_similarity_degenerate_bursts_pin_extremes() {
+        // An all-zero block has zero power in head and tail, so the
+        // correlation convention returns 0 rather than NaN.
+        assert_eq!(cp_similarity_4mhz(&[Complex::ZERO; 32]), Some(0.0));
+        // A constant nonzero burst is perfectly self-similar in every block.
+        let c = cp_similarity_4mhz(&[Complex::ONE; 2 * BLOCK_LEN_4MHZ]).unwrap();
+        assert!((c - 1.0).abs() < 1e-12, "constant burst similarity: {c}");
+    }
+
+    #[test]
+    fn phase_trend_similarity_short_overlap_is_zero() {
+        // Fewer than two overlapping samples means no increments to
+        // correlate; pins the `n < 2` early return, including the
+        // mismatched-length case where only one side is short.
+        assert_eq!(
+            phase_trend_similarity(&[Complex::ONE], &[Complex::ONE]),
+            0.0
+        );
+        assert_eq!(
+            phase_trend_similarity(&[Complex::ONE], &[Complex::ONE; 64]),
+            0.0
+        );
+        assert_eq!(phase_trend_similarity(&[], &[Complex::ONE; 64]), 0.0);
+    }
+
+    #[test]
     fn chips_differ_but_symbols_agree() {
         let (orig, emu) = pair();
         let ra = Receiver::usrp().receive(&orig);

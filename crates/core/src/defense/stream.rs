@@ -22,9 +22,11 @@
 
 use crate::attack::listener::{Burst, BurstEnd, EnergyDetector, EnergyStream};
 use crate::defense::detector::{Detector, Verdict};
+use crate::defense::pipeline::{DetectionPipeline, FeatureInput, PipelineScores};
 use ctc_dsp::{BufferPool, Complex, SampleBuf};
 use ctc_zigbee::{Receiver, Reception};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One frame-shaped event found in the stream.
 #[derive(Debug, Clone)]
@@ -40,6 +42,10 @@ pub struct StreamEvent {
     /// True when the burst did not end on a clean idle gap (cut by end of
     /// stream or by the splitter's burst-length cap).
     pub truncated: bool,
+    /// Fused score plus per-feature values, present only when the
+    /// processor runs a [`DetectionPipeline`] (`None` on the legacy
+    /// single-detector path, whose events are unchanged).
+    pub scores: Option<PipelineScores>,
 }
 
 impl StreamEvent {
@@ -242,12 +248,32 @@ impl BurstSplitter {
 pub struct FrameProcessor {
     receiver: Receiver,
     detector: Detector,
+    pipeline: Option<Arc<DetectionPipeline>>,
 }
 
 impl FrameProcessor {
     /// Builds the stage from its receiver and detector.
     pub fn new(receiver: Receiver, detector: Detector) -> Self {
-        FrameProcessor { receiver, detector }
+        FrameProcessor {
+            receiver,
+            detector,
+            pipeline: None,
+        }
+    }
+
+    /// Classifies with a detection pipeline instead of the bare detector:
+    /// events gain per-feature [`PipelineScores`] and the verdict's
+    /// `is_attack` comes from the pipeline's classifier. With
+    /// [`DetectionPipeline::legacy`] the verdicts are bit-identical to the
+    /// bare detector's.
+    pub fn with_pipeline(mut self, pipeline: Arc<DetectionPipeline>) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// The detection pipeline, when one is configured.
+    pub fn pipeline(&self) -> Option<&Arc<DetectionPipeline>> {
+        self.pipeline.as_ref()
     }
 
     /// Runs the stock receiver and the cumulant detector on one capture.
@@ -265,13 +291,23 @@ impl FrameProcessor {
     /// Stage 2: the hypothesis test, folded into the final event.
     pub fn classify(&self, capture: &BurstCapture, reception: Reception) -> StreamEvent {
         let payload = reception.payload().map(<[u8]>::to_vec);
-        let verdict = self.detector.detect(&reception).ok();
+        let (verdict, scores) = match &self.pipeline {
+            None => (self.detector.detect(&reception).ok(), None),
+            Some(pipeline) => {
+                let input = FeatureInput::with_samples(&reception, &capture.samples);
+                match pipeline.score(&input) {
+                    Ok(pv) => (Some(pv.verdict), Some(pv.scores)),
+                    Err(_) => (None, None),
+                }
+            }
+        };
         StreamEvent {
             burst: capture.burst,
             payload,
             verdict,
             reception,
             truncated: capture.truncated,
+            scores,
         }
     }
 
@@ -324,6 +360,13 @@ impl MonitorFactory {
     /// [`BurstSplitter::with_max_burst`]).
     pub fn with_max_burst(mut self, max: usize) -> Self {
         self.max_burst = Some(max);
+        self
+    }
+
+    /// Classifies every session's bursts with a shared
+    /// [`DetectionPipeline`] (see [`FrameProcessor::with_pipeline`]).
+    pub fn with_pipeline(mut self, pipeline: Arc<DetectionPipeline>) -> Self {
+        self.processor = self.processor.with_pipeline(pipeline);
         self
     }
 

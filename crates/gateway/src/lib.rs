@@ -82,8 +82,8 @@ pub mod source;
 pub use error::GatewayError;
 pub use json::{JsonParseError, JsonValue};
 pub use metrics::{
-    LatencyHistogram, Metrics, MetricsCore, MetricsSnapshot, ServerMetrics, ServerMetricsCore,
-    ServerMetricsSnapshot,
+    LatencyHistogram, Metrics, MetricsCore, MetricsSnapshot, ScoreBoard, ServerMetrics,
+    ServerMetricsCore, ServerMetricsSnapshot,
 };
 pub use pipeline::{default_workers, Gateway, GatewayConfig, GatewayConfigBuilder, GatewayReport};
 pub use queue::BoundedQueue;

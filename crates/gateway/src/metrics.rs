@@ -8,6 +8,7 @@
 //! registry collectors (see [`crate::obs`]) and scraped after the
 //! pipeline threads have joined.
 
+use ctc_core::defense::PipelineScores;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,6 +90,71 @@ impl Metrics {
     /// Fresh, all-zero metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Latest per-feature detector scores for a pipeline-equipped run —
+/// f64 bits stored in relaxed atomics, the backing store for the
+/// `ctc_detector_score{feature=...}` gauges (see [`crate::obs`]).
+///
+/// Same `Arc`-backed shape as [`Metrics`]: cloning is cheap, and registry
+/// collectors keep the board alive after the run joins. Workers overwrite
+/// slots with the most recent burst's values (a gauge, not an
+/// accumulator), so a scrape sees the last classified burst.
+#[derive(Debug, Clone)]
+pub struct ScoreBoard {
+    inner: Arc<ScoreBoardCore>,
+}
+
+#[derive(Debug)]
+struct ScoreBoardCore {
+    /// Feature names, aligned with `values`.
+    names: Vec<&'static str>,
+    /// Per-feature values as `f64::to_bits`.
+    values: Vec<AtomicU64>,
+    /// The fused classifier score as `f64::to_bits`.
+    fused: AtomicU64,
+}
+
+impl ScoreBoard {
+    /// A board with one slot per feature name, all starting at `0.0`.
+    pub fn new(names: Vec<&'static str>) -> Self {
+        let values = names.iter().map(|_| AtomicU64::new(0)).collect();
+        ScoreBoard {
+            inner: Arc::new(ScoreBoardCore {
+                names,
+                values,
+                fused: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The feature names, in registration order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.inner.names
+    }
+
+    /// Overwrites every slot with one burst's scores. Entries whose name
+    /// is not on the board are ignored (a model may use a feature subset).
+    pub fn record(&self, scores: &PipelineScores) {
+        self.inner
+            .fused
+            .store(scores.fused.to_bits(), Ordering::Relaxed);
+        for (name, value) in scores.features.entries() {
+            if let Some(i) = self.inner.names.iter().position(|n| n == name) {
+                self.inner.values[i].store(value.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The latest value for feature slot `index`.
+    pub fn value(&self, index: usize) -> f64 {
+        f64::from_bits(self.inner.values[index].load(Ordering::Relaxed))
+    }
+
+    /// The latest fused classifier score.
+    pub fn fused(&self) -> f64 {
+        f64::from_bits(self.inner.fused.load(Ordering::Relaxed))
     }
 }
 
@@ -279,6 +345,26 @@ mod tests {
         assert_eq!(s.forgeries, 2);
         assert!(s.p50_us.is_some());
         assert_eq!(s.p99_us, s.p50_us);
+    }
+
+    #[test]
+    fn score_board_records_latest_burst() {
+        use ctc_core::defense::FeatureVector;
+
+        let board = ScoreBoard::new(vec!["de2_ideal", "clustered_evm"]);
+        let clone = board.clone();
+        let mut features = FeatureVector::default();
+        features.push("de2_ideal", 0.125);
+        features.push("clustered_evm", 0.5);
+        features.push("unknown_extra", 9.0); // ignored: not on the board
+        board.record(&PipelineScores {
+            fused: 0.125,
+            features,
+        });
+        assert_eq!(clone.fused(), 0.125);
+        assert_eq!(clone.value(0), 0.125);
+        assert_eq!(clone.value(1), 0.5);
+        assert_eq!(clone.names(), ["de2_ideal", "clustered_evm"]);
     }
 
     #[test]

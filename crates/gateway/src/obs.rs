@@ -112,6 +112,32 @@ pub fn register_session(registry: &Registry, stream: &str, metrics: &Metrics) {
     register_gateway_metrics(&registry.scoped(&[("stream", stream)]), metrics);
 }
 
+/// Registers one pipeline run's detector scores as
+/// `ctc_detector_score{feature=...}` gauges — one child per extracted
+/// feature plus `{feature="fused"}` for the classifier output. Collectors
+/// sample the run's [`ScoreBoard`](crate::metrics::ScoreBoard), so a
+/// scrape always sees the most recently classified burst.
+#[cfg(feature = "telemetry")]
+pub fn register_scores(registry: &Registry, board: &crate::metrics::ScoreBoard) {
+    let help = "Latest detector score, by feature (fused = classifier output).";
+    for (i, name) in board.names().iter().enumerate() {
+        let b = board.clone();
+        registry.gauge_f64_fn(
+            "ctc_detector_score",
+            help,
+            &[("feature", name)],
+            move || b.value(i),
+        );
+    }
+    let b = board.clone();
+    registry.gauge_f64_fn(
+        "ctc_detector_score",
+        help,
+        &[("feature", "fused")],
+        move || b.fused(),
+    );
+}
+
 /// Registers the session-lifecycle counters of a multi-stream server run.
 #[cfg(feature = "telemetry")]
 pub fn register_server(registry: &Registry, server: &ServerMetrics) {
@@ -302,6 +328,30 @@ mod tests {
                 || text.contains("ctc_gateway_frames_total{verdict=\"attack\",stream=\"s1\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn detector_scores_render_per_feature() {
+        use crate::metrics::ScoreBoard;
+        use ctc_core::defense::{FeatureVector, PipelineScores};
+
+        let registry = Registry::new();
+        let board = ScoreBoard::new(vec!["de2_ideal", "clustered_evm"]);
+        register_scores(&registry, &board);
+
+        let mut features = FeatureVector::default();
+        features.push("de2_ideal", 0.25);
+        features.push("clustered_evm", 0.75);
+        board.record(&PipelineScores {
+            fused: 0.25,
+            features,
+        });
+
+        let text = registry.render();
+        assert!(text.contains("# TYPE ctc_detector_score gauge"), "{text}");
+        assert!(text.contains("ctc_detector_score{feature=\"de2_ideal\"} 0.25"));
+        assert!(text.contains("ctc_detector_score{feature=\"clustered_evm\"} 0.75"));
+        assert!(text.contains("ctc_detector_score{feature=\"fused\"} 0.25"));
     }
 
     #[test]

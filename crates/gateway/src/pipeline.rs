@@ -11,10 +11,11 @@ use crate::error::GatewayError;
 use crate::metrics::MetricsSnapshot;
 use crate::server::{GatewayServer, NamedStream, ServerConfig};
 use ctc_core::attack::EnergyDetector;
-use ctc_core::defense::Detector;
+use ctc_core::defense::{DetectionPipeline, Detector};
 use ctc_dsp::io::DEFAULT_CHUNK_SAMPLES;
 use ctc_zigbee::Receiver;
 use std::io::{Read, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Gateway configuration: transport-independent pipeline knobs plus the
@@ -42,6 +43,11 @@ pub struct GatewayConfig {
     pub receiver: Receiver,
     /// Classification stage.
     pub detector: Detector,
+    /// Feature-ensemble classification stage (`None`: the legacy
+    /// single-statistic `detector` path, byte-for-byte). When set, every
+    /// burst is scored by the pipeline and events carry per-feature
+    /// scores.
+    pub pipeline: Option<Arc<DetectionPipeline>>,
 }
 
 impl Default for GatewayConfig {
@@ -55,6 +61,7 @@ impl Default for GatewayConfig {
             energy: EnergyDetector::default(),
             receiver: Receiver::usrp().with_sync_search(96),
             detector: Detector::new(ctc_core::defense::ChannelAssumption::Ideal),
+            pipeline: None,
         }
     }
 }
@@ -122,6 +129,13 @@ impl GatewayConfigBuilder {
     /// Classification stage.
     pub fn detector(mut self, detector: Detector) -> Self {
         self.config.detector = detector;
+        self
+    }
+
+    /// Feature-ensemble classification stage (see
+    /// [`GatewayConfig::pipeline`]).
+    pub fn detection_pipeline(mut self, pipeline: Arc<DetectionPipeline>) -> Self {
+        self.config.pipeline = Some(pipeline);
         self
     }
 

@@ -22,7 +22,7 @@
 
 use crate::error::GatewayError;
 use crate::json::{hex, JsonObject};
-use crate::metrics::{Metrics, MetricsSnapshot, ServerMetrics, ServerMetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, ScoreBoard, ServerMetrics, ServerMetricsSnapshot};
 use crate::obs::RunObs;
 use crate::pipeline::GatewayConfig;
 use crate::session::{Evicted, Session, SessionId, ShardQueue};
@@ -368,8 +368,15 @@ impl GatewayServer {
             .collect();
         let aggregate = Metrics::new();
         let server_metrics = ServerMetrics::new();
-        let factory = MonitorFactory::new(gw.energy, gw.receiver.clone(), gw.detector)
+        let mut factory = MonitorFactory::new(gw.energy, gw.receiver.clone(), gw.detector)
             .with_max_burst(gw.max_burst);
+        if let Some(pipeline) = &gw.pipeline {
+            factory = factory.with_pipeline(pipeline.clone());
+        }
+        let scores = gw
+            .pipeline
+            .as_ref()
+            .map(|p| ScoreBoard::new(p.feature_names()));
         let processor = factory.processor().clone();
         let (tx, rx) = mpsc::channel::<SinkMsg>();
         let started = Instant::now();
@@ -379,6 +386,9 @@ impl GatewayServer {
         if let Some(registry) = &self.registry {
             crate::obs::register_run(registry, &aggregate, factory.pool());
             crate::obs::register_server(registry, &server_metrics);
+            if let Some(board) = &scores {
+                crate::obs::register_scores(registry, board);
+            }
         }
         #[cfg(feature = "telemetry")]
         let obs = RunObs::new(self.trace.as_deref());
@@ -397,8 +407,17 @@ impl GatewayServer {
                     let shards = &shards;
                     let aggregate = &aggregate;
                     let processor = processor.clone();
+                    let scores = scores.clone();
                     scope.spawn(move || {
-                        worker_loop(w % shard_count, shards, &processor, aggregate, &tx, obs)
+                        worker_loop(
+                            w % shard_count,
+                            shards,
+                            &processor,
+                            aggregate,
+                            scores.as_ref(),
+                            &tx,
+                            obs,
+                        )
                     })
                 })
                 .collect();
@@ -722,6 +741,7 @@ fn worker_loop(
     shards: &[ShardQueue<WorkItem>],
     processor: &FrameProcessor,
     aggregate: &Metrics,
+    scores: Option<&ScoreBoard>,
     tx: &mpsc::Sender<SinkMsg>,
     obs: RunObs<'_>,
 ) {
@@ -749,7 +769,7 @@ fn worker_loop(
                 None => continue,
             },
         };
-        process_item(item, processor, aggregate, tx, obs);
+        process_item(item, processor, aggregate, scores, tx, obs);
     }
 }
 
@@ -759,6 +779,7 @@ fn process_item(
     item: WorkItem,
     processor: &FrameProcessor,
     aggregate: &Metrics,
+    scores: Option<&ScoreBoard>,
     tx: &mpsc::Sender<SinkMsg>,
     obs: RunObs<'_>,
 ) {
@@ -775,6 +796,9 @@ fn process_item(
     let decoded = Instant::now();
     let event = processor.classify(&capture, reception);
     let done = Instant::now();
+    if let (Some(board), Some(s)) = (scores, event.scores.as_ref()) {
+        board.record(s);
+    }
     obs.record(span, seq, "queue", enqueued, dequeued);
     obs.record(span, seq, "decode", dequeued, decoded);
     obs.record(span, seq, "classify", decoded, done);
@@ -946,7 +970,7 @@ fn frame_line(
         .uint("classify_us", classify_us)
         .uint("total_us", total_us)
         .finish();
-    JsonObject::new()
+    let line = JsonObject::new()
         .string("type", "frame")
         .string_if("stream", stream)
         .uint("seq", seq)
@@ -963,8 +987,21 @@ fn frame_line(
         )
         .opt("verdict", event.verdict, |o, k, v| {
             o.string(k, if v.is_attack { "attack" } else { "authentic" })
-        })
-        .bool("accepted_forgery", event.accepted_forgery())
+        });
+    // Pipeline runs add the fused score and the named feature vector;
+    // legacy runs carry no `scores`, keeping their lines byte-identical.
+    let line = match &event.scores {
+        Some(scores) => {
+            let mut features = JsonObject::new();
+            for (name, value) in scores.features.entries() {
+                features = features.float(name, *value);
+            }
+            line.float("score", scores.fused)
+                .raw("features", &features.finish())
+        }
+        None => line,
+    };
+    line.bool("accepted_forgery", event.accepted_forgery())
         .raw("latency", &latency)
         .finish()
 }

@@ -289,6 +289,77 @@ fn serves_32_concurrent_tcp_streams() {
     assert_eq!(by_stream.len(), 32);
 }
 
+/// A pipeline-equipped run emits the fused score plus the named feature
+/// vector on every frame line, keeps the legacy verdicts (the standard
+/// pipeline thresholds the same DE² statistic), and publishes
+/// `ctc_detector_score{feature=...}` gauges — while the legacy
+/// configuration's lines stay byte-identical (no `score`/`features`).
+#[cfg(feature = "telemetry")]
+#[test]
+fn pipeline_run_carries_per_feature_scores() {
+    use ctc_core::defense::DetectionPipeline;
+
+    let (bytes, _) = synthetic_capture(26);
+    let detector = Detector::new(ChannelAssumption::Ideal).with_threshold(0.25);
+
+    let mut legacy_events = Vec::new();
+    GatewayServer::new(ServerConfig::from(config()))
+        .run_streams(
+            vec![NamedStream::new("cap", &bytes[..])],
+            &mut legacy_events,
+            &mut Vec::new(),
+        )
+        .unwrap();
+    let legacy = String::from_utf8(legacy_events).unwrap();
+    assert!(!legacy.contains("\"score\""), "{legacy}");
+    assert!(!legacy.contains("\"features\""), "{legacy}");
+
+    let mut gw = config();
+    gw.pipeline = Some(DetectionPipeline::standard(detector).shared());
+    let registry = Arc::new(ctc_obs::Registry::new());
+    let server = GatewayServer::new(ServerConfig::from(gw)).with_registry(Arc::clone(&registry));
+    let mut events = Vec::new();
+    let report = server
+        .run_streams(
+            vec![NamedStream::new("cap", &bytes[..])],
+            &mut events,
+            &mut Vec::new(),
+        )
+        .unwrap();
+    assert_eq!(report.metrics.frames_decoded, 2);
+    assert_eq!(report.metrics.forgeries, 1);
+
+    let events = String::from_utf8(events).unwrap();
+    let frames: Vec<&str> = events
+        .lines()
+        .filter(|l| l.contains("\"type\":\"frame\""))
+        .collect();
+    assert_eq!(frames.len(), 2, "{events}");
+    // Verdicts match the legacy run line-for-line; scores ride alongside.
+    for (frame, legacy_frame) in frames
+        .iter()
+        .zip(legacy.lines().filter(|l| l.contains("\"type\":\"frame\"")))
+    {
+        assert_eq!(field(frame, "verdict"), field(legacy_frame, "verdict"));
+        assert_eq!(field(frame, "de2"), field(legacy_frame, "de2"));
+        let score: f64 = field(frame, "score").parse().unwrap();
+        assert!(score.is_finite(), "{frame}");
+        for feature in ["de2_ideal", "clustered_evm", "cp_similarity", "rssi_db"] {
+            assert!(
+                frame.contains(&format!("\"{feature}\":")),
+                "{feature} missing from {frame}"
+            );
+        }
+    }
+    assert_eq!(field(frames[0], "verdict"), "\"authentic\"");
+    assert_eq!(field(frames[1], "verdict"), "\"attack\"");
+
+    let text = registry.render();
+    assert!(text.contains("# TYPE ctc_detector_score gauge"), "{text}");
+    assert!(text.contains("ctc_detector_score{feature=\"de2_ideal\"}"));
+    assert!(text.contains("ctc_detector_score{feature=\"fused\"}"));
+}
+
 /// Per-stream metrics land in the registry labelled `{stream="..."}`,
 /// next to the unlabelled aggregates and the session lifecycle counters.
 #[cfg(feature = "telemetry")]

@@ -110,6 +110,11 @@ pub fn render(registry: &Registry) -> String {
                     write_labels(&mut out, labels, None);
                     let _ = writeln!(out, " {}", f());
                 }
+                Child::GaugeF64Fn(f) => {
+                    out.push_str(name);
+                    write_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {}", f());
+                }
                 Child::Histogram(h) => {
                     write_histogram(&mut out, name, labels, &h.snapshot());
                 }
@@ -193,6 +198,33 @@ ctc_gateway_latency_us_bucket{le=\"4\"} 1
             .unwrap();
         assert!(hist_at < gauge_at);
         assert!(text.ends_with("ctc_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn f64_gauge_renders_shortest_round_trip() {
+        let r = Registry::new();
+        r.gauge_f64_fn(
+            "ctc_detector_score",
+            "Latest per-feature detector score.",
+            &[("feature", "de2_ideal")],
+            || 0.062_5,
+        );
+        r.gauge_f64_fn(
+            "ctc_detector_score",
+            "Latest per-feature detector score.",
+            &[("feature", "fused")],
+            || 1.0,
+        );
+        let text = r.render();
+        assert!(text.contains("# TYPE ctc_detector_score gauge"), "{text}");
+        assert!(
+            text.contains("ctc_detector_score{feature=\"de2_ideal\"} 0.0625\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ctc_detector_score{feature=\"fused\"} 1\n"),
+            "{text}"
+        );
     }
 
     #[test]

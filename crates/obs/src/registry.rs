@@ -57,6 +57,7 @@ pub(crate) enum Child {
     Histogram(Arc<Histogram>),
     CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
     GaugeFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeF64Fn(Box<dyn Fn() -> f64 + Send + Sync>),
     HistogramFn(Box<dyn Fn() -> HistogramSnapshot + Send + Sync>),
 }
 
@@ -64,7 +65,7 @@ impl Child {
     pub(crate) fn kind(&self) -> MetricKind {
         match self {
             Child::Counter(_) | Child::CounterFn(_) => MetricKind::Counter,
-            Child::Gauge(_) | Child::GaugeFn(_) => MetricKind::Gauge,
+            Child::Gauge(_) | Child::GaugeFn(_) | Child::GaugeF64Fn(_) => MetricKind::Gauge,
             Child::Histogram(_) | Child::HistogramFn(_) => MetricKind::Histogram,
         }
     }
@@ -263,6 +264,18 @@ impl Registry {
         self.collect(name, help, labels, Child::GaugeFn(Box::new(f)));
     }
 
+    /// Registers a pull-based floating-point gauge — for scores and ratios
+    /// (detector feature scores, AUC) that have no natural integer unit.
+    pub fn gauge_f64_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.collect(name, help, labels, Child::GaugeF64Fn(Box::new(f)));
+    }
+
     /// Registers a pull-based histogram: `f` snapshots the histogram at
     /// exposition time.
     pub fn histogram_fn(
@@ -358,6 +371,18 @@ impl ScopedRegistry<'_> {
         f: impl Fn() -> u64 + Send + Sync + 'static,
     ) {
         self.registry.gauge_fn(name, help, &self.merged(extra), f);
+    }
+
+    /// A pull-based floating-point gauge under the base labels.
+    pub fn gauge_f64_fn(
+        &self,
+        name: &str,
+        help: &str,
+        extra: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.registry
+            .gauge_f64_fn(name, help, &self.merged(extra), f);
     }
 
     /// A pull-based histogram under the base labels.

@@ -16,7 +16,9 @@ use ctc_channel::impairments::apply_cfo;
 use ctc_channel::noise::complex_gaussian;
 use ctc_channel::Link;
 use ctc_core::attack::Emulator;
-use ctc_core::defense::{features_from_reception, ChannelAssumption, Detector};
+use ctc_core::defense::{
+    features_from_reception, ChannelAssumption, DetectionPipeline, Detector, FeatureInput,
+};
 use ctc_core::Error;
 use ctc_dsp::io::write_cf32;
 use ctc_dsp::Complex;
@@ -71,7 +73,7 @@ impl CorpusSpec {
 }
 
 /// Stage names in generation order; `generate` produces exactly these.
-pub const STAGE_NAMES: [&str; 9] = [
+pub const STAGE_NAMES: [&str; 10] = [
     "zigbee_chips",
     "zigbee_waveform",
     "wifi_ofdm_frame",
@@ -81,6 +83,7 @@ pub const STAGE_NAMES: [&str; 9] = [
     "channel_impaired",
     "features",
     "gateway_events",
+    "pipeline_features",
 ];
 
 /// Runs the whole pipeline once and snapshots every stage.
@@ -196,6 +199,28 @@ pub fn generate(spec: &CorpusSpec) -> Result<Vec<Vector>, Error> {
         name: STAGE_NAMES[8].into(),
         tolerance: Tolerance::Absolute(1e-6),
         payload: Payload::Text(events),
+    });
+
+    // Stage 9 — the ensemble pipeline's full named feature vector (16
+    // entries per waveform, in `DetectionPipeline::feature_names` order)
+    // for the same three waveforms stage 7 fingerprints. Pins the
+    // extractor set of the pluggable detector: adding, removing, or
+    // reordering a feature diverges here before any classifier metric
+    // moves.
+    let pipeline = DetectionPipeline::standard(Detector::new(ChannelAssumption::Ideal));
+    let mut pipeline_feats = Vec::with_capacity(3 * pipeline.feature_names().len());
+    for wave in [&zigbee_waveform, &captured, &impaired] {
+        let reception = receiver.receive(wave);
+        let input = FeatureInput::with_samples(&reception, wave);
+        let fv = pipeline
+            .extract(&input)
+            .map_err(|e| Error::Other(format!("pipeline features: {e}")))?;
+        pipeline_feats.extend(fv.entries().iter().map(|(_, v)| *v));
+    }
+    vectors.push(Vector {
+        name: STAGE_NAMES[9].into(),
+        tolerance: Tolerance::Absolute(1e-6),
+        payload: Payload::Scalars(pipeline_feats),
     });
 
     Ok(vectors)
@@ -353,6 +378,7 @@ mod tests {
         assert!(matches!(vectors[0].payload, Payload::Bytes(_)));
         assert!(matches!(vectors[4].payload, Payload::Scalars(_)));
         assert!(matches!(vectors[8].payload, Payload::Text(_)));
+        assert!(matches!(vectors[9].payload, Payload::Scalars(_)));
         for v in &vectors {
             assert!(!v.payload.is_empty(), "{} is empty", v.name);
         }
@@ -384,6 +410,19 @@ mod tests {
         assert!(events.contains("\"verdict\":\"authentic\""));
         assert!(events.contains("\"verdict\":\"attack\""));
         assert!(!events.contains("latency"), "latency must be stripped");
+    }
+
+    #[test]
+    fn pipeline_stage_carries_full_feature_vector_for_three_waveforms() {
+        let vectors = generate(&CorpusSpec::default()).unwrap();
+        let Payload::Scalars(feats) = &vectors[9].payload else {
+            panic!("pipeline stage should be scalars")
+        };
+        let width = DetectionPipeline::standard(Detector::new(ChannelAssumption::Ideal))
+            .feature_names()
+            .len();
+        assert_eq!(feats.len(), 3 * width, "3 waveforms × {width} features");
+        assert!(feats.iter().all(|v| v.is_finite()), "features: {feats:?}");
     }
 
     #[test]
