@@ -9,7 +9,7 @@
 //! that ZigBee devices are not communicating, it emulates the received
 //! ZigBee waveform".
 
-use ctc_dsp::Complex;
+use ctc_dsp::{simd, Complex};
 
 /// One frame-shaped burst found in a recording.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,12 +82,14 @@ impl EnergyDetector {
         if x.len() < self.window {
             return Vec::new();
         }
-        // Windowed power.
+        // Windowed power over a precomputed norm buffer.
+        let mut norms = Vec::new();
+        simd::norm_sqr_into(x, &mut norms);
         let mut power = Vec::with_capacity(x.len() - self.window + 1);
-        let mut acc: f64 = x[..self.window].iter().map(|v| v.norm_sqr()).sum();
+        let mut acc: f64 = norms[..self.window].iter().sum();
         power.push(acc / self.window as f64);
-        for i in self.window..x.len() {
-            acc += x[i].norm_sqr() - x[i - self.window].norm_sqr();
+        for i in self.window..norms.len() {
+            acc += norms[i] - norms[i - self.window];
             power.push(acc / self.window as f64);
         }
         let floor = self.noise_floor(&power);
@@ -181,12 +183,15 @@ pub struct EnergyStream {
     max_burst: usize,
     /// Norms of the last `window` samples (ring buffer).
     ring: Vec<f64>,
-    /// Running sum of the ring.
-    acc: f64,
+    /// The floating-point scan state (ring cursor, running sum, EWMA noise
+    /// floor, cached gate), advanced in bulk by [`simd::gated_power_scan`].
+    scan: simd::GateScanState,
     /// Total samples consumed.
     total: usize,
-    /// Causal noise-floor estimate; `None` until the first full window.
-    floor: Option<f64>,
+    /// Scratch for per-sample activity flags from the scan kernel.
+    active: Vec<u8>,
+    /// True once the first windowed power has seeded the floor.
+    floor_seeded: bool,
     /// Start (power index) of the currently open burst.
     start: Option<usize>,
     /// Most recent active power index.
@@ -225,6 +230,34 @@ impl StreamedBurst {
 /// fades, short enough to re-converge within a typical inter-frame gap.
 const FLOOR_ALPHA: f64 = 1.0 / 64.0;
 
+/// First index `>= pos` where `flags` stops equalling `cur` (or
+/// `flags.len()`). The idle-channel hot loop spends its non-kernel time
+/// here, and a naive `iter().position(..)` byte loop stays scalar (LLVM
+/// does not vectorize early-exit searches against a runtime byte), so scan
+/// a word at a time: any byte differing from the repeated-`cur` pattern
+/// shows up in the XOR, and the first set bit names it.
+#[inline]
+fn run_end(flags: &[u8], pos: usize, cur: u8) -> usize {
+    let rest = &flags[pos..];
+    let pat = u64::from_ne_bytes([cur; 8]);
+    let mut off = 0;
+    for word in rest.chunks_exact(8) {
+        let v = u64::from_ne_bytes(word.try_into().expect("chunks_exact yields 8 bytes"));
+        if v != pat {
+            let first = word
+                .iter()
+                .position(|&b| b != cur)
+                .expect("some byte differs: v != pat");
+            return pos + off + first;
+        }
+        off += 8;
+    }
+    match rest[off..].iter().position(|&b| b != cur) {
+        Some(d) => pos + off + d,
+        None => flags.len(),
+    }
+}
+
 impl EnergyStream {
     /// Fresh session for the given detector configuration.
     ///
@@ -237,11 +270,36 @@ impl EnergyStream {
             config,
             max_burst: usize::MAX,
             ring: Vec::with_capacity(config.window),
-            acc: 0.0,
+            scan: simd::GateScanState {
+                slot: 0,
+                acc: 0.0,
+                floor: 0.0,
+                gate: 0.0,
+                threshold: config.threshold,
+                alpha: FLOOR_ALPHA,
+                floor_eps: 1e-12,
+                inv_w: if config.window.is_power_of_two() {
+                    1.0 / config.window as f64
+                } else {
+                    0.0
+                },
+            },
             total: 0,
-            floor: None,
+            active: Vec::new(),
+            floor_seeded: false,
             start: None,
             last_active: 0,
+        }
+    }
+
+    /// Mean power of the current window; `acc / window`, via the exact
+    /// reciprocal when the window is a power of two.
+    #[inline]
+    fn window_mean(&self) -> f64 {
+        if self.scan.inv_w != 0.0 {
+            self.scan.acc * self.scan.inv_w
+        } else {
+            self.scan.acc / self.config.window as f64
         }
     }
 
@@ -272,7 +330,7 @@ impl EnergyStream {
 
     /// Current noise-floor estimate (`None` before the first full window).
     pub fn noise_floor(&self) -> Option<f64> {
-        self.floor
+        self.floor_seeded.then_some(self.scan.floor)
     }
 
     /// Start index of the currently open (unfinished) burst, if any.
@@ -280,31 +338,140 @@ impl EnergyStream {
         self.start
     }
 
+    /// Consumes a batch of samples, handing each completed burst to `sink`.
+    /// The single source of truth behind both the per-sample and chunk
+    /// entry points, so every chunking of a stream takes the identical
+    /// arithmetic path.
+    ///
+    /// Warm-path samples run through [`simd::gated_power_scan`] — the whole
+    /// floating-point scan (`|x|²`, ring, window mean, gate compare, EWMA
+    /// floor) in one kernel call — leaving only integer burst bookkeeping
+    /// here, which `process_flags` does run-by-run rather than
+    /// sample-by-sample.
+    fn feed(&mut self, chunk: &[Complex], sink: &mut impl FnMut(StreamedBurst)) {
+        let w = self.config.window;
+        let mut idx = 0;
+        // Cold path: fill the first window one sample at a time; the first
+        // full window seeds the noise floor and is judged idle.
+        while self.ring.len() < w && idx < chunk.len() {
+            let n = chunk[idx].norm_sqr();
+            self.ring.push(n);
+            self.scan.acc += n;
+            self.total += 1;
+            idx += 1;
+            if self.ring.len() == w {
+                let p = self.window_mean();
+                self.seed_floor(p.max(1e-12));
+            }
+        }
+        let rest = &chunk[idx..];
+        if rest.is_empty() {
+            return;
+        }
+        let mut active = std::mem::take(&mut self.active);
+        // Grow-only scratch: the kernel writes every flag it scans, so
+        // stale bytes beyond previous chunks never get read.
+        if active.len() < rest.len() {
+            active.resize(rest.len(), 0);
+        }
+        simd::gated_power_scan(
+            rest,
+            &mut self.ring,
+            &mut self.scan,
+            &mut active[..rest.len()],
+        );
+        // Power index of the window completed by the first scanned sample.
+        let base = self.total + 1 - w;
+        self.total += rest.len();
+        self.process_flags(&active[..rest.len()], base, sink);
+        self.active = active;
+    }
+
+    /// Burst bookkeeping over a batch of activity flags, run-by-run: flag
+    /// decisions only matter at run boundaries (a burst opens at the first
+    /// active sample, hang expiry fires at one specific idle sample), so
+    /// whole runs are skipped with a vectorizable byte scan instead of
+    /// branching per sample. Decision-for-decision equivalent to feeding
+    /// `on_decision` each flag in order (a property the tests pin down).
+    fn process_flags(&mut self, flags: &[u8], base: usize, sink: &mut impl FnMut(StreamedBurst)) {
+        let w = self.config.window;
+        let mut pos = 0;
+        while pos < flags.len() {
+            let cur = flags[pos];
+            let run_end = run_end(flags, pos, cur);
+            if cur != 0 {
+                // Active run [pos, run_end): opens a burst if none is open;
+                // the cap may force-close (and immediately reopen) inside it.
+                let mut s = *self.start.get_or_insert(base + pos);
+                loop {
+                    // First *active* index at which `i + w - s >= max_burst`
+                    // (the cap threshold may have passed during a tolerated
+                    // gap; then the first sample of this run closes).
+                    let close = s
+                        .saturating_add(self.max_burst.saturating_sub(w))
+                        .saturating_sub(base)
+                        .max(pos);
+                    if close >= run_end {
+                        break;
+                    }
+                    sink(StreamedBurst {
+                        burst: Burst {
+                            start: s,
+                            end: base + close + w,
+                        },
+                        end_reason: BurstEnd::Overlong,
+                    });
+                    if close + 1 < run_end {
+                        s = base + close + 1;
+                        self.start = Some(s);
+                    } else {
+                        self.start = None;
+                        break;
+                    }
+                }
+                self.last_active = base + run_end - 1;
+            } else if let Some(s) = self.start {
+                // Idle run: hang expiry fires at the first idle index
+                // beyond `last_active + hang` (which may be overdue if the
+                // previous feed ended mid-gap).
+                let expiry = (self.last_active + self.config.hang + 1)
+                    .saturating_sub(base)
+                    .max(pos);
+                if expiry < run_end {
+                    let end = self.last_active + w;
+                    self.start = None;
+                    if end - s >= self.config.min_len {
+                        sink(StreamedBurst {
+                            burst: Burst { start: s, end },
+                            end_reason: BurstEnd::Gap,
+                        });
+                    }
+                }
+            }
+            pos = run_end;
+        }
+    }
+
     /// Consumes one sample; returns a burst if this sample closed one.
     pub fn push_sample(&mut self, x: Complex) -> Option<StreamedBurst> {
-        let w = self.config.window;
-        let norm = x.norm_sqr();
-        if self.ring.len() < w {
-            self.ring.push(norm);
-            self.acc += norm;
-            self.total += 1;
-            if self.ring.len() < w {
-                return None;
-            }
-            // First full window: power index 0.
-            return self.on_power(0, self.acc / w as f64);
-        }
-        let slot = self.total % w;
-        self.acc += norm - self.ring[slot];
-        self.ring[slot] = norm;
-        self.total += 1;
-        let i = self.total - w; // power index of the window just completed
-        self.on_power(i, self.acc / w as f64)
+        let mut out = None;
+        self.feed(&[x], &mut |b| out = Some(b));
+        out
+    }
+
+    /// Consumes a chunk, handing each completed burst to `sink` in order.
+    ///
+    /// This is the allocation-free bulk path the streaming gateway rides:
+    /// one scan-kernel call, then run-length burst bookkeeping.
+    pub fn push_each(&mut self, chunk: &[Complex], mut sink: impl FnMut(StreamedBurst)) {
+        self.feed(chunk, &mut sink);
     }
 
     /// Consumes a chunk; returns the bursts completed inside it, in order.
     pub fn push(&mut self, chunk: &[Complex]) -> Vec<StreamedBurst> {
-        chunk.iter().filter_map(|&x| self.push_sample(x)).collect()
+        let mut out = Vec::new();
+        self.push_each(chunk, |b| out.push(b));
+        out
     }
 
     /// Ends the stream: closes any open burst ([`BurstEnd::EndOfStream`])
@@ -317,23 +484,22 @@ impl EnergyStream {
                 end_reason: BurstEnd::EndOfStream,
             })
         });
+        // Keep the scratch allocation alive across sessions.
+        let active = std::mem::take(&mut self.active);
         *self = EnergyStream::new(self.config).with_max_burst(self.max_burst);
+        self.active = active;
         out
     }
 
-    /// The detection state machine, mirroring [`EnergyDetector::detect`]'s
-    /// hang/min-len semantics on one windowed-power value.
-    fn on_power(&mut self, i: usize, p: f64) -> Option<StreamedBurst> {
-        let floor = match self.floor {
-            None => {
-                // First observation seeds the floor and is judged idle.
-                self.floor = Some(p.max(1e-12));
-                return None;
-            }
-            Some(f) => f,
-        };
-        let gate = floor * self.config.threshold;
-        if p > gate {
+    /// Burst bookkeeping on one active/idle decision, mirroring
+    /// [`EnergyDetector::detect`]'s hang/min-len semantics. Integer-only:
+    /// all floating point lives in the scan kernel, and nothing here feeds
+    /// back into it (the floor never updates while active, and closing a
+    /// burst touches no scan state). The production path is the run-length
+    /// `process_flags`; this per-sample form is its test oracle.
+    #[cfg(test)]
+    fn on_decision(&mut self, i: usize, active: bool) -> Option<StreamedBurst> {
+        if active {
             if self.start.is_none() {
                 self.start = Some(i);
             }
@@ -349,23 +515,26 @@ impl EnergyStream {
                     end_reason: BurstEnd::Overlong,
                 });
             }
-        } else {
-            // Idle: track the floor (frames never drag it up).
-            self.floor = Some((floor + FLOOR_ALPHA * (p - floor)).max(1e-12));
-            if let Some(s) = self.start {
-                if i > self.last_active + self.config.hang {
-                    let end = self.last_active + self.config.window;
-                    self.start = None;
-                    if end - s >= self.config.min_len {
-                        return Some(StreamedBurst {
-                            burst: Burst { start: s, end },
-                            end_reason: BurstEnd::Gap,
-                        });
-                    }
+        } else if let Some(s) = self.start {
+            if i > self.last_active + self.config.hang {
+                let end = self.last_active + self.config.window;
+                self.start = None;
+                if end - s >= self.config.min_len {
+                    return Some(StreamedBurst {
+                        burst: Burst { start: s, end },
+                        end_reason: BurstEnd::Gap,
+                    });
                 }
             }
         }
         None
+    }
+
+    /// Seeds the floor and its cached gate from the first full window.
+    fn seed_floor(&mut self, floor: f64) {
+        self.scan.floor = floor;
+        self.scan.gate = floor * self.config.threshold;
+        self.floor_seeded = true;
     }
 }
 
@@ -381,11 +550,7 @@ impl EnergyStream {
 pub fn clear_channel_assessment(x: &[Complex], window: usize, threshold_power: f64) -> bool {
     assert!(window > 0, "window must be positive");
     assert!(x.len() >= window, "need at least one CCA window of samples");
-    let p: f64 = x[x.len() - window..]
-        .iter()
-        .map(|v| v.norm_sqr())
-        .sum::<f64>()
-        / window as f64;
+    let p = simd::sum_norm_sqr(&x[x.len() - window..]) / window as f64;
     p < threshold_power
 }
 
@@ -577,6 +742,54 @@ mod tests {
         // Pieces tile the transmission without gaps.
         for pair in bursts.windows(2) {
             assert!(pair[1].burst.start <= pair[0].burst.end);
+        }
+    }
+
+    /// Run-length flag processing must make exactly the decisions the
+    /// per-sample state machine makes, for any flag pattern, any chunk
+    /// split, and any cap/hang/min-len configuration.
+    #[test]
+    fn process_flags_matches_per_sample_oracle() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(21);
+        for case in 0..200 {
+            let det = EnergyDetector {
+                window: 16,
+                threshold: 4.0,
+                min_len: [1, 20, 128][case % 3],
+                hang: [0, 3, 32][(case / 3) % 3],
+            };
+            let max_burst = [usize::MAX, 256, 140][(case / 9) % 3];
+            // Bursty flag pattern: runs of correlated activity.
+            let mut flags = Vec::with_capacity(500);
+            let mut on = false;
+            while flags.len() < 500 {
+                let run = rng.gen_range(1usize..60);
+                flags.extend(std::iter::repeat_n(u8::from(on), run));
+                on = !on;
+            }
+            flags.truncate(500);
+
+            let mut fast = det.stream().with_max_burst(max_burst);
+            let mut slow = fast.clone();
+            // Pretend both are warm at power index `base`.
+            let base = 7usize;
+            let mut got_fast = Vec::new();
+            let mut done = 0;
+            while done < flags.len() {
+                let end = (done + rng.gen_range(1usize..97)).min(flags.len());
+                fast.process_flags(&flags[done..end], base + done, &mut |b| got_fast.push(b));
+                done = end;
+            }
+            let mut got_slow = Vec::new();
+            for (k, &f) in flags.iter().enumerate() {
+                if let Some(b) = slow.on_decision(base + k, f != 0) {
+                    got_slow.push(b);
+                }
+            }
+            assert_eq!(got_fast, got_slow, "case {case}");
+            assert_eq!(fast.start, slow.start, "case {case}");
+            assert_eq!(fast.last_active, slow.last_active, "case {case}");
         }
     }
 

@@ -20,8 +20,9 @@
 //! depends only on `|d|` and needs no protection.
 
 use ctc_dsp::cumulants::{Cumulants, EmptySamplesError};
-use ctc_dsp::Complex;
+use ctc_dsp::{simd, Complex};
 use ctc_zigbee::Reception;
+use std::sync::OnceLock;
 
 /// Theoretical QPSK feature vector `v = [C40, C42]ᵀ` (Table III row 2).
 pub const QPSK_C40: f64 = 1.0;
@@ -34,6 +35,20 @@ pub const QPSK_C42: f64 = -1.0;
 const LINE_SEARCH_MAX: f64 = 0.3;
 /// Grid resolution of the line search.
 const LINE_SEARCH_STEPS: usize = 301;
+
+/// The fixed line-search frequency grid, computed once: `LINE_SEARCH_STEPS`
+/// points spanning `[-LINE_SEARCH_MAX, +LINE_SEARCH_MAX]`.
+fn nu_grid() -> &'static [f64; LINE_SEARCH_STEPS] {
+    static GRID: OnceLock<[f64; LINE_SEARCH_STEPS]> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let mut grid = [0.0; LINE_SEARCH_STEPS];
+        for (s, nu) in grid.iter_mut().enumerate() {
+            *nu = -LINE_SEARCH_MAX
+                + 2.0 * LINE_SEARCH_MAX * s as f64 / (LINE_SEARCH_STEPS - 1) as f64;
+        }
+        grid
+    })
+}
 
 /// Builds the defense's constellation from a reception: the raw chip
 /// midpoints exactly as digitized (no phase or CFO correction — the defense
@@ -75,26 +90,47 @@ impl Features {
     ///
     /// Returns [`EmptySamplesError`] for an empty point set.
     pub fn estimate(points: &[Complex]) -> Result<Self, EmptySamplesError> {
+        Self::estimate_with_scratch(points, &mut Vec::new())
+    }
+
+    /// Estimates features for a whole batch of constellations (one slice
+    /// per burst), sharing the fourth-power scratch buffer across bursts so
+    /// steady-state classification performs one allocation per batch
+    /// instead of one per frame.
+    pub fn estimate_batch(bursts: &[&[Complex]]) -> Vec<Result<Self, EmptySamplesError>> {
+        let mut z = Vec::new();
+        bursts
+            .iter()
+            .map(|pts| Self::estimate_with_scratch(pts, &mut z))
+            .collect()
+    }
+
+    fn estimate_with_scratch(
+        points: &[Complex],
+        z: &mut Vec<Complex>,
+    ) -> Result<Self, EmptySamplesError> {
         let c = Cumulants::estimate(points)?;
         let c21 = c.c21();
         // Fourth-power sequence for the spectral-line search.
-        let z: Vec<Complex> = points
-            .iter()
-            .map(|&p| {
-                let p2 = p * p;
-                p2 * p2
-            })
-            .collect();
+        z.clear();
+        z.extend(points.iter().map(|&p| {
+            let p2 = p * p;
+            p2 * p2
+        }));
         let d = z.len() as f64;
+        // Evaluate the whole grid lane-parallel across frequencies; the
+        // per-frequency arithmetic is bit-equal to `dtft_magnitude`, so the
+        // argmax below selects exactly the same line as the scalar loop.
+        let nus = nu_grid();
+        let mut mags = [0.0f64; LINE_SEARCH_STEPS];
+        simd::dtft_norms(z, nus, &mut mags);
         let mut best_mag = 0.0f64;
         let mut best_nu = 0.0f64;
-        for s in 0..LINE_SEARCH_STEPS {
-            let nu = -LINE_SEARCH_MAX
-                + 2.0 * LINE_SEARCH_MAX * s as f64 / (LINE_SEARCH_STEPS - 1) as f64;
-            let mag = dtft_magnitude(&z, nu) / d;
+        for (s, &m) in mags.iter().enumerate() {
+            let mag = m / d;
             if mag > best_mag {
                 best_mag = mag;
-                best_nu = nu;
+                best_nu = nus[s];
             }
         }
         // Normalize like the other cumulants. The `-3 C20²` correction is
@@ -126,51 +162,6 @@ impl Features {
     pub fn de_squared_real(&self) -> f64 {
         (self.c40_magnitude - QPSK_C40).powi(2) + (self.c42 - QPSK_C42).powi(2)
     }
-}
-
-/// `|sum_i z[i] e^{-j nu i}|`, evaluated as the polynomial `p(w)` at
-/// `w = e^{-j nu}` by block Horner.
-///
-/// This is the line search's inner loop: the naive form costs one `sin`/`cos`
-/// pair per sample *per frequency step* and dominated the gateway's classify
-/// time. Horner needs a single `cis` per step and one complex multiply per
-/// sample; four-sample blocks keep the serial dependency chain short, so the
-/// evaluation pipelines well.
-fn dtft_magnitude(z: &[Complex], nu: f64) -> f64 {
-    let w = Complex::cis(-nu);
-    let w2 = w * w;
-    let w3 = w2 * w;
-    let w4 = w2 * w2;
-    let block = |c: &[Complex]| -> Complex {
-        let mut b = c[0];
-        if c.len() > 1 {
-            b += c[1] * w;
-        }
-        if c.len() > 2 {
-            b += c[2] * w2;
-        }
-        if c.len() > 3 {
-            b += c[3] * w3;
-        }
-        b
-    };
-    // rchunks walks from the tail (highest powers first); only the final,
-    // lowest-index chunk can be partial, and its length sets the last shift.
-    let mut chunks = z.rchunks(4);
-    let mut acc = match chunks.next() {
-        Some(c) => block(c),
-        None => return 0.0,
-    };
-    for c in chunks {
-        let shift = match c.len() {
-            4 => w4,
-            3 => w3,
-            2 => w2,
-            _ => w,
-        };
-        acc = acc * shift + block(c);
-    }
-    acc.norm()
 }
 
 /// One-call feature extraction from a reception.
@@ -297,14 +288,29 @@ mod tests {
                     .enumerate()
                     .map(|(i, &v)| v * Complex::cis(-nu * i as f64))
                     .sum();
-                let fast = dtft_magnitude(&z, nu);
+                let mut fast = [0.0];
+                simd::dtft_norms(&z, &[nu], &mut fast);
                 assert!(
-                    (fast - naive.norm()).abs() < 1e-9,
-                    "n={n} nu={nu}: {fast} vs {}",
+                    (fast[0] - naive.norm()).abs() < 1e-9,
+                    "n={n} nu={nu}: {} vs {}",
+                    fast[0],
                     naive.norm()
                 );
             }
         }
-        assert_eq!(dtft_magnitude(&[], 0.1), 0.0);
+        let mut empty = [1.0];
+        simd::dtft_norms(&[], &[0.1], &mut empty);
+        assert_eq!(empty[0], 0.0);
+    }
+
+    #[test]
+    fn estimate_batch_matches_per_burst_estimate() {
+        let a = constellation_from_reception(&reception(20.0, 75));
+        let b = constellation_from_reception(&reception(5.0, 76));
+        let batch = Features::estimate_batch(&[&a, &[], &b]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].unwrap(), Features::estimate(&a).unwrap());
+        assert!(batch[1].is_err());
+        assert_eq!(batch[2].unwrap(), Features::estimate(&b).unwrap());
     }
 }

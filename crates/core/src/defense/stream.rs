@@ -157,14 +157,30 @@ impl BurstSplitter {
     /// the streaming form: an ingest loop clears and reuses one vector, so
     /// a quiet chunk costs zero allocations.
     pub fn push_into(&mut self, chunk: &[Complex], out: &mut Vec<BurstCapture>) {
-        self.history.extend(chunk.iter().copied());
-        for &x in chunk {
-            if let Some(sb) = self.stream.push_sample(x) {
-                self.pending.push_back((sb.burst, sb.end_reason));
+        // Detection first: the energy stream needs no sample history, and
+        // knowing where the chunk's bursts sit lets a quiet chunk skip
+        // buffering almost all of itself.
+        let pending = &mut self.pending;
+        self.stream
+            .push_each(chunk, |sb| pending.push_back((sb.burst, sb.end_reason)));
+        let old_total = self.base + self.history.len();
+        let keep_from = self.keep_from(old_total + chunk.len());
+        if keep_from >= old_total {
+            // Nothing before this chunk can be captured any more: drop the
+            // old history outright and buffer only the reachable suffix.
+            self.history.clear();
+            self.base = keep_from;
+            self.history
+                .extend(chunk[keep_from - old_total..].iter().copied());
+        } else {
+            self.history.extend(chunk.iter().copied());
+            let drop_n = keep_from.saturating_sub(self.base);
+            if drop_n > 0 {
+                self.history.drain(..drop_n);
+                self.base = keep_from;
             }
         }
         self.flush_ready(out);
-        self.trim_history();
     }
 
     /// Ends the stream: emits every remaining capture (any still-open
@@ -223,11 +239,11 @@ impl BurstSplitter {
         }
     }
 
-    /// Drops history no capture can reach any more: everything before the
-    /// oldest of (pending captures, the open burst, the margin horizon
-    /// behind the read position).
-    fn trim_history(&mut self) {
-        let total = self.base + self.history.len();
+    /// First stream index any future capture can still reach once `total`
+    /// samples have been consumed: the oldest of (pending captures, the
+    /// open burst, the margin horizon behind the read position). History
+    /// before it is dead.
+    fn keep_from(&self, total: usize) -> usize {
         let horizon = total.saturating_sub(self.margin + self.energy().window + self.energy().hang);
         let mut keep_from = horizon;
         if let Some(&(burst, _)) = self.pending.front() {
@@ -236,10 +252,7 @@ impl BurstSplitter {
         if let Some(open) = self.stream.open_burst_start() {
             keep_from = keep_from.min(open.saturating_sub(self.margin));
         }
-        while self.base < keep_from {
-            self.history.pop_front();
-            self.base += 1;
-        }
+        keep_from
     }
 }
 

@@ -17,6 +17,7 @@
 //! necessarily normalized after decoding at the ZigBee receiver in practice".
 
 use crate::complex::Complex;
+use crate::simd;
 
 /// The full set of estimated moments and cumulants for one sample block.
 ///
@@ -68,20 +69,13 @@ impl Cumulants {
             return Err(EmptySamplesError);
         }
         let d = samples.len() as f64;
-        let mut s2 = Complex::ZERO; // sum x^2
-        let mut sa2 = 0.0; // sum |x|^2
-        let mut s4 = Complex::ZERO; // sum x^4
-        let mut s31 = Complex::ZERO; // sum x^3 x*
-        let mut sa4 = 0.0; // sum |x|^4
-        for &x in samples {
-            let x2 = x * x;
-            let a2 = x.norm_sqr();
-            s2 += x2;
-            sa2 += a2;
-            s4 += x2 * x2;
-            s31 += x2 * x * x.conj();
-            sa4 += a2 * a2;
-        }
+        let simd::CumulantSums {
+            s2,
+            sa2,
+            s4,
+            s31,
+            sa4,
+        } = simd::cumulant_sums(samples);
         let c20 = s2 / d;
         let c21 = sa2 / d;
         let c40 = s4 / d - 3.0 * (c20 * c20);
@@ -95,6 +89,14 @@ impl Cumulants {
             c42,
             len: samples.len(),
         })
+    }
+
+    /// Estimates cumulants for a whole batch of bursts in one call — the
+    /// form the batch classifier uses so per-call dispatch and setup
+    /// amortize across frames. Each burst is estimated independently;
+    /// empty bursts yield [`EmptySamplesError`] in their slot.
+    pub fn estimate_batch(bursts: &[&[Complex]]) -> Vec<Result<Self, EmptySamplesError>> {
+        bursts.iter().map(|b| Self::estimate(b)).collect()
     }
 
     /// Second-order moment `C20 = E[x^2]`.
@@ -298,6 +300,17 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert!(Cumulants::estimate(&[]).is_err());
+    }
+
+    #[test]
+    fn estimate_batch_matches_single() {
+        let a = Modulation::Qpsk.constellation();
+        let b = Modulation::Qam16.constellation();
+        let batch = Cumulants::estimate_batch(&[&a, &[], &b]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].unwrap(), Cumulants::estimate(&a).unwrap());
+        assert!(batch[1].is_err());
+        assert_eq!(batch[2].unwrap(), Cumulants::estimate(&b).unwrap());
     }
 
     #[test]

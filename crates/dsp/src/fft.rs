@@ -13,6 +13,7 @@
 
 use crate::buffer::SampleBuf;
 use crate::complex::Complex;
+use crate::simd;
 
 /// Error produced when a transform is requested for an unsupported length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,19 +62,7 @@ fn transform_in_place(buf: &mut [Complex], sign: f64) {
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
         let wlen = Complex::cis(ang);
-        let half = len / 2;
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let u = buf[i + k];
-                let v = buf[i + k + half] * w;
-                buf[i + k] = u + v;
-                buf[i + k + half] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
+        simd::fft_stage(buf, len, wlen);
         len <<= 1;
     }
 }
@@ -199,7 +188,7 @@ pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
 
 /// Energy of a time-domain block (`sum |x|^2`).
 pub fn energy(x: &[Complex]) -> f64 {
-    x.iter().map(|v| v.norm_sqr()).sum()
+    simd::sum_norm_sqr(x)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use crate::buffer::{SampleBuf, Stage};
 use crate::complex::Complex;
+use crate::simd;
 
 /// A finite-impulse-response filter with real taps.
 ///
@@ -26,6 +27,10 @@ use crate::complex::Complex;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fir {
     taps: Vec<f64>,
+    /// `taps` reversed, cached so the full-window interior of
+    /// [`Fir::filter_into`] is a contiguous forward dot product the SIMD
+    /// kernel can stream.
+    taps_rev: Vec<f64>,
 }
 
 /// Error returned when constructing a filter from an empty tap list.
@@ -50,8 +55,13 @@ impl Fir {
         if taps.is_empty() {
             Err(EmptyTapsError)
         } else {
-            Ok(Fir { taps })
+            Ok(Fir::from_taps(taps))
         }
+    }
+
+    fn from_taps(taps: Vec<f64>) -> Self {
+        let taps_rev: Vec<f64> = taps.iter().rev().copied().collect();
+        Fir { taps, taps_rev }
     }
 
     /// Designs a linear-phase low-pass via the windowed-sinc method.
@@ -92,7 +102,7 @@ impl Fir {
         for t in &mut taps {
             *t /= sum;
         }
-        Fir { taps }
+        Fir::from_taps(taps)
     }
 
     /// Filter taps.
@@ -130,17 +140,34 @@ impl Fir {
         let delay = self.group_delay();
         let t = self.taps.len();
         out.reserve(x.len());
-        for k in 0..x.len() {
-            // y[k] = full[k + delay] = sum_j taps[j] * x[k + delay - j]
-            let i = k + delay;
-            let j_lo = (i + 1).saturating_sub(x.len());
-            let j_hi = i.min(t - 1);
-            let mut acc = Complex::ZERO;
-            for j in j_lo..=j_hi {
-                acc += x[i - j] * self.taps[j];
-            }
-            out.push(acc);
+        // Full-window interior: outputs `lo..hi` see every tap with the
+        // window entirely inside `x`, so y[k] is a contiguous dot product
+        // of the reversed taps against x[k-lo..k-lo+t] — one SIMD kernel
+        // dispatch covers all of them. Edges keep the scalar zero-padded
+        // form.
+        let lo = (t - 1 - delay).min(x.len());
+        let hi = x.len().saturating_sub(delay).max(lo);
+        for k in 0..lo {
+            out.push(self.edge_output(x, k + delay, t));
         }
+        out.resize(hi, Complex::ZERO);
+        simd::fir_interior(&self.taps_rev, x, &mut out[lo..hi]);
+        for k in hi..x.len() {
+            out.push(self.edge_output(x, k + delay, t));
+        }
+    }
+
+    /// One delay-compensated output at the zero-padded edges:
+    /// `y[k] = sum_j taps[j] * x[i - j]` over the in-range taps,
+    /// with `i = k + delay`.
+    fn edge_output(&self, x: &[Complex], i: usize, t: usize) -> Complex {
+        let j_lo = (i + 1).saturating_sub(x.len());
+        let j_hi = i.min(t - 1);
+        let mut acc = Complex::ZERO;
+        for j in j_lo..=j_hi {
+            acc += x[i - j] * self.taps[j];
+        }
+        acc
     }
 
     /// Full convolution (length `x.len() + taps.len() - 1`).
@@ -193,19 +220,7 @@ pub fn frequency_shift(x: &[Complex], f_offset: f64) -> Vec<Complex> {
 /// Uses an incrementally rotated phasor (one complex multiply per sample)
 /// with a periodic exact resync, instead of a `sin`/`cos` pair per sample.
 pub fn frequency_shift_in_place(x: &mut [Complex], f_offset: f64) {
-    // Resync the phasor from sin/cos often enough that the accumulated
-    // rounding error stays far below waveform tolerances (~1e-13).
-    const RESYNC: usize = 1024;
-    let w = 2.0 * std::f64::consts::PI * f_offset;
-    let rot = Complex::cis(w);
-    let mut phase = Complex::ONE;
-    for (n, v) in x.iter_mut().enumerate() {
-        if n % RESYNC == 0 {
-            phase = Complex::cis(w * n as f64);
-        }
-        *v *= phase;
-        phase *= rot;
-    }
+    simd::rotate_in_place(x, 2.0 * std::f64::consts::PI * f_offset);
 }
 
 /// Applies a constant phase rotation `e^{j theta}` to every sample.
@@ -217,10 +232,7 @@ pub fn phase_rotate(x: &[Complex], theta: f64) -> Vec<Complex> {
 
 /// [`phase_rotate`] mutating the waveform in place.
 pub fn phase_rotate_in_place(x: &mut [Complex], theta: f64) {
-    let r = Complex::cis(theta);
-    for v in x.iter_mut() {
-        *v *= r;
-    }
+    simd::phase_rotate_in_place(x, Complex::cis(theta));
 }
 
 /// [`Fir`] as a [`Stage`]: `process` is delay-compensated filtering into the

@@ -42,6 +42,7 @@ pub mod linalg;
 pub mod metrics;
 pub mod psd;
 pub mod resample;
+pub mod simd;
 pub mod spectrogram;
 
 pub use buffer::{BufferPool, SampleBuf, Stage};

@@ -6,13 +6,14 @@
 //! show that naive CP detection fails (Fig. 8 discussion).
 
 use crate::complex::Complex;
+use crate::simd;
 
 /// Mean power `E[|x|^2]` of a waveform; zero for an empty slice.
 pub fn mean_power(x: &[Complex]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    x.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64
+    simd::sum_norm_sqr(x) / x.len() as f64
 }
 
 /// Scales a waveform to unit mean power. Leaves all-zero input untouched.
@@ -82,9 +83,9 @@ pub fn nmse_db(reference: &[Complex], test: &[Complex]) -> f64 {
 /// Panics if lengths differ.
 pub fn correlation(a: &[Complex], b: &[Complex]) -> f64 {
     assert_eq!(a.len(), b.len(), "correlation requires equal lengths");
-    let cross: Complex = a.iter().zip(b).map(|(x, y)| *x * y.conj()).sum();
-    let pa: f64 = a.iter().map(|v| v.norm_sqr()).sum();
-    let pb: f64 = b.iter().map(|v| v.norm_sqr()).sum();
+    let cross = simd::cdot_conj(a, b);
+    let pa = simd::sum_norm_sqr(a);
+    let pb = simd::sum_norm_sqr(b);
     if pa == 0.0 || pb == 0.0 {
         return 0.0;
     }

@@ -225,45 +225,83 @@ pub struct Deviation {
     pub first_divergence: Option<Box<Divergence>>,
 }
 
+/// A stage that failed its tolerance check: the first out-of-tolerance
+/// location plus (when shapes agree) whole-stage deviation statistics, so
+/// a failing CI log answers "how far off is the worst element" without a
+/// second `diff` run.
+#[derive(Debug, Clone)]
+pub struct StageFailure {
+    /// The first out-of-tolerance location.
+    pub divergence: Divergence,
+    /// Whole-stage deviation statistics; `None` when shapes disagree or
+    /// the payload kind has no element-wise walk past the first mismatch.
+    pub stats: Option<StageReport>,
+}
+
+impl std::fmt::Display for StageFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.divergence.fmt(f)?;
+        if let Some(s) = &self.stats {
+            write!(
+                f,
+                "; whole stage: max |Δ| {:.3e} ({} ulps) at element {} of {}",
+                s.max_abs, s.max_ulps, s.worst_index, s.elements
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Scans the whole stage and reports deviation statistics alongside the
 /// first divergence (if any) — `compare` for humans reviewing a legitimate
 /// regeneration, where "how close is everything else" matters as much as
 /// "what failed first".
 pub fn deviation(expected: &Vector, actual: &Vector) -> Deviation {
-    let first_divergence = compare(expected, actual).err();
-    let report = match (&expected.payload, &actual.payload) {
+    match compare(expected, actual) {
+        // compare's tracker visited every element (including the JSON
+        // number fields of text payloads), so its in-tolerance report
+        // already carries the full-scan statistics.
+        Ok(report) => Deviation {
+            report: Some(report),
+            first_divergence: None,
+        },
+        Err(first_divergence) => Deviation {
+            report: full_scan_report(expected, actual),
+            first_divergence: Some(first_divergence),
+        },
+    }
+}
+
+/// Whole-stage deviation statistics ignoring the tolerance, for stages that
+/// already failed [`compare`]. `None` when shapes disagree or the payload
+/// kind (bytes, text) has no element-wise walk past the first mismatch.
+pub(crate) fn full_scan_report(expected: &Vector, actual: &Vector) -> Option<StageReport> {
+    let tracker = match (&expected.payload, &actual.payload) {
         (Payload::Samples(exp), Payload::Samples(got)) if exp.len() == got.len() => {
             let mut tracker = Tracker::new();
             for (i, (e, g)) in exp.iter().zip(got).enumerate() {
                 tracker.observe(i, e.re, g.re);
                 tracker.observe(i, e.im, g.im);
             }
-            Some(tracker)
+            tracker
         }
         (Payload::Scalars(exp), Payload::Scalars(got)) if exp.len() == got.len() => {
             let mut tracker = Tracker::new();
             for (i, (&e, &g)) in exp.iter().zip(got).enumerate() {
                 tracker.observe(i, e, g);
             }
-            Some(tracker)
+            tracker
         }
-        // Bytes and text have no meaningful partial-deviation statistics:
-        // report zero deviation when compare passed, nothing when it failed.
-        _ if first_divergence.is_none() => Some(Tracker::new()),
-        _ => None,
-    }
-    .map(|tracker| StageReport {
+        _ => return None,
+    };
+    Some(StageReport {
         stage: expected.name.clone(),
         elements: expected.payload.len(),
         max_abs: tracker.max_abs,
         max_ulps: tracker.max_ulps,
         worst_index: tracker.worst_index,
         tolerance: expected.tolerance,
-    });
-    Deviation {
-        report,
-        first_divergence,
-    }
+    })
 }
 
 fn check_len(expected: &Vector, exp: usize, got: usize, unit: &str) -> Result<(), Box<Divergence>> {

@@ -27,7 +27,7 @@ pub mod compare;
 pub mod corpus;
 pub mod format;
 
-pub use compare::{compare, deviation, Deviation, Divergence, StageReport};
+pub use compare::{compare, deviation, Deviation, Divergence, StageFailure, StageReport};
 pub use corpus::{generate, normalize_events, CorpusSpec, CORPUS_SEED, STAGE_NAMES};
 pub use format::{Kind, Payload, Tolerance, Vector, FORMAT_VERSION};
 
@@ -171,8 +171,9 @@ pub enum CheckError {
     MissingStage(String),
     /// The corpus contains a stage the live pipeline no longer produces.
     ExtraStage(String),
-    /// A stage replayed outside its tolerance.
-    Diverged(Box<Divergence>),
+    /// A stage replayed outside its tolerance. Carries the first
+    /// out-of-tolerance location plus whole-stage deviation statistics.
+    Diverged(Box<StageFailure>),
 }
 
 impl std::fmt::Display for CheckError {
@@ -222,7 +223,14 @@ pub fn check_corpus(dir: &Path) -> Result<Vec<StageReport>, CheckError> {
     let live = generate(&spec).map_err(CheckError::Generate)?;
     pair_stages(&golden, &live)?
         .into_iter()
-        .map(|(g, l)| compare(g, l).map_err(CheckError::Diverged))
+        .map(|(g, l)| {
+            compare(g, l).map_err(|divergence| {
+                CheckError::Diverged(Box::new(StageFailure {
+                    divergence: *divergence,
+                    stats: compare::full_scan_report(g, l),
+                }))
+            })
+        })
         .collect()
 }
 
@@ -316,6 +324,39 @@ mod tests {
 
         let diffs = diff_corpus(tmp.path()).unwrap();
         assert!(diffs.iter().all(|d| d.first_divergence.is_none()));
+    }
+
+    #[test]
+    fn failed_check_names_stage_and_whole_stage_deviation() {
+        let tmp = TempDir::new("diverged");
+        let spec = small_spec();
+        let mut vectors = generate(&spec).unwrap();
+        // Corrupt one float stage: an early element a little out of
+        // tolerance, a later element much worse — the report must surface
+        // both the first divergence and the true worst element.
+        let stage = vectors
+            .iter_mut()
+            .find(|v| v.name == "captured_4mhz")
+            .unwrap();
+        let Payload::Samples(s) = &mut stage.payload else {
+            panic!("captured_4mhz holds samples");
+        };
+        s[3].re += 1e-6;
+        s[40].im += 1e-3;
+        write_corpus(tmp.path(), &spec, &vectors).unwrap();
+
+        let err = check_corpus(tmp.path()).unwrap_err();
+        let CheckError::Diverged(failure) = &err else {
+            panic!("expected Diverged, got {err:?}");
+        };
+        assert_eq!(failure.divergence.stage, "captured_4mhz");
+        assert_eq!(failure.divergence.index, 3);
+        let stats = failure.stats.as_ref().expect("same shape, full scan");
+        assert_eq!(stats.worst_index, 40);
+        assert!((stats.max_abs - 1e-3).abs() < 1e-9, "{}", stats.max_abs);
+        let text = err.to_string();
+        assert!(text.contains("captured_4mhz"), "{text}");
+        assert!(text.contains("whole stage"), "{text}");
     }
 
     #[test]

@@ -44,6 +44,23 @@ pub fn chip_table() -> &'static [[u8; CHIPS_PER_SYMBOL]; SYMBOL_COUNT] {
     })
 }
 
+/// The spreading table as bipolar rows (`0 -> -1.0`, `1 -> +1.0`), the form
+/// soft-decision correlation consumes. Cached so the DSSS correlation inner
+/// loop is a plain dot product over contiguous `f64` rows.
+fn bipolar_table() -> &'static [[f64; CHIPS_PER_SYMBOL]; SYMBOL_COUNT] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f64; CHIPS_PER_SYMBOL]; SYMBOL_COUNT]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [[0.0f64; CHIPS_PER_SYMBOL]; SYMBOL_COUNT];
+        for (dst, src) in table.iter_mut().zip(chip_table().iter()) {
+            for (d, &c) in dst.iter_mut().zip(src.iter()) {
+                *d = if c == 1 { 1.0 } else { -1.0 };
+            }
+        }
+        table
+    })
+}
+
 /// Spreads one data symbol (0–15) into its 32-chip sequence.
 ///
 /// # Panics
@@ -107,16 +124,12 @@ pub fn despread_soft(soft_chips: &[f64]) -> (u8, f64) {
         CHIPS_PER_SYMBOL,
         "need exactly 32 soft chips"
     );
-    let energy: f64 = soft_chips.iter().map(|v| v * v).sum();
+    let energy = ctc_dsp::simd::dot_f64(soft_chips, soft_chips);
     let norm = (energy * CHIPS_PER_SYMBOL as f64).sqrt();
     let mut best_sym = 0u8;
     let mut best_score = f64::NEG_INFINITY;
-    for (s, row) in chip_table().iter().enumerate() {
-        let mut acc = 0.0;
-        for (v, &c) in soft_chips.iter().zip(row.iter()) {
-            let b = if c == 1 { 1.0 } else { -1.0 };
-            acc += v * b;
-        }
+    for (s, row) in bipolar_table().iter().enumerate() {
+        let acc = ctc_dsp::simd::dot_f64(soft_chips, row);
         if acc > best_score {
             best_score = acc;
             best_sym = s as u8;

@@ -12,7 +12,7 @@
 use crate::chipmap::{despread_hard, despread_soft, spread, CHIPS_PER_SYMBOL};
 use crate::frame::{parse_frame_symbols, Frame, FrameError};
 use crate::modem::{demodulate_chips, modulate_chips, ChipSamples, SAMPLES_PER_CHIP};
-use ctc_dsp::Complex;
+use ctc_dsp::{simd, Complex};
 
 /// Despreading strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -227,7 +227,7 @@ impl Receiver {
             };
         }
 
-        let t_energy: f64 = template.iter().map(|v| v.norm_sqr()).sum();
+        let t_energy = simd::sum_norm_sqr(template);
         let search = self
             .sync_search
             .min(wave.len().saturating_sub(template.len()));
@@ -236,8 +236,8 @@ impl Receiver {
         let mut best_score = f64::NEG_INFINITY;
         for off in 0..=search {
             let seg = &wave[off..off + template.len()];
-            let corr: Complex = seg.iter().zip(template).map(|(r, t)| *r * t.conj()).sum();
-            let r_energy: f64 = seg.iter().map(|v| v.norm_sqr()).sum();
+            let corr = simd::cdot_conj(seg, template);
+            let r_energy = simd::sum_norm_sqr(seg);
             let score = if r_energy > 0.0 {
                 corr.norm_sqr() / (r_energy * t_energy)
             } else {
@@ -261,11 +261,7 @@ impl Receiver {
             let span = (6 * sym_len).min(wave.len().saturating_sub(best_off));
             if span > sym_len + 32 {
                 let seg = &wave[best_off..best_off + span];
-                let acc: Complex = seg[..span - sym_len]
-                    .iter()
-                    .zip(&seg[sym_len..])
-                    .map(|(a, b)| *b * a.conj())
-                    .sum();
+                let acc = simd::cdot_conj(&seg[sym_len..], &seg[..span - sym_len]);
                 if acc.norm() > 0.0 {
                     cfo = acc.arg() / sym_len as f64;
                 }
@@ -275,12 +271,7 @@ impl Receiver {
         // Phase from the template correlation of the CFO-derotated preamble.
         let phase = if self.correct_phase {
             let seg_end = (best_off + template.len()).min(wave.len());
-            let corr: Complex = wave[best_off..seg_end]
-                .iter()
-                .enumerate()
-                .zip(template)
-                .map(|((n, r), t)| *r * Complex::cis(-cfo * n as f64) * t.conj())
-                .sum();
+            let corr = simd::cdot_conj_rotated(&wave[best_off..seg_end], template, -cfo);
             if corr.norm() > 0.0 {
                 corr.arg()
             } else {
@@ -321,11 +312,7 @@ impl Receiver {
                 if candidate.len() < template.len() {
                     break;
                 }
-                let corr: Complex = candidate[..template.len()]
-                    .iter()
-                    .zip(template)
-                    .map(|(r, t)| *r * t.conj())
-                    .sum();
+                let corr = simd::cdot_conj(&candidate[..template.len()], template);
                 if corr.norm() > best {
                     best = corr.norm();
                     best_mu = mu;
@@ -347,9 +334,7 @@ impl Receiver {
         // for decoding.
         let mut cfo_corrected = aligned.to_vec();
         if self.correct_cfo {
-            for (n, v) in cfo_corrected.iter_mut().enumerate() {
-                *v *= Complex::cis(-sync.cfo_per_sample * n as f64);
-            }
+            simd::rotate_in_place(&mut cfo_corrected, -sync.cfo_per_sample);
         }
         let mut corrected = cfo_corrected.clone();
         if self.correct_phase {

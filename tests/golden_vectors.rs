@@ -82,14 +82,22 @@ fn single_sample_flip_fails_naming_stage_and_index() {
     let CheckError::Diverged(d) = err else {
         panic!("expected a divergence, got {err}")
     };
-    assert_eq!(d.stage, "captured_4mhz");
-    assert_eq!(d.index, 1234);
-    assert!(d.location.contains("sample 1234"), "{}", d.location);
+    assert_eq!(d.divergence.stage, "captured_4mhz");
+    assert_eq!(d.divergence.index, 1234);
     assert!(
-        (d.magnitude - 1e-3).abs() < 1e-9,
-        "magnitude {}",
-        d.magnitude
+        d.divergence.location.contains("sample 1234"),
+        "{}",
+        d.divergence.location
     );
+    assert!(
+        (d.divergence.magnitude - 1e-3).abs() < 1e-9,
+        "magnitude {}",
+        d.divergence.magnitude
+    );
+    // The failure also carries whole-stage statistics, and the flipped
+    // sample is the worst deviation in the stage.
+    let stats = d.stats.as_ref().expect("sample stages report stats");
+    assert_eq!(stats.worst_index, 1234);
 }
 
 /// Digital stages are bit-exact: even a one-bit chip flip fails.
@@ -104,8 +112,8 @@ fn single_chip_flip_fails_bit_exactly() {
     let CheckError::Diverged(d) = err else {
         panic!("expected a divergence, got {err}")
     };
-    assert_eq!(d.stage, "zigbee_chips");
-    assert_eq!(d.index, 77);
+    assert_eq!(d.divergence.stage, "zigbee_chips");
+    assert_eq!(d.divergence.index, 77);
 }
 
 /// A changed JSONL field in the gateway event stream is pinpointed down to
@@ -127,8 +135,12 @@ fn gateway_event_field_change_fails_naming_the_field() {
     let CheckError::Diverged(d) = err else {
         panic!("expected a divergence, got {err}")
     };
-    assert_eq!(d.stage, "gateway_events");
-    assert!(d.location.contains("verdict"), "{}", d.location);
+    assert_eq!(d.divergence.stage, "gateway_events");
+    assert!(
+        d.divergence.location.contains("verdict"),
+        "{}",
+        d.divergence.location
+    );
 }
 
 /// Generation is a pure function of the spec: two runs agree bit-for-bit,
