@@ -58,8 +58,17 @@ fn config(workers: usize) -> ServerConfig {
 
 /// One unlabelled stream through the single-shard server: byte- and
 /// schedule-compatible with the legacy `Gateway::run` baseline.
+///
+/// The flight recorder is attached at its default capacity (no output
+/// path, so no snapshots) — the 12% bench gate therefore prices in the
+/// journaling overhead the recorder adds to every burst, stage and
+/// verdict. The `--scalar` bench leg builds without `telemetry`, where
+/// the recorder is compiled out entirely.
 fn run_single(config: ServerConfig, bytes: &[u8]) -> ctc_gateway::ServerReport {
-    GatewayServer::new(config)
+    let server = GatewayServer::new(config);
+    #[cfg(feature = "telemetry")]
+    let server = server.with_flight(ctc_gateway::FlightOptions::default());
+    server
         .run_streams(
             vec![NamedStream::unlabelled(bytes)],
             &mut std::io::sink(),

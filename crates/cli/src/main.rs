@@ -99,6 +99,14 @@ COMMANDS
             --metrics-addr serves Prometheus text at /metrics for the run
             (port 0 picks a free port; the bound address prints on stderr);
             --trace-out writes one JSONL span record per pipeline stage.
+            The flight recorder journals every burst, stage, verdict and
+            drop into a bounded in-memory ring (--flight-capacity N
+            events, default 1024; 0 disables). --flight-out FILE arms
+            incident snapshots: the first accepted forgery, a session
+            exhausting --flight-drop-budget N dropped bursts, or SIGUSR1
+            each dump a self-contained JSON snapshot (last
+            --flight-events journal events, registry + delta, per-stage
+            latency, session table, config) for `ctc obs report`.
             --detector selects the classification stage: `cumulant` (the
             default single-statistic DE² threshold, byte-identical legacy
             output), `features` (the full extractor ensemble thresholding
@@ -123,7 +131,8 @@ COMMANDS
             [--events N] [--mix A:F:N] [--rate MSPS] [--gap N] [--seed N]
             [--soak DUR --metrics-addr HOST:PORT [--interval DUR]
             [--warmup DUR] [--slo-p99-ms F] [--slo-drop-rate F]
-            [--slo-recall F] [--slo-pool-misses N] [--slo-rss-growth F]]
+            [--slo-recall F] [--slo-pool-misses N] [--slo-rss-growth F]
+            [--incident-out FILE]]
             [--report FILE]
             Fleet-scale traffic generator against `ctc monitor --listen`:
             N concurrent seeded streams of mixed authentic / WiFi-forged /
@@ -133,15 +142,28 @@ COMMANDS
             DUR (e.g. 60s) while scraping the monitor's --metrics-addr
             and asserts SLOs (p99 latency, drop budgets, forgery recall
             vs ground truth, steady-state pool misses, RSS growth); the
-            JSON capacity report carries the per-SLO verdict. --report
-            also writes the JSON to FILE. Exits 12 when a stream failed
-            or an SLO was breached.
+            JSON capacity report carries the per-SLO verdict. On breach,
+            --incident-out FILE writes an incident snapshot (for
+            `ctc obs report`) and embeds its path in the report.
+            --report also writes the JSON to FILE. Exits 12 when a
+            stream failed or an SLO was breached.
   spectrum  --input <file> [--segment N]
             Welch PSD of a waveform, printed as text.
-  obs       dump [--addr HOST:PORT]
+  obs       dump [--addr HOST:PORT] [--json]
             One-shot metrics snapshot. With --addr, scrapes a running
             monitor's endpoint; without, prints the canonical gateway
-            metric schema at zero.
+            metric schema at zero. --json renders the samples as the
+            same JSON array incident snapshots embed.
+  obs       report <incident.json>
+            Render a flight-recorder incident snapshot (from
+            `ctc monitor --flight-out` or `ctc loadgen --incident-out`)
+            human-readable: trigger, journal tail, per-stage latency,
+            session table, registry delta.
+  obs       top --addr HOST:PORT [--interval DUR] [--count N]
+            Live terminal view over a monitor's metrics endpoint:
+            throughput, interval p50/p99 latency, per-stream frame and
+            drop counts, detector-score movement. Repaints in place on a
+            terminal; --count N prints N frames then exits.
   vectors   <generate|check|diff> [--dir DIR] [--seed N]
             Golden-vector regression corpus (default DIR: vectors).
             generate: run the pipeline, write corpus + manifest.
@@ -383,6 +405,29 @@ fn detector_from(args: &Args) -> Result<Detector, String> {
     Ok(detector)
 }
 
+/// Parses the `--flight-*` flags into the gateway's flight-recorder
+/// options. The recorder is always on at its default ring capacity;
+/// `--flight-capacity 0` turns it off entirely (returns `None`).
+fn flight_options_from(args: &Args) -> Result<Option<ctc_gateway::FlightOptions>, String> {
+    let mut options = ctc_gateway::FlightOptions::default();
+    if let Some(n) = args.parse_num::<usize>("flight-capacity")? {
+        if n == 0 {
+            return Ok(None);
+        }
+        options.capacity = n;
+    }
+    if let Some(n) = args.parse_num::<usize>("flight-events")? {
+        options.max_events = n;
+    }
+    if let Some(n) = args.parse_num::<u64>("flight-drop-budget")? {
+        options.drop_budget = Some(n);
+    }
+    if let Some(path) = args.get("flight-out") {
+        options.out = Some(path.into());
+    }
+    Ok(Some(options))
+}
+
 /// Parses `--detector cumulant|features|model:<path>` into the optional
 /// detection pipeline layered over the `--real`/`--threshold` detector.
 /// `cumulant` (the default) returns `None`: the legacy single-statistic
@@ -562,6 +607,13 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    // The flight recorder journals the run regardless; snapshots are only
+    // written when --flight-out names a path. SIGUSR1 then dumps one on
+    // demand for live forensics (`kill -USR1 <pid>`).
+    let flight = flight_options_from(args)?;
+    if flight.as_ref().is_some_and(|f| f.out.is_some()) {
+        ctc_obs::flight::install_sigusr1_handler();
+    }
 
     // Server mode: accept many concurrent streams on a listener, each one
     // a labelled session multiplexed through the shared worker pool.
@@ -593,6 +645,9 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
         let mut server = GatewayServer::new(server_config).with_registry(Arc::clone(&registry));
         if let Some(sink) = &trace {
             server = server.with_trace_sink(Arc::clone(sink));
+        }
+        if let Some(options) = flight.clone() {
+            server = server.with_flight(options);
         }
         let report = match server.serve(listener, &mut std::io::stdout(), &mut std::io::stderr()) {
             Ok(report) => report,
@@ -629,6 +684,9 @@ fn cmd_monitor(args: &Args) -> Result<ExitCode, String> {
     let mut server = GatewayServer::new(server_config).with_registry(Arc::clone(&registry));
     if let Some(sink) = &trace {
         server = server.with_trace_sink(Arc::clone(sink));
+    }
+    if let Some(options) = flight {
+        server = server.with_flight(options);
     }
     let reader = match input.open() {
         Ok(reader) => reader,
@@ -756,6 +814,9 @@ fn cmd_loadgen(args: &Args) -> Result<ExitCode, String> {
             }
             if let Some(v) = args.parse_num::<f64>("slo-rss-growth")? {
                 config.slo.max_rss_growth = Some(v);
+            }
+            if let Some(path) = args.get("incident-out") {
+                config.incident_out = Some(path.into());
             }
             eprintln!(
                 "loadgen: soaking {} stream(s) against {target} for {:.0?} (scraping {})",
@@ -1015,34 +1076,358 @@ fn cmd_detector(argv: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_obs(argv: &[String]) -> Result<ExitCode, String> {
     let Some((action, rest)) = argv.split_first() else {
-        return Err("obs needs an action: dump".into());
+        return Err("obs needs an action: dump, report, or top".into());
     };
-    let args = Args::parse(rest)?;
     match action.as_str() {
-        "dump" => {
-            match args.get("addr") {
-                // Scrape a live monitor and relay its exposition verbatim.
-                Some(addr) => {
-                    let text = ctc_obs::http::fetch_text(addr)
-                        .map_err(|e| format!("scraping {addr}: {e}"))?;
-                    print!("{text}");
-                }
-                // No endpoint: print the canonical gateway schema (every
-                // metric name, help string and type) at zero — what a
-                // scrape of an idle run would return.
-                None => {
-                    let registry = Registry::new();
-                    ctc_gateway::obs::register_run(
-                        &registry,
-                        &ctc_gateway::Metrics::new(),
-                        &ctc_dsp::BufferPool::new(),
-                    );
-                    print!("{}", registry.render());
+        "dump" => cmd_obs_dump(&Args::parse(rest)?),
+        "report" => cmd_obs_report(rest),
+        "top" => cmd_obs_top(&Args::parse(rest)?),
+        other => Err(format!(
+            "unknown obs action {other:?} (expected dump, report, or top)"
+        )),
+    }
+}
+
+fn cmd_obs_dump(args: &Args) -> Result<ExitCode, String> {
+    // Exposition text: scraped from a live monitor, or the canonical
+    // gateway schema (every metric name, help string and type) at zero —
+    // what a scrape of an idle run would return.
+    let text = match args.get("addr") {
+        Some(addr) => {
+            ctc_obs::http::fetch_text(addr).map_err(|e| format!("scraping {addr}: {e}"))?
+        }
+        None => {
+            let registry = Registry::new();
+            ctc_gateway::obs::register_run(
+                &registry,
+                &ctc_gateway::Metrics::new(),
+                &ctc_dsp::BufferPool::new(),
+            );
+            registry.render()
+        }
+    };
+    if args.flag("json") {
+        // The same serializer incident snapshots use for their registry
+        // section, so one jq recipe works on both.
+        let scrape = ctc_obs::Scrape::parse(&text).map_err(|e| format!("parsing scrape: {e}"))?;
+        println!("{}", ctc_obs::snapshot::registry_json(&scrape));
+    } else {
+        print!("{text}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `obs report <incident.json>`: renders a flight-recorder incident
+/// snapshot human-readable. The path may be positional or `--input`.
+fn cmd_obs_report(argv: &[String]) -> Result<ExitCode, String> {
+    let (path, rest) = match argv.split_first() {
+        Some((first, rest)) if !first.starts_with("--") => (first.clone(), rest),
+        _ => {
+            let args = Args::parse(argv)?;
+            (args.require("input")?.to_string(), &[] as &[String])
+        }
+    };
+    Args::parse(rest)?; // reject trailing junk with the usual message
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading snapshot {path}: {e}"))?;
+    let doc = ctc_gateway::json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    print!("{}", render_incident(&doc)?);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One human-readable line per journal event (the JSON field set varies
+/// by kind; everything beyond the common header prints as `key=value`).
+fn render_event(ev: &ctc_gateway::JsonValue) -> String {
+    let num = |key: &str| ev.get(key).and_then(ctc_gateway::JsonValue::as_f64);
+    let mut line = format!(
+        "  [{:>10} µs] {:<13} session={} seq={}",
+        num("t_us").unwrap_or(0.0) as u64,
+        ev.get("kind").and_then(|k| k.as_str()).unwrap_or("?"),
+        num("session").unwrap_or(0.0) as u64,
+        num("seq").unwrap_or(0.0) as u64,
+    );
+    if let Some(fields) = ev.as_object() {
+        for (key, value) in fields {
+            if matches!(key.as_str(), "t_us" | "kind" | "session" | "seq") {
+                continue;
+            }
+            match (value.as_str(), value.as_bool(), value.as_f64()) {
+                (Some(s), _, _) => line.push_str(&format!(" {key}={s}")),
+                (_, Some(b), _) => line.push_str(&format!(" {key}={b}")),
+                (_, _, Some(v)) => line.push_str(&format!(" {key}={v:.4}")),
+                _ => {
+                    if let Some(scores) = value.as_object() {
+                        line.push_str(&format!(" {key}="));
+                        let rendered: Vec<String> = scores
+                            .iter()
+                            .map(|(name, v)| {
+                                format!("{name}:{:.4}", v.as_f64().unwrap_or(f64::NAN))
+                            })
+                            .collect();
+                        line.push_str(&rendered.join(","));
+                    }
                 }
             }
-            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown obs action {other:?} (expected dump)")),
+    }
+    line.push('\n');
+    line
+}
+
+/// The human-readable rendering behind `ctc obs report`.
+fn render_incident(doc: &ctc_gateway::JsonValue) -> Result<String, String> {
+    if doc.get("type").and_then(|t| t.as_str()) != Some("ctc_incident") {
+        return Err("not an incident snapshot (missing type: ctc_incident)".into());
+    }
+    let num =
+        |v: &ctc_gateway::JsonValue, key: &str| v.get(key).and_then(ctc_gateway::JsonValue::as_f64);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "incident: trigger={} at t={} µs (dump #{})\n",
+        doc.get("trigger").and_then(|t| t.as_str()).unwrap_or("?"),
+        num(doc, "t_us").unwrap_or(0.0) as u64,
+        num(doc, "dump_seq").unwrap_or(0.0) as u64,
+    ));
+    if let Some(ring) = doc.get("ring") {
+        out.push_str(&format!(
+            "ring: {} events recorded, capacity {}\n",
+            num(ring, "recorded").unwrap_or(0.0) as u64,
+            num(ring, "capacity").unwrap_or(0.0) as u64,
+        ));
+    }
+    if let Some(config) = doc.get("config").and_then(|c| c.as_object()) {
+        out.push_str("config:");
+        for (key, value) in config {
+            match (value.as_f64(), value.as_str()) {
+                (Some(v), _) => out.push_str(&format!(" {key}={v}")),
+                (_, Some(s)) => out.push_str(&format!(" {key}={s}")),
+                _ => {}
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(sessions) = doc.get("sessions").and_then(|s| s.as_array()) {
+        out.push_str(&format!("sessions ({}):\n", sessions.len()));
+        for s in sessions {
+            out.push_str(&format!(
+                "  #{} stream={} shard={} samples_in={} bursts={} frames={} \
+                 forgeries={} dropped={}\n",
+                num(s, "id").unwrap_or(0.0) as u64,
+                s.get("stream").and_then(|v| v.as_str()).unwrap_or("-"),
+                num(s, "shard").unwrap_or(0.0) as u64,
+                num(s, "samples_in").unwrap_or(0.0) as u64,
+                num(s, "bursts").unwrap_or(0.0) as u64,
+                num(s, "frames_decoded").unwrap_or(0.0) as u64,
+                num(s, "forgeries").unwrap_or(0.0) as u64,
+                num(s, "bursts_dropped").unwrap_or(0.0) as u64,
+            ));
+        }
+    }
+    if let Some(stages) = doc.get("stages").and_then(|s| s.as_object()) {
+        out.push_str("stage latency (µs):\n");
+        for (name, stats) in stages {
+            out.push_str(&format!(
+                "  {name:<9} count={:<6} p50={:<8} p99={:<8} max={}\n",
+                num(stats, "count").unwrap_or(0.0) as u64,
+                num(stats, "p50_us").unwrap_or(0.0) as u64,
+                num(stats, "p99_us").unwrap_or(0.0) as u64,
+                num(stats, "max_us").unwrap_or(0.0) as u64,
+            ));
+        }
+    }
+    if let Some(events) = doc.get("events").and_then(|e| e.as_array()) {
+        out.push_str(&format!(
+            "journal ({} events, newest last):\n",
+            events.len()
+        ));
+        for ev in events {
+            out.push_str(&render_event(ev));
+        }
+    }
+    if let Some(delta) = doc.get("delta").and_then(|d| d.as_array()) {
+        out.push_str(&format!(
+            "registry delta since run start ({}):\n",
+            delta.len()
+        ));
+        for d in delta {
+            let labels = d
+                .get("labels")
+                .and_then(|l| l.as_object())
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .map(|(k, v)| format!("{k}={:?}", v.as_str().unwrap_or("")))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .filter(|s| !s.is_empty())
+                .map(|s| format!("{{{s}}}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  {}{labels} {} -> {} ({:+})\n",
+                d.get("name").and_then(|n| n.as_str()).unwrap_or("?"),
+                num(d, "before").unwrap_or(0.0),
+                num(d, "after").unwrap_or(0.0),
+                num(d, "delta").unwrap_or(0.0),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// One `obs top` frame from the current scrape plus (optionally) the
+/// previous scrape and the wall time between them for rate and movement
+/// columns.
+fn render_top(scrape: &ctc_obs::Scrape, prev: Option<(&ctc_obs::Scrape, Duration)>) -> String {
+    let value = |s: &ctc_obs::Scrape, name: &str| s.value(name, &[]).unwrap_or(0.0);
+    let rate = |name: &str| -> Option<f64> {
+        let (before, dt) = prev?;
+        let secs = dt.as_secs_f64();
+        (secs > 0.0).then(|| (value(scrape, name) - value(before, name)) / secs)
+    };
+    let fmt_rate = |r: Option<f64>| match r {
+        Some(r) => format!("{r:>12.0}/s"),
+        None => format!("{:>14}", "—"),
+    };
+
+    let mut out = String::new();
+    out.push_str("ctc obs top — gateway live view\n\n");
+    out.push_str(&format!(
+        "  samples   {:>14} total {}\n",
+        value(scrape, "ctc_gateway_samples_total") as u64,
+        fmt_rate(rate("ctc_gateway_samples_total")),
+    ));
+    out.push_str(&format!(
+        "  bursts    {:>14} total {}\n",
+        value(scrape, "ctc_gateway_bursts_total") as u64,
+        fmt_rate(rate("ctc_gateway_bursts_total")),
+    ));
+    let forgeries = scrape
+        .value("ctc_gateway_frames_total", &[("verdict", "attack")])
+        .unwrap_or(0.0);
+    // The frames family is split by verdict; the aggregate (no stream
+    // label) is their sum.
+    let frames_total: f64 = scrape
+        .family("ctc_gateway_frames_total")
+        .filter(|s| s.label("stream").is_none())
+        .map(|s| s.value)
+        .sum();
+    out.push_str(&format!(
+        "  frames    {:>14} total   ({} forgeries)\n",
+        frames_total as u64, forgeries as u64,
+    ));
+    out.push_str(&format!(
+        "  sessions  {:>14} active\n",
+        value(scrape, "ctc_sessions_active") as u64,
+    ));
+
+    // Latency: interval percentiles when a previous scrape exists (the
+    // histogram delta isolates just the last interval's observations),
+    // all-time otherwise.
+    if let Some(hist) = scrape.histogram("ctc_gateway_latency_us", &[]) {
+        let (window, tag) = match prev.and_then(|(s, _)| s.histogram("ctc_gateway_latency_us", &[]))
+        {
+            Some(base) => (hist.delta_from(&base), "interval"),
+            None => (Some(hist), "all-time"),
+        };
+        match window.filter(|h| h.count() > 0) {
+            Some(h) => out.push_str(&format!(
+                "  latency   p50 {:.0} µs   p99 {:.0} µs   ({} bursts, {tag})\n",
+                h.quantile(0.5).unwrap_or(0.0),
+                h.quantile(0.99).unwrap_or(0.0),
+                h.count(),
+            )),
+            None => out.push_str(&format!("  latency   (no bursts this {tag})\n")),
+        }
+    }
+
+    // Per-stream table: everything carrying a {stream="..."} label.
+    let streams = scrape.label_values("ctc_gateway_samples_total", "stream");
+    if !streams.is_empty() {
+        out.push_str("\n  stream                 samples     frames  forgeries      drops\n");
+        for stream in &streams {
+            let labels: &[(&str, &str)] = &[("stream", stream)];
+            let frames: f64 = scrape
+                .family("ctc_gateway_frames_total")
+                .filter(|s| s.label("stream") == Some(stream))
+                .map(|s| s.value)
+                .sum();
+            out.push_str(&format!(
+                "  {stream:<20} {:>9} {:>10} {:>10} {:>10}\n",
+                scrape
+                    .value("ctc_gateway_samples_total", labels)
+                    .unwrap_or(0.0) as u64,
+                frames as u64,
+                scrape
+                    .value(
+                        "ctc_gateway_frames_total",
+                        &[("stream", stream), ("verdict", "attack")]
+                    )
+                    .unwrap_or(0.0) as u64,
+                scrape
+                    .value("ctc_queue_dropped_total", labels)
+                    .unwrap_or(0.0) as u64,
+            ));
+        }
+    }
+
+    // Detector-score movement: latest gauge per feature, with the change
+    // since the previous frame when one exists.
+    let features = scrape.label_values("ctc_detector_score", "feature");
+    if !features.is_empty() {
+        out.push_str("\n  feature                  score   movement\n");
+        for feature in &features {
+            let labels: &[(&str, &str)] = &[("feature", feature)];
+            let now = scrape.value("ctc_detector_score", labels).unwrap_or(0.0);
+            let movement = match prev {
+                Some((before, _)) => {
+                    let delta = now - before.value("ctc_detector_score", labels).unwrap_or(0.0);
+                    format!("{delta:+10.4}")
+                }
+                None => format!("{:>10}", "—"),
+            };
+            out.push_str(&format!("  {feature:<20} {now:>9.4} {movement}\n"));
+        }
+    }
+    out
+}
+
+/// `obs top --addr HOST:PORT`: live terminal view over a monitor's
+/// Prometheus endpoint.
+fn cmd_obs_top(args: &Args) -> Result<ExitCode, String> {
+    use std::io::{IsTerminal, Write};
+
+    let addr = args.require("addr")?;
+    let interval = match args.get("interval") {
+        Some(v) => parse_duration(v)?,
+        None => Duration::from_secs(2),
+    };
+    // --count N renders N frames then exits (scripts/tests); the default
+    // is to run until interrupted.
+    let count = args.parse_num::<u64>("count")?;
+    let clear = std::io::stdout().is_terminal();
+
+    let mut prev: Option<(ctc_obs::Scrape, std::time::Instant)> = None;
+    let mut frames = 0u64;
+    loop {
+        let scrape = ctc_obs::Scrape::fetch(addr).map_err(|e| format!("scraping {addr}: {e}"))?;
+        let now = std::time::Instant::now();
+        let frame = render_top(&scrape, prev.as_ref().map(|(s, t)| (s, now - *t)));
+        let mut stdout = std::io::stdout().lock();
+        if clear {
+            // Clear + home: repaint in place like top(1). Piped output
+            // gets plain frames back to back instead.
+            let _ = write!(stdout, "\x1b[2J\x1b[H");
+        }
+        let _ = stdout.write_all(frame.as_bytes());
+        let _ = stdout.flush();
+        drop(stdout);
+        prev = Some((scrape, now));
+        frames += 1;
+        if count.is_some_and(|c| frames >= c) {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -1236,6 +1621,116 @@ mod tests {
         assert!(pipeline_from(&a, det)
             .unwrap_err()
             .contains("reading model"));
+    }
+
+    #[test]
+    fn flight_flags() {
+        let options = flight_options_from(&args(&[])).unwrap().unwrap();
+        assert!(options.out.is_none());
+        assert_eq!(options.capacity, ctc_obs::FlightRecorder::DEFAULT_CAPACITY);
+
+        let a = args(&[
+            "--flight-out",
+            "x.json",
+            "--flight-capacity",
+            "64",
+            "--flight-events",
+            "16",
+            "--flight-drop-budget",
+            "8",
+        ]);
+        let options = flight_options_from(&a).unwrap().unwrap();
+        assert_eq!(options.out.as_deref(), Some(Path::new("x.json")));
+        assert_eq!(options.capacity, 64);
+        assert_eq!(options.max_events, 16);
+        assert_eq!(options.drop_budget, Some(8));
+
+        // Capacity 0 compiles the recorder out of the run entirely.
+        let a = args(&["--flight-capacity", "0"]);
+        assert!(flight_options_from(&a).unwrap().is_none());
+    }
+
+    #[test]
+    fn incident_report_renders_every_section() {
+        let doc = ctc_gateway::json::parse(
+            r#"{"type":"ctc_incident","version":1,"trigger":"forgery","t_us":5120,
+                "ring":{"capacity":1024,"recorded":7},
+                "events":[
+                  {"t_us":100,"kind":"session_open","session":1,"seq":0,"shard":0},
+                  {"t_us":200,"kind":"burst","session":1,"seq":0,"start":700,"samples":520},
+                  {"t_us":300,"kind":"stage","session":1,"seq":0,"stage":"decode","dur_us":40},
+                  {"t_us":400,"kind":"verdict","session":1,"seq":0,"decoded":true,
+                   "attack":true,"accepted_forgery":true,"de2":0.41,"fused":0.87,
+                   "scores":{"de2_ideal":0.41}}],
+                "stages":{"decode":{"count":1,"p50_us":40,"p99_us":40,"max_us":40}},
+                "registry":[{"name":"ctc_gateway_bursts_total","labels":{},"value":1}],
+                "delta":[{"name":"ctc_gateway_frames_total",
+                          "labels":{"verdict":"attack"},"before":0,"after":1,"delta":1}],
+                "sessions":[{"id":1,"stream":"uplink","shard":0,"samples_in":4096,
+                             "bursts":1,"frames_decoded":1,"forgeries":1,"bursts_dropped":0}],
+                "config":{"workers":2,"queue_depth":16},
+                "dump_seq":1}"#,
+        )
+        .unwrap();
+        let text = render_incident(&doc).unwrap();
+        assert!(text.contains("trigger=forgery"), "{text}");
+        assert!(text.contains("dump #1"), "{text}");
+        assert!(text.contains("stream=uplink"), "{text}");
+        assert!(text.contains("decode"), "{text}");
+        assert!(text.contains("p50=40"), "{text}");
+        assert!(text.contains("accepted_forgery=true"), "{text}");
+        assert!(text.contains("de2_ideal:0.4100"), "{text}");
+        assert!(
+            text.contains("ctc_gateway_frames_total{verdict=\"attack\"} 0 -> 1 (+1)"),
+            "{text}"
+        );
+        assert!(render_incident(&ctc_gateway::json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn top_renders_rates_and_streams_from_scrape_pairs() {
+        let before = ctc_obs::Scrape::parse(
+            "ctc_gateway_samples_total 1000\n\
+             ctc_gateway_bursts_total 1\n\
+             ctc_gateway_frames_total{verdict=\"authentic\"} 1\n\
+             ctc_gateway_frames_total{verdict=\"attack\"} 0\n\
+             ctc_sessions_active 1\n\
+             ctc_detector_score{feature=\"de2_ideal\"} 0.10\n\
+             ctc_gateway_latency_us_bucket{le=\"100\"} 1\n\
+             ctc_gateway_latency_us_bucket{le=\"+Inf\"} 1\n\
+             ctc_gateway_latency_us_sum 80\n\
+             ctc_gateway_latency_us_count 1\n",
+        )
+        .unwrap();
+        let after = ctc_obs::Scrape::parse(
+            "ctc_gateway_samples_total 3000\n\
+             ctc_gateway_bursts_total 3\n\
+             ctc_gateway_frames_total{verdict=\"authentic\"} 2\n\
+             ctc_gateway_frames_total{verdict=\"attack\"} 1\n\
+             ctc_gateway_samples_total{stream=\"uplink\"} 3000\n\
+             ctc_gateway_frames_total{stream=\"uplink\",verdict=\"attack\"} 1\n\
+             ctc_queue_dropped_total{stream=\"uplink\"} 2\n\
+             ctc_sessions_active 1\n\
+             ctc_detector_score{feature=\"de2_ideal\"} 0.45\n\
+             ctc_gateway_latency_us_bucket{le=\"100\"} 3\n\
+             ctc_gateway_latency_us_bucket{le=\"+Inf\"} 3\n\
+             ctc_gateway_latency_us_sum 240\n\
+             ctc_gateway_latency_us_count 3\n",
+        )
+        .unwrap();
+
+        // First frame: totals only, no rate column yet.
+        let first = render_top(&after, None);
+        assert!(first.contains("3000"), "{first}");
+        assert!(first.contains("(1 forgeries)"), "{first}");
+        assert!(first.contains("uplink"), "{first}");
+        assert!(first.contains("all-time"), "{first}");
+
+        // Second frame: 2000 samples over 2 s = 1000/s, score moved.
+        let frame = render_top(&after, Some((&before, Duration::from_secs(2))));
+        assert!(frame.contains("1000/s"), "{frame}");
+        assert!(frame.contains("interval"), "{frame}");
+        assert!(frame.contains("+0.3500"), "{frame}");
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!   (aggregate and per-stream) and records per-stage trace spans into a
 //!   [`ctc_obs::TraceSink`]; see [`GatewayServer::with_registry`] and
 //!   [`GatewayServer::with_trace_sink`].
+//! - [`flight`] (feature `telemetry`, default-on) — an always-on,
+//!   bounded-memory flight recorder ([`ctc_obs::flight`]) journaling
+//!   bursts, stage boundaries, verdicts with per-feature scores, drops
+//!   and session lifecycle; on a trigger (first accepted forgery,
+//!   per-session drop-budget exhaustion, `SIGUSR1`) it dumps a
+//!   self-contained JSON incident snapshot; see
+//!   [`GatewayServer::with_flight`].
 //!
 //! Monitor two labelled streams through one engine:
 //!
@@ -70,6 +77,8 @@
 #![warn(missing_docs)]
 
 pub mod error;
+#[cfg(feature = "telemetry")]
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod obs;
@@ -80,6 +89,8 @@ pub mod session;
 pub mod source;
 
 pub use error::GatewayError;
+#[cfg(feature = "telemetry")]
+pub use flight::FlightOptions;
 pub use json::{JsonParseError, JsonValue};
 pub use metrics::{
     LatencyHistogram, Metrics, MetricsCore, MetricsSnapshot, ScoreBoard, ServerMetrics,

@@ -25,12 +25,15 @@ use ctc_dsp::BufferPool;
 use ctc_obs::{Registry, ScopedRegistry, TraceSink};
 use std::time::Instant;
 
-/// Per-run tracing handle: allocates span IDs and records stage intervals
-/// when a trace sink is attached, does nothing otherwise.
+/// Per-run tracing handle: allocates span IDs, records stage intervals
+/// when a trace sink is attached, and journals flight-recorder events
+/// when a recorder is attached; does nothing otherwise.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct RunObs<'a> {
     #[cfg(feature = "telemetry")]
     trace: Option<&'a TraceSink>,
+    #[cfg(feature = "telemetry")]
+    flight: Option<&'a crate::flight::FlightCtl>,
     #[cfg(not(feature = "telemetry"))]
     _lifetime: std::marker::PhantomData<&'a ()>,
 }
@@ -44,10 +47,13 @@ impl<'a> RunObs<'a> {
         }
     }
 
-    /// A handle recording into `trace` (when given).
+    /// A handle recording into `trace` and/or `flight` (when given).
     #[cfg(feature = "telemetry")]
-    pub(crate) fn new(trace: Option<&'a TraceSink>) -> Self {
-        RunObs { trace }
+    pub(crate) fn new(
+        trace: Option<&'a TraceSink>,
+        flight: Option<&'a crate::flight::FlightCtl>,
+    ) -> Self {
+        RunObs { trace, flight }
     }
 
     /// A fresh span ID for one burst, or `0` (the disabled sentinel) when
@@ -60,12 +66,81 @@ impl<'a> RunObs<'a> {
         0
     }
 
-    /// Records one stage interval for `span`.
+    /// Records one stage interval for `span` — into the trace sink as a
+    /// span record, and into the flight journal as a compact stage event
+    /// (the `drop` stage is journaled separately with richer fields; see
+    /// the shed path in [`crate::server`]).
     #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
-    pub(crate) fn record(&self, span: u64, seq: u64, stage: &str, start: Instant, end: Instant) {
+    pub(crate) fn record(
+        &self,
+        session: crate::session::SessionId,
+        span: u64,
+        seq: u64,
+        stage: &str,
+        start: Instant,
+        end: Instant,
+    ) {
         #[cfg(feature = "telemetry")]
-        if let Some(trace) = self.trace {
-            trace.record(span, seq, stage, start, end);
+        {
+            if let Some(trace) = self.trace {
+                trace.record(span, seq, stage, start, end);
+            }
+            if stage != "drop" {
+                if let Some(flight) = self.flight {
+                    use ctc_obs::flight::{stage_id, EventKind, FlightEvent};
+                    let rec = flight.recorder();
+                    rec.record(
+                        FlightEvent::new(EventKind::Stage, session, seq, rec.now_us()).with_args(
+                            stage_id(stage),
+                            end.saturating_duration_since(start).as_micros() as u64,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Journals one flight event built by `make` (only invoked when a
+    /// recorder is attached, so the cost of constructing the event is
+    /// paid only then). Returns the event's ring ticket.
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+    pub(crate) fn flight_record(
+        &self,
+        make: impl FnOnce(&ctc_obs::FlightRecorder) -> ctc_obs::FlightEvent,
+    ) -> Option<u64> {
+        #[cfg(feature = "telemetry")]
+        if let Some(flight) = self.flight {
+            let rec = flight.recorder();
+            return Some(rec.record(make(rec)));
+        }
+        None
+    }
+
+    /// Auto trigger for an accepted forgery: dump one incident snapshot
+    /// ending at `ticket` (the verdict event), first trigger wins.
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+    pub(crate) fn flight_forgery(&self, ticket: Option<u64>) {
+        #[cfg(feature = "telemetry")]
+        if let Some(flight) = self.flight {
+            flight.auto_trigger("forgery", ticket);
+        }
+    }
+
+    /// Auto trigger for drop-budget exhaustion on `session`.
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+    pub(crate) fn flight_drop_check(&self, session: &crate::session::Session, ticket: Option<u64>) {
+        #[cfg(feature = "telemetry")]
+        if let Some(flight) = self.flight {
+            flight.check_drop_budget(session, ticket);
+        }
+    }
+
+    /// Polls the SIGUSR1 latch (supervisor loops call this every few
+    /// milliseconds); each signal dumps a snapshot.
+    pub(crate) fn flight_poll(&self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(flight) = self.flight {
+            flight.poll_sigusr1();
         }
     }
 }

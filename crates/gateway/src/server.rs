@@ -29,6 +29,7 @@ use crate::session::{Evicted, Session, SessionId, ShardQueue};
 use crate::source::Listener;
 use ctc_core::defense::{BurstCapture, FrameProcessor, MonitorFactory, StreamEvent};
 use ctc_dsp::io::Cf32Reader;
+use ctc_obs::flight::{EventKind, FlightEvent};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
@@ -253,6 +254,8 @@ pub struct GatewayServer {
     registry: Option<Arc<ctc_obs::Registry>>,
     #[cfg(feature = "telemetry")]
     trace: Option<Arc<ctc_obs::TraceSink>>,
+    #[cfg(feature = "telemetry")]
+    flight: Option<Arc<crate::flight::FlightCtl>>,
 }
 
 impl GatewayServer {
@@ -265,6 +268,8 @@ impl GatewayServer {
             registry: None,
             #[cfg(feature = "telemetry")]
             trace: None,
+            #[cfg(feature = "telemetry")]
+            flight: None,
         }
     }
 
@@ -282,6 +287,20 @@ impl GatewayServer {
     #[cfg(feature = "telemetry")]
     pub fn with_trace_sink(mut self, trace: Arc<ctc_obs::TraceSink>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a flight recorder: a bounded ring journal of bursts,
+    /// stage boundaries, verdicts (with per-feature scores), drops and
+    /// session lifecycle, recorded wait-free from the hot path. With
+    /// [`FlightOptions::out`](crate::flight::FlightOptions::out) set, a
+    /// trigger — first accepted forgery, per-session drop-budget
+    /// exhaustion, or `SIGUSR1` (install the handler with
+    /// [`ctc_obs::flight::install_sigusr1_handler`]) — dumps a
+    /// self-contained JSON incident snapshot there.
+    #[cfg(feature = "telemetry")]
+    pub fn with_flight(mut self, options: crate::flight::FlightOptions) -> Self {
+        self.flight = Some(Arc::new(crate::flight::FlightCtl::new(options)));
         self
     }
 
@@ -391,7 +410,16 @@ impl GatewayServer {
             }
         }
         #[cfg(feature = "telemetry")]
-        let obs = RunObs::new(self.trace.as_deref());
+        if let Some(flight) = &self.flight {
+            flight.begin_run(self.registry.clone(), cfg);
+            if let Some(board) = &scores {
+                flight
+                    .recorder()
+                    .set_feature_names(board.names().iter().map(|s| s.to_string()).collect());
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        let obs = RunObs::new(self.trace.as_deref(), self.flight.as_deref());
         #[cfg(not(feature = "telemetry"))]
         let obs = RunObs::disabled();
 
@@ -434,6 +462,10 @@ impl GatewayServer {
                     let factory = &factory;
                     let chunk_samples = gw.chunk_samples;
                     scope.spawn(move || {
+                        obs.flight_record(|rec| {
+                            FlightEvent::new(EventKind::SessionOpen, session.id(), 0, rec.now_us())
+                                .with_args(session.shard() as u64, 0)
+                        });
                         if session.label().is_some() {
                             let seq = session.next_seq();
                             let _ = tx.send(SinkMsg::Line {
@@ -459,6 +491,10 @@ impl GatewayServer {
                             Ok(()) => server_metrics.sessions_closed.fetch_add(1, Relaxed),
                             Err(_) => server_metrics.sessions_errored.fetch_add(1, Relaxed),
                         };
+                        obs.flight_record(|rec| {
+                            FlightEvent::new(EventKind::SessionClose, session.id(), 0, rec.now_us())
+                                .with_args(result.is_err() as u64, 0)
+                        });
                         if session.label().is_some() {
                             let seq = session.next_seq();
                             let _ = tx.send(SinkMsg::Close {
@@ -496,6 +532,10 @@ impl GatewayServer {
                     if let (Some(registry), Some(label)) = (&self.registry, session.label()) {
                         crate::obs::register_session(registry, label, session.metrics());
                     }
+                    #[cfg(feature = "telemetry")]
+                    if let Some(flight) = &self.flight {
+                        flight.track_session(session.clone());
+                    }
                     server_metrics.sessions_opened.fetch_add(1, Relaxed);
                     sessions.push(session.clone());
                     session
@@ -512,6 +552,7 @@ impl GatewayServer {
                     // shape byte-for-byte.
                     if gw.stats_interval.is_some() {
                         while handles.iter().any(|h| !h.is_finished()) {
+                            obs.flight_poll();
                             if let Err(e) = emit_stats(&mut *stats, None) {
                                 fatal = Some(GatewayError::sink(e));
                                 break;
@@ -548,6 +589,7 @@ impl GatewayServer {
                                 handles.push(spawn_session(reader, session, Some(peer)));
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                obs.flight_poll();
                                 let active = handles.iter().filter(|h| !h.is_finished()).count();
                                 if let Err(we) = emit_stats(&mut *stats, Some(active as u64)) {
                                     fatal = Some(GatewayError::sink(we));
@@ -566,6 +608,7 @@ impl GatewayServer {
                         self.shutdown.store(true, Relaxed);
                     }
                     while handles.iter().any(|h| !h.is_finished()) {
+                        obs.flight_poll();
                         let active = handles.iter().filter(|h| !h.is_finished()).count();
                         // Keep draining even if a stats write fails; the
                         // first error still wins below.
@@ -595,6 +638,10 @@ impl GatewayServer {
             let sink_result = sink_handle.join().expect("sink panicked");
             (outcomes, sink_result, fatal)
         });
+
+        // One last poll so a SIGUSR1 that landed while sessions drained
+        // (feeds without a polling supervisor loop) still dumps.
+        obs.flight_poll();
 
         if let Some(err) = fatal {
             return Err(err);
@@ -682,7 +729,11 @@ fn session_ingest<R: Read>(
             let seq = session.next_seq();
             let span = obs.next_span();
             let enqueued = Instant::now();
-            obs.record(span, seq, "ingest", ingest_start, enqueued);
+            obs.record(session.id(), span, seq, "ingest", ingest_start, enqueued);
+            obs.flight_record(|rec| {
+                FlightEvent::new(EventKind::Burst, session.id(), seq, rec.now_us())
+                    .with_args(capture.burst.start as u64, capture.samples.len() as u64)
+            });
             let item = WorkItem {
                 session: session.clone(),
                 seq,
@@ -693,6 +744,10 @@ fn session_ingest<R: Read>(
             if let Evicted::Item { item: evicted, .. } = shard.push(session.id(), item) {
                 shed(evicted, aggregate, tx, obs);
             }
+            obs.flight_record(|rec| {
+                FlightEvent::new(EventKind::QueueDepth, session.id(), seq, rec.now_us())
+                    .with_args(shard.len() as u64, session.shard() as u64)
+            });
         }
     };
 
@@ -724,7 +779,24 @@ fn shed(evicted: WorkItem, aggregate: &Metrics, tx: &mpsc::Sender<SinkMsg>, obs:
         m.bursts_dropped.fetch_add(1, Relaxed);
         m.samples_dropped.fetch_add(samples, Relaxed);
     }
-    obs.record(evicted.span, evicted.seq, "drop", evicted.enqueued, now);
+    obs.record(
+        evicted.session.id(),
+        evicted.span,
+        evicted.seq,
+        "drop",
+        evicted.enqueued,
+        now,
+    );
+    let ticket = obs.flight_record(|rec| {
+        FlightEvent::new(
+            EventKind::Drop,
+            evicted.session.id(),
+            evicted.seq,
+            rec.now_us(),
+        )
+        .with_args(samples, micros_between(evicted.enqueued, now))
+    });
+    obs.flight_drop_check(&evicted.session, ticket);
     let _ = tx.send(SinkMsg::Line {
         session: evicted.session.id(),
         seq: evicted.seq,
@@ -799,9 +871,9 @@ fn process_item(
     if let (Some(board), Some(s)) = (scores, event.scores.as_ref()) {
         board.record(s);
     }
-    obs.record(span, seq, "queue", enqueued, dequeued);
-    obs.record(span, seq, "decode", dequeued, decoded);
-    obs.record(span, seq, "classify", decoded, done);
+    obs.record(session.id(), span, seq, "queue", enqueued, dequeued);
+    obs.record(session.id(), span, seq, "decode", dequeued, decoded);
+    obs.record(session.id(), span, seq, "classify", decoded, done);
     let total_us = micros_between(enqueued, done);
     aggregate.latency.record(total_us);
     session.metrics().latency.record(total_us);
@@ -812,6 +884,33 @@ fn process_item(
     if event.accepted_forgery() {
         aggregate.forgeries.fetch_add(1, Relaxed);
         session.metrics().forgeries.fetch_add(1, Relaxed);
+    }
+    // The verdict journal entry carries everything the incident report
+    // needs to explain the call: flags, the DE² statistic, the fused
+    // score and the per-feature scores already computed for this burst.
+    let verdict_ticket = obs.flight_record(|rec| {
+        let mut flags = 0u64;
+        if event.payload.is_some() {
+            flags |= FlightEvent::VERDICT_DECODED;
+        }
+        if event.verdict.is_some_and(|v| v.is_attack) {
+            flags |= FlightEvent::VERDICT_ATTACK;
+        }
+        if event.accepted_forgery() {
+            flags |= FlightEvent::VERDICT_ACCEPTED;
+        }
+        let de2 = event.verdict.map(|v| v.de_squared).unwrap_or(f64::NAN);
+        let ev = FlightEvent::new(EventKind::Verdict, session.id(), seq, rec.now_us())
+            .with_args(flags, de2.to_bits());
+        match &event.scores {
+            Some(s) => ev.with_scores(s.fused, s.features.entries().iter().map(|(_, v)| *v)),
+            None => ev,
+        }
+    });
+    if event.accepted_forgery() {
+        // The exit-3 condition: dump one incident snapshot whose journal
+        // ends at exactly this verdict.
+        obs.flight_forgery(verdict_ticket);
     }
     let line = frame_line(
         session.label(),
@@ -883,7 +982,7 @@ fn sink_loop<W: Write>(
                     },
                 );
                 pending_total += 1;
-                let (emitted, closed) = drain_session(sink, events, obs)?;
+                let (emitted, closed) = drain_session(session, sink, events, obs)?;
                 pending_total -= emitted;
                 if closed {
                     sessions.remove(&session);
@@ -898,7 +997,7 @@ fn sink_loop<W: Write>(
                 let sink = sessions.entry(id).or_default();
                 sink.pending.insert(seq, Slot::Close { session, error });
                 pending_total += 1;
-                let (emitted, closed) = drain_session(sink, events, obs)?;
+                let (emitted, closed) = drain_session(id, sink, events, obs)?;
                 pending_total -= emitted;
                 if closed {
                     sessions.remove(&id);
@@ -911,8 +1010,8 @@ fn sink_loop<W: Write>(
     }
     // Channel closed: flush whatever is contiguous (holes can only mean a
     // worker died, which join() will have surfaced as a panic).
-    for sink in sessions.values_mut() {
-        drain_session(sink, events, obs)?;
+    for (id, sink) in sessions.iter_mut() {
+        drain_session(*id, sink, events, obs)?;
     }
     events.flush()
 }
@@ -920,6 +1019,7 @@ fn sink_loop<W: Write>(
 /// Writes `sink`'s contiguous prefix; returns (lines written, session
 /// closed).
 fn drain_session<W: Write>(
+    session: SessionId,
     sink: &mut SessionSink,
     events: &mut W,
     obs: RunObs<'_>,
@@ -934,7 +1034,7 @@ fn drain_session<W: Write>(
                 classified,
             } => {
                 writeln!(events, "{line}")?;
-                obs.record(span, sink.next, "emit", classified, Instant::now());
+                obs.record(session, span, sink.next, "emit", classified, Instant::now());
             }
             Slot::Close { session, error } => {
                 let line = session_close_line(&session, sink.next, error.as_deref());

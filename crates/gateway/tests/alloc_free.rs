@@ -97,6 +97,59 @@ fn ingest_loop_steady_state_allocates_nothing() {
     );
 }
 
+/// The flight recorder rides the same hot path, so it is held to the
+/// same bar: journaling a burst, its stage boundaries and a queue-depth
+/// sample for every chunk — against a recorder at the default capacity,
+/// wrapping many times over — requests no heap memory at all.
+#[cfg(feature = "telemetry")]
+#[test]
+fn flight_recorder_steady_state_allocates_nothing() {
+    use ctc_obs::flight::{EventKind, FlightEvent, FlightRecorder};
+
+    const CHUNK: usize = 4096;
+    const WARMUP_CHUNKS: usize = 8;
+    const MEASURED_CHUNKS: usize = 64;
+
+    let recorder = FlightRecorder::new(); // DEFAULT_CAPACITY slots
+    let bytes = noise_cf32((WARMUP_CHUNKS + MEASURED_CHUNKS) * CHUNK, 0xf11e, 0.01);
+    let mut reader = Cf32Reader::new(Cursor::new(&bytes)).with_chunk_samples(CHUNK);
+    let mut splitter = BurstSplitter::new(EnergyDetector::default());
+    let mut chunk: Vec<Complex> = Vec::new();
+    let mut captures: Vec<BurstCapture> = Vec::new();
+
+    let record_chunk = |recorder: &FlightRecorder, seq: u64, n: usize| {
+        let t = recorder.now_us();
+        recorder.record(
+            FlightEvent::new(EventKind::Burst, 1, seq, t).with_args(seq * CHUNK as u64, n as u64),
+        );
+        recorder.record(FlightEvent::new(EventKind::Stage, 1, seq, t).with_args(0, 17));
+        recorder.record(FlightEvent::new(EventKind::QueueDepth, 1, seq, t).with_args(3, 0));
+    };
+
+    for seq in 0..WARMUP_CHUNKS as u64 {
+        assert_eq!(reader.read_chunk(&mut chunk).unwrap(), CHUNK);
+        splitter.push_into(&chunk, &mut captures);
+        record_chunk(&recorder, seq, chunk.len());
+    }
+
+    let before = allocations();
+    for seq in 0..MEASURED_CHUNKS as u64 {
+        assert_eq!(reader.read_chunk(&mut chunk).unwrap(), CHUNK);
+        splitter.push_into(&chunk, &mut captures);
+        record_chunk(&recorder, seq, chunk.len());
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "flight-recorder steady state made {delta} allocations over {MEASURED_CHUNKS} chunks"
+    );
+    assert_eq!(
+        recorder.recorded(),
+        ((WARMUP_CHUNKS + MEASURED_CHUNKS) * 3) as u64,
+        "every event was journaled"
+    );
+}
+
 /// With frames in the stream, capture buffers come from the shared pool:
 /// after one pass has warmed the pool, further bursts are free-list hits,
 /// never fresh allocations.

@@ -3,7 +3,7 @@
 //! archives as an artifact and scripts assert on.
 
 use crate::fleet::{FleetReport, Target};
-use crate::soak::{SoakConfig, SoakOutcome};
+use crate::soak::{SloCheck, SoakConfig, SoakOutcome};
 use crate::spec::FleetSpec;
 use ctc_gateway::json::JsonObject;
 
@@ -45,6 +45,26 @@ pub fn render_fleet(spec: &FleetSpec, target: &Target, report: &FleetReport) -> 
         .finish()
 }
 
+/// The SLO check list as a JSON array — shared between the capacity
+/// report's `slo` field and the breach incident snapshot's `slo`
+/// section, so both render identically.
+pub(crate) fn checks_json(checks: &[SloCheck]) -> String {
+    let rendered: Vec<String> = checks
+        .iter()
+        .map(|c| {
+            JsonObject::new()
+                .string("name", c.name)
+                .opt("value", c.value, JsonObject::float)
+                .string("op", c.op)
+                .float("bound", c.bound)
+                .bool("pass", c.pass)
+                .bool("skipped", c.skipped)
+                .finish()
+        })
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
 /// Renders the soak run's capacity report: config echo, ground-truth
 /// send totals, scraped observations, per-SLO checks, and the capacity
 /// point this run certifies (or refutes).
@@ -67,20 +87,6 @@ pub fn render_soak(config: &SoakConfig, target: &Target, outcome: &SoakOutcome) 
         .float("sessions_closed", obs.sessions_closed)
         .uint("scrapes", obs.scrapes as u64)
         .finish();
-    let checks: Vec<String> = outcome
-        .checks
-        .iter()
-        .map(|c| {
-            JsonObject::new()
-                .string("name", c.name)
-                .opt("value", c.value, JsonObject::float)
-                .string("op", c.op)
-                .float("bound", c.bound)
-                .bool("pass", c.pass)
-                .bool("skipped", c.skipped)
-                .finish()
-        })
-        .collect();
     // The capacity point this run certifies: N streams at the achieved
     // aggregate rate, sustained iff every SLO held.
     let capacity = JsonObject::new()
@@ -98,8 +104,9 @@ pub fn render_soak(config: &SoakConfig, target: &Target, outcome: &SoakOutcome) 
         .raw("loadgen", &spec_json(&config.fleet))
         .raw("sent", &sent_json(&outcome.fleet))
         .raw("observed", &observed)
-        .raw("slo", &format!("[{}]", checks.join(",")))
+        .raw("slo", &checks_json(&outcome.checks))
         .raw("capacity", &capacity)
+        .string_if("incident", outcome.incident.as_deref())
         .bool("pass", outcome.pass)
         .finish()
 }
@@ -188,5 +195,38 @@ mod tests {
             .unwrap();
         assert_eq!(rss.get("skipped").unwrap().as_bool(), Some(true));
         assert!(rss.get("value").unwrap().as_f64().is_none());
+        // No breach, no incident field.
+        assert!(v.get("incident").is_none());
+    }
+
+    #[test]
+    fn soak_report_embeds_the_incident_path_on_breach() {
+        use crate::soak::{evaluate, SoakConfig};
+        use ctc_obs::Scrape;
+        let config = SoakConfig::new(
+            FleetSpec::default(),
+            "127.0.0.1:9100",
+            Duration::from_secs(60),
+        );
+        // No attack verdicts at all: recall 0 < 0.99 breaches.
+        let fin =
+            Scrape::parse("ctc_gateway_bursts_total 8\nctc_sessions_closed_total 1\n").unwrap();
+        let mut outcome = evaluate(
+            &config,
+            report(),
+            &Scrape::parse("").unwrap(),
+            None,
+            &fin,
+            4,
+        );
+        assert!(!outcome.pass);
+        outcome.incident = Some("/tmp/incident.json".to_string());
+        let target = Target::Tcp("127.0.0.1:9000".to_string());
+        let v = json::parse(&render_soak(&config, &target, &outcome)).unwrap();
+        assert_eq!(v.get("pass").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("incident").unwrap().as_str(),
+            Some("/tmp/incident.json")
+        );
     }
 }

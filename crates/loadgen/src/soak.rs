@@ -17,7 +17,9 @@
 use crate::error::LoadgenError;
 use crate::fleet::{run_fleet, FleetReport, Target};
 use crate::spec::FleetSpec;
-use ctc_obs::{Scrape, ScrapedHistogram};
+use ctc_obs::flight::{EventKind, FlightEvent, FlightRecorder};
+use ctc_obs::{Scrape, ScrapedHistogram, SnapshotBuilder};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// SLO bounds; `None` disables that check.
@@ -65,6 +67,12 @@ pub struct SoakConfig {
     pub metrics_addr: String,
     /// The bounds to assert.
     pub slo: SloSpec,
+    /// Where to write an incident snapshot when an SLO breaches
+    /// (`None`: no snapshot). The snapshot embeds every SLO check as a
+    /// journal event plus the baseline/final registry delta, in the same
+    /// format the gateway's flight recorder dumps, so `ctc obs report`
+    /// reads both.
+    pub incident_out: Option<PathBuf>,
 }
 
 impl SoakConfig {
@@ -79,6 +87,7 @@ impl SoakConfig {
             interval: Duration::from_secs(2),
             metrics_addr: metrics_addr.into(),
             slo: SloSpec::default(),
+            incident_out: None,
         }
     }
 }
@@ -167,6 +176,10 @@ pub struct SoakOutcome {
     pub checks: Vec<SloCheck>,
     /// AND over non-skipped checks.
     pub pass: bool,
+    /// Path of the incident snapshot written on breach (`None` when the
+    /// run passed, no `incident_out` was configured, or the write
+    /// failed).
+    pub incident: Option<String>,
 }
 
 /// Counter/gauge delta between two scrapes (absent samples read as 0).
@@ -174,11 +187,19 @@ fn delta(base: &Scrape, end: &Scrape, name: &str, labels: &[(&str, &str)]) -> f6
     end.value(name, labels).unwrap_or(0.0) - base.value(name, labels).unwrap_or(0.0)
 }
 
-fn fetch(addr: &str) -> Result<Scrape, LoadgenError> {
-    Scrape::fetch(addr).map_err(|source| LoadgenError::Scrape {
+/// Fetches one scrape, keeping the raw exposition text alongside the
+/// parse — the incident snapshot embeds the text verbatim so its
+/// registry/delta sections use the same serializer as the gateway's.
+fn fetch_raw(addr: &str) -> Result<(String, Scrape), LoadgenError> {
+    let text = ctc_obs::http::fetch_text(addr).map_err(|source| LoadgenError::Scrape {
         addr: addr.to_string(),
         source,
-    })
+    })?;
+    let scrape = Scrape::parse(&text).map_err(|e| LoadgenError::Scrape {
+        addr: addr.to_string(),
+        source: std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+    })?;
+    Ok((text, scrape))
 }
 
 /// Runs the fleet for `config.duration` against `target`, scraping
@@ -193,7 +214,7 @@ fn fetch(addr: &str) -> Result<Scrape, LoadgenError> {
 pub fn run_soak(config: &SoakConfig, target: &Target) -> Result<SoakOutcome, LoadgenError> {
     config.fleet.validate().map_err(LoadgenError::Spec)?;
     let addr = config.metrics_addr.as_str();
-    let baseline = fetch(addr)?;
+    let (baseline_text, baseline) = fetch_raw(addr)?;
 
     let started = Instant::now();
     let fleet_spec = config.fleet.clone();
@@ -236,13 +257,13 @@ pub fn run_soak(config: &SoakConfig, target: &Target) -> Result<SoakOutcome, Loa
             + delta(&baseline, s, "ctc_sessions_errored_total", &[])
             >= connected
     };
-    let mut final_scrape = fetch(addr)?;
+    let (mut final_text, mut final_scrape) = fetch_raw(addr)?;
     while !finished(&final_scrape) && Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(200));
-        final_scrape = fetch(addr)?;
+        (final_text, final_scrape) = fetch_raw(addr)?;
     }
 
-    let outcome = evaluate(
+    let mut outcome = evaluate(
         config,
         fleet,
         &baseline,
@@ -250,7 +271,40 @@ pub fn run_soak(config: &SoakConfig, target: &Target) -> Result<SoakOutcome, Loa
         &final_scrape,
         scrapes,
     );
+    if !outcome.pass {
+        if let Some(path) = &config.incident_out {
+            match write_incident(path, &outcome, &baseline_text, &final_text) {
+                Ok(()) => outcome.incident = Some(path.display().to_string()),
+                Err(e) => eprintln!("loadgen: writing incident snapshot {}: {e}", path.display()),
+            }
+        }
+    }
     Ok(outcome)
+}
+
+/// Writes the SLO-breach incident snapshot: one `slo_check` journal
+/// event per asserted bound, the baseline→final registry delta, and the
+/// full check list — the same self-contained format the gateway's
+/// flight recorder dumps, so `ctc obs report` reads both.
+pub(crate) fn write_incident(
+    path: &std::path::Path,
+    outcome: &SoakOutcome,
+    baseline_text: &str,
+    final_text: &str,
+) -> std::io::Result<()> {
+    let recorder = FlightRecorder::with_capacity(outcome.checks.len().max(1));
+    for (index, check) in outcome.checks.iter().enumerate() {
+        recorder.record(
+            FlightEvent::new(EventKind::SloCheck, 0, index as u64, recorder.now_us())
+                .with_args(check.pass as u64, check.value.unwrap_or(f64::NAN).to_bits()),
+        );
+    }
+    let snapshot = SnapshotBuilder::new(&recorder, "slo_breach")
+        .exposition(final_text)
+        .baseline(baseline_text)
+        .section("slo", &crate::report::checks_json(&outcome.checks))
+        .render();
+    std::fs::write(path, snapshot + "\n")
 }
 
 /// Pure SLO evaluation over the scrapes — separated from the run loop so
@@ -332,6 +386,7 @@ pub(crate) fn evaluate(
         observed,
         checks,
         pass,
+        incident: None,
     }
 }
 
@@ -568,6 +623,63 @@ ctc_sessions_closed_total 5
         assert_eq!(errs.value, Some(1.0));
         assert!(!errs.pass);
         assert!(!outcome.pass);
+    }
+
+    #[test]
+    fn breach_incident_snapshot_is_self_contained_and_parseable() {
+        // A failing recall run (10 detected of 16 sent).
+        let fin = scrape(
+            "\
+ctc_gateway_bursts_total 170
+ctc_gateway_frames_total{verdict=\"attack\"} 12
+ctc_queue_dropped_total 1
+ctc_sessions_closed_total 5
+",
+        );
+        let outcome = evaluate(&config(), fleet(4, 4), &scrape(BASELINE), None, &fin, 1);
+        assert!(!outcome.pass);
+
+        let path =
+            std::env::temp_dir().join(format!("ctc_loadgen_incident_{}.json", std::process::id()));
+        write_incident(
+            &path,
+            &outcome,
+            BASELINE,
+            "ctc_gateway_bursts_total 170\nctc_gateway_frames_total{verdict=\"attack\"} 12\n",
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let doc = ctc_gateway::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("type").and_then(|v| v.as_str()),
+            Some("ctc_incident")
+        );
+        assert_eq!(
+            doc.get("trigger").and_then(|v| v.as_str()),
+            Some("slo_breach")
+        );
+        // One slo_check journal event per asserted bound.
+        let events = doc.get("events").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), outcome.checks.len());
+        assert!(events
+            .iter()
+            .all(|e| e.get("kind").and_then(|k| k.as_str()) == Some("slo_check")));
+        // The failing check is visible in both the journal and the slo
+        // section.
+        let slo = doc.get("slo").and_then(|v| v.as_array()).unwrap();
+        let recall = slo
+            .iter()
+            .find(|c| c.get("name").and_then(|n| n.as_str()) == Some("recall"))
+            .unwrap();
+        assert_eq!(recall.get("pass").and_then(|p| p.as_bool()), Some(false));
+        // Registry delta from the embedded baseline/final expositions.
+        let delta = doc.get("delta").and_then(|v| v.as_array()).unwrap();
+        assert!(delta.iter().any(|d| {
+            d.get("name").and_then(|n| n.as_str()) == Some("ctc_gateway_bursts_total")
+                && d.get("delta").and_then(|x| x.as_f64()) == Some(160.0)
+        }));
     }
 
     #[test]

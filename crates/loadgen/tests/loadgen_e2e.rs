@@ -83,6 +83,75 @@ fn fixed_fleet_reconciles_with_server_counters() {
     assert_eq!(report.metrics.bursts_dropped, 0);
 }
 
+/// A soak whose SLOs cannot be met must write an incident snapshot and
+/// embed its path in the JSON capacity report. Small and debug-friendly:
+/// the breach comes from impossible bounds, not from load.
+#[test]
+fn slo_breach_writes_an_incident_snapshot_into_the_report() {
+    use ctc_loadgen::{render_soak, run_soak, SoakConfig};
+    use ctc_obs::Registry;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let _serial = SERIAL.lock().unwrap();
+    let (listener, target) = bind_ephemeral();
+    let registry = Arc::new(Registry::new());
+    let http = ctc_obs::http::serve("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+
+    let server = GatewayServer::new(server_config(2, 64, 8)).with_registry(Arc::clone(&registry));
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || {
+        server.serve(listener, &mut std::io::sink(), &mut std::io::sink())
+    });
+
+    let spec = FleetSpec {
+        streams: 2,
+        rate_msps: 0.0,
+        ..FleetSpec::default()
+    };
+    let incident_path = std::env::temp_dir().join(format!(
+        "ctc_loadgen_e2e_incident_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&incident_path);
+    let mut config = SoakConfig::new(spec, http.addr().to_string(), Duration::from_secs(2));
+    config.warmup = Duration::from_secs(1);
+    // Bounds no run can meet: any processed burst breaches at least one.
+    config.slo.p99_latency_us = Some(0.0001);
+    config.slo.min_recall = Some(1.5);
+    config.incident_out = Some(incident_path.clone());
+    let outcome = run_soak(&config, &target).unwrap();
+
+    shutdown.shutdown();
+    handle.join().unwrap().unwrap();
+
+    assert!(!outcome.pass, "impossible SLOs must breach");
+    let path = outcome.incident.as_deref().expect("incident path recorded");
+    assert_eq!(path, incident_path.display().to_string());
+
+    // The capacity report embeds the path.
+    let report_line = render_soak(&config, &target, &outcome);
+    let report = ctc_gateway::json::parse(&report_line).unwrap();
+    assert_eq!(report.get("incident").and_then(|v| v.as_str()), Some(path));
+
+    // And the snapshot itself is a valid incident document with the SLO
+    // verdict journaled.
+    let text = std::fs::read_to_string(&incident_path).unwrap();
+    std::fs::remove_file(&incident_path).unwrap();
+    let doc = ctc_gateway::json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("trigger").and_then(|v| v.as_str()),
+        Some("slo_breach")
+    );
+    let events = doc.get("events").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(events.len(), outcome.checks.len());
+    let slo = doc.get("slo").and_then(|v| v.as_array()).unwrap();
+    assert!(slo
+        .iter()
+        .any(|c| c.get("pass").and_then(|p| p.as_bool()) == Some(false)));
+    assert!(doc.get("registry").and_then(|v| v.as_array()).is_some());
+}
+
 /// The acceptance scenario, release-only (debug DSP is far too slow for
 /// a 32-stream fleet): 32 concurrent mixed TCP streams soaked against a
 /// live server and metrics endpoint; the SLO verdict must pass on every

@@ -26,6 +26,15 @@
 //!   against a live endpoint numerically.
 //! - [`process`] — process-level collectors (resident memory), so memory
 //!   stability is checkable from the same scrape.
+//! - [`flight`] — an always-on, bounded-memory flight recorder: a
+//!   lock-free ring journal ([`FlightRecorder`]) of compact structured
+//!   events (bursts, stage boundaries, verdicts with per-feature
+//!   scores, drops), recorded wait-free and allocation-free.
+//! - [`snapshot`] — the incident-snapshot format: journal tail +
+//!   per-stage latency breakdown + registry snapshot/delta rendered as
+//!   one self-contained JSON document ([`SnapshotBuilder`]), shared by
+//!   the gateway's trigger dumps, loadgen breach reports, and `ctc obs
+//!   dump --json`.
 //! - [`trace`] — lightweight structured tracing: span IDs allocated per
 //!   burst at ingest, per-stage durations recorded as JSONL records, so a
 //!   single frame's end-to-end path is reconstructable offline.
@@ -50,18 +59,22 @@
 #![warn(rust_2018_idioms)]
 
 pub mod expo;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod process;
 pub mod registry;
 pub mod scrape;
+pub mod snapshot;
 pub mod stage;
 pub mod trace;
 
+pub use flight::{EventKind, FlightEvent, FlightRecorder};
 pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use process::register_process_metrics;
 pub use registry::{Registry, ScopedRegistry};
 pub use scrape::{Scrape, ScrapeError, ScrapeSample, ScrapedHistogram};
+pub use snapshot::SnapshotBuilder;
 pub use stage::Profiled;
 pub use trace::{next_span_id, TraceSink};

@@ -80,22 +80,36 @@ pub struct Scrape {
 
 impl Scrape {
     /// Parses a Prometheus text-format body (`# HELP`/`# TYPE` lines and
-    /// blanks are skipped; every other line must be a sample).
+    /// blanks are skipped; every other line must be a sample). Bodies
+    /// with *no* `# TYPE` metadata at all parse fine — samples carry
+    /// their own shape. Non-finite values (`NaN`, `±Inf`) are legal
+    /// exposition and parse to the matching [`f64`] specials.
     ///
     /// # Errors
     ///
-    /// [`ScrapeError`] with the line number on the first malformed line.
+    /// [`ScrapeError`] with the line number on the first malformed
+    /// line, or on a duplicate sample (same name and label set twice —
+    /// a scrape like that is ambiguous, and silently keeping either
+    /// copy would corrupt SLO math downstream).
     pub fn parse(text: &str) -> Result<Scrape, ScrapeError> {
         let mut samples = Vec::new();
+        let mut seen = BTreeSet::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            samples.push(parse_sample(line).map_err(|reason| ScrapeError {
+            let sample = parse_sample(line).map_err(|reason| ScrapeError {
                 line: i + 1,
                 reason,
-            })?);
+            })?;
+            if !seen.insert(sample_identity(&sample)) {
+                return Err(ScrapeError {
+                    line: i + 1,
+                    reason: format!("duplicate sample {:?}", sample.name),
+                });
+            }
+            samples.push(sample);
         }
         Ok(Scrape { samples })
     }
@@ -241,6 +255,14 @@ impl ScrapedHistogram {
             sum: self.sum - baseline.sum,
         })
     }
+}
+
+/// A sample's identity — name plus *sorted* label pairs — used to
+/// reject duplicates regardless of label order.
+fn sample_identity(s: &ScrapeSample) -> (String, Vec<(String, String)>) {
+    let mut labels = s.labels.clone();
+    labels.sort_unstable();
+    (s.name.clone(), labels)
 }
 
 /// Parses one sample line: `name`, optional `{k="v",...}`, a value.
@@ -428,6 +450,51 @@ mod tests {
         assert_eq!(err.line, 2);
         assert!(Scrape::parse("name_only\n").is_err());
         assert!(Scrape::parse("x 12notanumber\n").is_err());
+    }
+
+    /// Non-finite values are legal exposition (an empty histogram's
+    /// average, a score gauge before first traffic) and must parse to
+    /// the matching f64 specials, not error or silently skip.
+    #[test]
+    fn non_finite_values_parse_to_f64_specials() {
+        let scrape = Scrape::parse("a NaN\nb +Inf\nc Inf\nd -Inf\n").unwrap();
+        assert!(scrape.value("a", &[]).unwrap().is_nan());
+        assert_eq!(scrape.value("b", &[]), Some(f64::INFINITY));
+        assert_eq!(scrape.value("c", &[]), Some(f64::INFINITY));
+        assert_eq!(scrape.value("d", &[]), Some(f64::NEG_INFINITY));
+        assert_eq!(scrape.samples().len(), 4, "nothing silently dropped");
+    }
+
+    /// A body with no `# TYPE` metadata at all is still a valid scrape:
+    /// samples carry their own shape, comments are advisory.
+    #[test]
+    fn missing_type_metadata_is_tolerated() {
+        let bare =
+            "ctc_gateway_bursts_total 7\nctc_lat_us_bucket{le=\"+Inf\"} 7\nctc_lat_us_sum 70\n";
+        let scrape = Scrape::parse(bare).unwrap();
+        assert_eq!(scrape.value("ctc_gateway_bursts_total", &[]), Some(7.0));
+        let h = scrape.histogram("ctc_lat_us", &[]).unwrap();
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum, 70.0);
+    }
+
+    /// The same sample twice is ambiguous — `value()` would silently
+    /// pick the first — so the parser rejects it, pointing at the line.
+    #[test]
+    fn duplicate_samples_are_rejected_with_line_number() {
+        let err = Scrape::parse("x_total 1\nx_total 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("duplicate"), "{}", err.reason);
+
+        // Label *order* does not make two samples distinct.
+        let err =
+            Scrape::parse("f_total{a=\"1\",b=\"2\"} 1\nf_total{b=\"2\",a=\"1\"} 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        // Different label values ARE distinct samples; so are different
+        // names with equal labels.
+        let ok = "f_total{s=\"a\"} 1\nf_total{s=\"b\"} 2\ng_total{s=\"a\"} 3\nf_total 4\n";
+        assert_eq!(Scrape::parse(ok).unwrap().samples().len(), 4);
     }
 
     /// Fields the gateway actually exposes parse with labels intact.

@@ -22,6 +22,10 @@
 #
 #   ./scripts/bench_smoke.sh BENCH_baseline.json
 #
+# The default (telemetry-on) flavor runs with the flight recorder
+# attached at its default ring capacity, so the gate below prices in the
+# recorder's hot-path journaling; --scalar compiles it out entirely.
+#
 # The vendored criterion stub prints one line per bench:
 #   <name>: <ns> ns/iter  (<rate> M/s)
 # which this script turns into a JSON object keyed by bench name.

@@ -24,6 +24,16 @@
 #     the aggregates, plus the session lifecycle counters;
 #   - the server drains via `--stop-after` and still exits 3.
 #
+# A fourth pass exercises the flight recorder (incident-forensics smoke):
+#
+#   - `--flight-out` on the forged stream dumps exactly one incident
+#     snapshot on the accepted forgery, which `ctc obs report` renders;
+#   - SIGUSR1 against a live `--listen` server (authentic traffic only)
+#     dumps an on-demand snapshot, while `ctc obs top --count` and
+#     `ctc obs dump --json` read the same live endpoint;
+#   - the forgery snapshot is left at ./flight_incident.json for CI to
+#     archive as an artifact.
+#
 # Run from the repo root after `cargo build --release -p ctc-cli`.
 set -euo pipefail
 
@@ -237,3 +247,104 @@ grep -q 'gateway: 3 session(s) served, 0 refused, 0 errored' "$workdir/stats3.js
     || fail "missing or wrong final session tally on stderr"
 
 echo "multi-stream smoke OK: 3 sessions at $gw_addr, 9 frames, per-stream metrics live, exit 3"
+
+# --- flight-recorder smoke: incident snapshots + live operator views ----
+#
+# Leg 1: the forged stream with --flight-out armed. The first accepted
+# forgery must dump exactly one self-contained snapshot whose journal
+# ends at the triggering verdict, and `ctc obs report` must render it.
+fstatus=0
+"$CTC" monitor --input - --threshold 0.25 \
+    --flight-out "$workdir/incident.json" \
+    < "$workdir/stream.cf32" \
+    > "$workdir/events4.jsonl" \
+    2> "$workdir/stats4.jsonl" || fstatus=$?
+[ "$fstatus" -eq 3 ] || fail "flight run: expected exit code 3, got $fstatus"
+
+[ -f "$workdir/incident.json" ] || fail "no incident snapshot written on forgery"
+grep -q '^flight: incident snapshot (forgery) written to ' "$workdir/stats4.jsonl" \
+    || fail "missing flight snapshot marker on stderr"
+markers=$(grep -c '^flight: incident snapshot' "$workdir/stats4.jsonl" || true)
+[ "$markers" -eq 1 ] || fail "expected exactly 1 snapshot dump, got $markers"
+grep -q '"trigger":"forgery"' "$workdir/incident.json" \
+    || fail "snapshot trigger is not the forgery"
+
+report_out=$("$CTC" obs report "$workdir/incident.json") \
+    || fail "obs report could not render the snapshot"
+grep -q 'trigger=forgery' <<< "$report_out" || fail "report: missing trigger line"
+grep -q 'accepted_forgery=true' <<< "$report_out" \
+    || fail "report: journal does not show the accepted forgery"
+grep '] verdict' <<< "$report_out" | tail -n 1 | grep -q 'accepted_forgery=true' \
+    || fail "report: last journal verdict is not the accepted forgery"
+grep -q '] burst' <<< "$report_out" || fail "report: no burst events preceding the verdict"
+grep -q 'stage latency' <<< "$report_out" || fail "report: missing stage latency table"
+grep -q 'registry delta' <<< "$report_out" || fail "report: missing registry delta"
+
+# Keep the snapshot for the CI artifact upload.
+cp "$workdir/incident.json" flight_incident.json
+
+# Leg 2: SIGUSR1 against a live server. Authentic-only traffic (no
+# forgery trigger) over a held-open TCP session; the signal must dump an
+# on-demand snapshot while the live endpoint also serves `obs top` and
+# `obs dump --json`.
+cat "$workdir/gap.cf32" "$workdir/zig.cf32" "$workdir/gap.cf32" \
+    > "$workdir/authentic.cf32"
+ustatus=0
+"$CTC" monitor --listen tcp://127.0.0.1:0 --threshold 0.25 --chunk 4096 \
+    --stop-after 1 \
+    --metrics-addr 127.0.0.1:0 \
+    --flight-out "$workdir/incident_usr1.json" \
+    > "$workdir/events5.jsonl" \
+    2> "$workdir/stats5.jsonl" &
+usr1_pid=$!
+
+u_addr=
+for _ in $(seq 100); do
+    u_addr=$(sed -n 's#^listening tcp://\(.*\)$#\1#p' "$workdir/stats5.jsonl" | head -n 1)
+    [ -n "$u_addr" ] && break
+    sleep 0.1
+done
+[ -n "$u_addr" ] || fail "flight server never announced its listen address"
+umaddr=
+for _ in $(seq 100); do
+    umaddr=$(sed -n 's#^metrics: serving http://\([^/]*\)/metrics$#\1#p' \
+        "$workdir/stats5.jsonl" | head -n 1)
+    [ -n "$umaddr" ] && break
+    sleep 0.1
+done
+[ -n "$umaddr" ] || fail "flight server never announced a metrics address"
+
+exec 5> "/dev/tcp/${u_addr%:*}/${u_addr##*:}"
+cat "$workdir/authentic.cf32" >&5   # session held open: server stays live
+
+# Wait until the frame is through, then ask for a snapshot by signal.
+for _ in $(seq 100); do
+    "$CTC" obs dump --addr "$umaddr" 2>/dev/null \
+        | grep -q 'ctc_gateway_frames_total{verdict="authentic"} 1' && break
+    sleep 0.1
+done
+kill -USR1 "$usr1_pid"
+for _ in $(seq 100); do
+    [ -f "$workdir/incident_usr1.json" ] && break
+    sleep 0.1
+done
+[ -f "$workdir/incident_usr1.json" ] || fail "SIGUSR1 never produced a snapshot"
+grep -q '"trigger":"sigusr1"' "$workdir/incident_usr1.json" \
+    || fail "on-demand snapshot trigger is not sigusr1"
+"$CTC" obs report "$workdir/incident_usr1.json" | grep -q 'trigger=sigusr1' \
+    || fail "obs report could not render the sigusr1 snapshot"
+
+# The live operator views read the same endpoint.
+top_out=$("$CTC" obs top --addr "$umaddr" --count 2 --interval 200ms) \
+    || fail "obs top failed against the live endpoint"
+grep -q 'samples' <<< "$top_out" || fail "obs top: no throughput line"
+grep -q '/s' <<< "$top_out" || fail "obs top: second frame has no rate column"
+"$CTC" obs dump --addr "$umaddr" --json \
+    | grep -q '"name":"ctc_gateway_samples_total"' \
+    || fail "obs dump --json: missing samples counter"
+
+exec 5>&-   # EOF: the held session drains, --stop-after 1 exits
+wait "$usr1_pid" || ustatus=$?
+[ "$ustatus" -eq 0 ] || fail "authentic-only flight run: expected exit 0, got $ustatus"
+
+echo "flight smoke OK: forgery snapshot rendered, SIGUSR1 live dump, obs top/dump --json live"
